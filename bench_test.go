@@ -1,0 +1,237 @@
+// Benchmarks regenerating every table and figure of the Sinew paper's
+// evaluation (§6 and Appendices A–B). Each benchmark drives the harness in
+// internal/bench at a laptop scale (override with SINEW_BENCH_SMALL /
+// SINEW_BENCH_LARGE record counts); run with -v to see the regenerated
+// tables. cmd/sinewbench prints the same tables standalone.
+package sinew_test
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/bench"
+)
+
+// Scales: "small" plays the paper's 16M-record in-memory runs, "large" the
+// 64M-record disk-bound runs, preserving the 1:4 ratio.
+func smallN() int { return envInt("SINEW_BENCH_SMALL", 4000) }
+func largeN() int { return envInt("SINEW_BENCH_LARGE", 16000) }
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+var (
+	fixtures   = map[int]*bench.NoBenchFixture{}
+	fixturesMu sync.Mutex
+)
+
+// fixture caches loaded NoBench fixtures across benchmarks (loading is
+// itself measured once by BenchmarkTable3_Load).
+func fixture(b *testing.B, n int) *bench.NoBenchFixture {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if f, ok := fixtures[n]; ok {
+		return f
+	}
+	f, err := bench.SetupNoBench(n, 42, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixtures[n] = f
+	return f
+}
+
+// BenchmarkTable3_Load regenerates Table 3 (load time and storage size):
+// each iteration loads the full dataset into all four systems.
+func BenchmarkTable3_Load(b *testing.B) {
+	n := smallN()
+	var tbl *bench.Table
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := bench.SetupNoBench(n, 42, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = bench.Table3(f)
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkFigure6_NoBench_Small regenerates Figure 6a (Q1–Q10, the
+// in-memory scale).
+func BenchmarkFigure6_NoBench_Small(b *testing.B) {
+	f := fixture(b, smallN())
+	io := bench.WarmCacheIOModel()
+	var tbl *bench.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl = bench.Figure6(f, io, 1)
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkFigure6_NoBench_Large regenerates Figure 6b (Q1–Q10 at 4× the
+// records under the disk-bound I/O model).
+func BenchmarkFigure6_NoBench_Large(b *testing.B) {
+	f := fixture(b, largeN())
+	io := bench.DiskBoundIOModel(f.DatasetBytes(bench.SysSinew))
+	var tbl *bench.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl = bench.Figure6(f, io, 1)
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkFigure7_Join regenerates Figure 7 (NoBench Q11) at both scales,
+// with a scratch budget at the large scale that reproduces MongoDB's
+// out-of-disk DNF.
+func BenchmarkFigure7_Join(b *testing.B) {
+	small := fixture(b, smallN())
+	var tblSmall, tblLarge *bench.Table
+	largeBudget, err := bench.SetupNoBench(largeN(), 42, int64(largeN())*300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tblSmall = bench.Figure7(small, bench.WarmCacheIOModel(), 1)
+		tblLarge = bench.Figure7(largeBudget, bench.DiskBoundIOModel(largeBudget.DatasetBytes(bench.SysSinew)), 1)
+	}
+	b.Log("\n" + tblSmall.String())
+	b.Log("\n" + tblLarge.String())
+}
+
+// BenchmarkFigure8_Update regenerates Figure 8 (the random update task).
+func BenchmarkFigure8_Update(b *testing.B) {
+	f := fixture(b, smallN())
+	var tbl *bench.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl = bench.Figure8(f, bench.WarmCacheIOModel(), 1)
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkTable2_QueryPlans regenerates Table 2 (virtual vs physical
+// column query plans over the Twitter workload, including runtimes).
+func BenchmarkTable2_QueryPlans(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		f, err := bench.SetupTwitter(smallN(), 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl, err = bench.Table2(f, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkTable4_Serialization regenerates Appendix A's Table 4.
+func BenchmarkTable4_Serialization(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = bench.Table4(smallN(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkTable5_VirtualOverhead regenerates Appendix B's Table 5.
+func BenchmarkTable5_VirtualOverhead(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		f, err := bench.SetupTwitter(smallN(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl, err = bench.Table5(f, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkAblationHybrid compares all-virtual / hybrid / all-physical
+// schemas (DESIGN.md ablation 1).
+func BenchmarkAblationHybrid(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = bench.AblationHybrid(smallN()/2, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkAblationDirtyCoalesce measures the dirty-column COALESCE
+// penalty (DESIGN.md ablation 4).
+func BenchmarkAblationDirtyCoalesce(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = bench.AblationDirtyCoalesce(smallN(), 13, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkAblationPolicy sweeps materialization thresholds (ablation 5).
+func BenchmarkAblationPolicy(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = bench.AblationPolicy(smallN()/2, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkAblationBinarySearch isolates the sorted-header design
+// (ablation 2).
+func BenchmarkAblationBinarySearch(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = bench.AblationBinarySearch(smallN(), 21)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkAblationArrays compares array storage strategies (ablation 7).
+func BenchmarkAblationArrays(b *testing.B) {
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = bench.AblationArrays(smallN()/2, 23)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}

@@ -1,0 +1,57 @@
+// Command nobenchgen emits the NoBench dataset (the §6 workload) as
+// newline-delimited JSON on stdout, suitable for sinewcli's \load or any
+// other JSON-lines consumer.
+//
+// Usage:
+//
+//	nobenchgen [-n records] [-seed S] [-queries]
+//
+// With -queries it instead prints the 11 NoBench queries plus the update
+// task as SQL parameterized for the chosen record count.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/nobench"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 10000, "number of records")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		queries = flag.Bool("queries", false, "print the NoBench queries instead of data")
+	)
+	flag.Parse()
+
+	if *queries {
+		par := nobench.NewParams(*n)
+		qs := par.Queries()
+		for _, qid := range nobench.QueryOrder() {
+			fmt.Printf("-- %s\n%s;\n\n", qid, qs[qid])
+		}
+		return
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	g := nobench.NewGenerator(*n, *seed)
+	for {
+		doc, ok := g.Next()
+		if !ok {
+			return
+		}
+		if _, err := w.WriteString(jsonx.ObjectValue(doc).String()); err != nil {
+			fmt.Fprintln(os.Stderr, "nobenchgen:", err)
+			os.Exit(1)
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			fmt.Fprintln(os.Stderr, "nobenchgen:", err)
+			os.Exit(1)
+		}
+	}
+}

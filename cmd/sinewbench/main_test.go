@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestRunExperimentsTiny drives the experiment dispatcher end to end at a
+// tiny scale; the heavy lifting is covered in internal/bench.
+func TestRunExperimentsTiny(t *testing.T) {
+	for _, exp := range []string{"table3", "table4", "fig8", "counts"} {
+		if err := run(exp, 300, 600, 1, 1); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	if err := run("nonsense", 100, 200, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: load schemaless JSON and query it with standard SQL.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	sinew "github.com/sinewdata/sinew"
+)
+
+func main() {
+	db := sinew.Open(sinew.DefaultConfig())
+	if err := db.CreateCollection("events"); err != nil {
+		log.Fatal(err)
+	}
+
+	// No schema was declared — the documents define it as they arrive,
+	// and later documents may add keys freely.
+	docs := strings.Join([]string{
+		`{"kind":"signup","user":"ada","plan":"free"}`,
+		`{"kind":"signup","user":"grace","plan":"pro","referrer":"ada"}`,
+		`{"kind":"purchase","user":"grace","amount":49.99,"items":["disk","cable"]}`,
+		`{"kind":"purchase","user":"ada","amount":9.5,"items":["cable"]}`,
+		`{"kind":"login","user":"ada","device":{"os":"linux","mobile":false}}`,
+	}, "\n")
+	res, err := db.LoadJSONLines("events", strings.NewReader(docs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d documents, %d attributes discovered\n\n", res.Documents, res.NewAttributes)
+
+	// Standard SQL over the universal-relation view: every key is a
+	// column, nested keys are dot-delimited, absent keys read as NULL.
+	queries := []string{
+		`SELECT user, amount FROM events WHERE kind = 'purchase' ORDER BY amount DESC`,
+		`SELECT kind, COUNT(*) FROM events GROUP BY kind ORDER BY kind`,
+		`SELECT user FROM events WHERE referrer IS NOT NULL`,
+		`SELECT user FROM events WHERE "device.os" = 'linux'`,
+		`SELECT user FROM events WHERE 'disk' IN items`,
+	}
+	for _, q := range queries {
+		out, err := db.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		fmt.Println(q)
+		for _, row := range out.Rows {
+			cells := make([]string, len(row))
+			for i, d := range row {
+				cells[i] = d.String()
+			}
+			fmt.Println("  ", strings.Join(cells, " | "))
+		}
+		fmt.Println()
+	}
+}

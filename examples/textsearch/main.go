@@ -1,0 +1,54 @@
+// Textsearch demonstrates §4.3: the inverted text index over all
+// attributes, predicate pushdown through matches(), and storing fully
+// unstructured text alongside semi-structured data.
+//
+// Run with: go run ./examples/textsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	sinew "github.com/sinewdata/sinew"
+)
+
+func main() {
+	cfg := sinew.DefaultConfig()
+	cfg.EnableTextIndex = true
+	db := sinew.Open(cfg)
+	if err := db.CreateCollection("articles"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Semi-structured records and one "completely unstructured" record
+	// (just a text blob under a generic key) live side by side.
+	docs := `{"id":1,"title":"Sinew: a SQL system","body":"stores multi-structured data in relational systems","tags":["databases","sql"]}
+{"id":2,"title":"NoSQL at scale","body":"document stores trade schema flexibility for query power","tags":["nosql"]}
+{"id":3,"title":"Query optimization","body":"statistics drive plan selection in relational optimizers"}
+{"id":4,"text":"raw unstructured note: remember to benchmark the relational storage layer"}`
+	if _, err := db.LoadJSONLines("articles", strings.NewReader(docs)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Full-text search across every column (the §4.3 sample query shape).
+	queries := []string{
+		`SELECT id FROM articles WHERE matches('*', 'relational')`,
+		`SELECT id FROM articles WHERE matches('body', 'relational')`,
+		`SELECT id FROM articles WHERE matches('*', '"multi structured"')`,
+		`SELECT id FROM articles WHERE matches('title', 'quer*')`,
+		`SELECT id FROM articles WHERE matches('*', 'schema OR statistics')`,
+		`SELECT id, title FROM articles WHERE matches('tags', 'sql') AND id < 3`,
+	}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		var ids []string
+		for _, row := range res.Rows {
+			ids = append(ids, row[0].String())
+		}
+		fmt.Printf("%-72s -> ids [%s]\n", q, strings.Join(ids, " "))
+	}
+}

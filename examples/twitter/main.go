@@ -1,0 +1,93 @@
+// Twitter analytics: the workload that motivates the paper's §3.1.1 —
+// deeply nested, sparse tweet objects queried with multi-way SQL joins
+// (Table 1), and the optimizer-visible difference between virtual and
+// physical columns (Table 2).
+//
+// Run with: go run ./examples/twitter
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	sinew "github.com/sinewdata/sinew"
+	"github.com/sinewdata/sinew/internal/twittergen"
+)
+
+func main() {
+	db := sinew.Open(sinew.DefaultConfig())
+	for _, c := range []string{"tweets", "deletes"} {
+		if err := db.CreateCollection(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	const n = 5000
+	cfg := twittergen.DefaultConfig(n)
+	if _, err := db.LoadDocuments("tweets", twittergen.GenerateTweets(n, 7, cfg)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.LoadDocuments("deletes", twittergen.GenerateDeletes(n, 7, 0.2, cfg)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Tighten the planner's work_mem proxy so the scaled cardinalities
+	// cross it the way the paper's 10M-tweet corpus crossed Postgres's.
+	db.RDBMS().PlanConfig().HashAggMaxGroups = 500
+
+	distinctUsers := `SELECT DISTINCT "user.id" FROM tweets`
+
+	// With everything virtual the optimizer sees a fixed default estimate
+	// through the extraction UDF and picks HashAggregate.
+	plan, err := db.Explain(distinctUsers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan with user.id VIRTUAL:")
+	fmt.Println(indent(plan))
+
+	// Materialize the hot columns and gather statistics; the same query
+	// now plans with a sort-based Unique (the paper's Table 2 flip).
+	mat := sinew.NewMaterializer(db)
+	for _, key := range []string{"user.id", "user.lang", "user.screen_name", "retweet_count"} {
+		if err := db.SetMaterialized("tweets", key, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := mat.RunOnce("tweets"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.RDBMS().Analyze("tweets"); err != nil {
+		log.Fatal(err)
+	}
+	plan, err = db.Explain(distinctUsers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan with user.id PHYSICAL (after materialization + ANALYZE):")
+	fmt.Println(indent(plan))
+
+	// Table 1's analytics run unchanged against the logical view.
+	queries := []string{
+		`SELECT SUM(retweet_count) FROM tweets GROUP BY "user.id" LIMIT 5`,
+		`SELECT "user.id" FROM tweets t1, deletes d1
+		   WHERE t1.id_str = d1."delete.status.id_str" AND t1."user.lang" = 'msa'`,
+		`SELECT "user.screen_name", COUNT(*) AS tweets FROM tweets
+		   GROUP BY "user.screen_name" ORDER BY COUNT(*) DESC LIMIT 3`,
+	}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		fmt.Printf("%s\n  -> %d rows", strings.Join(strings.Fields(q), " "), len(res.Rows))
+		if len(res.Rows) > 0 {
+			fmt.Printf(", first: %v", res.Rows[0])
+		}
+		fmt.Println()
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

@@ -1,0 +1,3 @@
+module github.com/sinewdata/sinew
+
+go 1.22

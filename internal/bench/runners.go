@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sinewdata/sinew/internal/docstore"
+	"github.com/sinewdata/sinew/internal/eav"
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// RunQuery executes one NoBench query (Q1..Q12) on one system and returns
+// the measured outcome. Errors that reproduce the paper's DNFs (pgjson Q7
+// type error, Mongo Q11 scratch exhaustion) come back in Outcome.Err.
+func (f *NoBenchFixture) RunQuery(system, qid string) Outcome {
+	switch system {
+	case SysSinew:
+		return f.runSinew(qid)
+	case SysPG:
+		return f.runPG(qid)
+	case SysEAV:
+		return f.runEAV(qid)
+	case SysMongo:
+		return f.runMongo(qid)
+	default:
+		return Outcome{Err: fmt.Errorf("bench: unknown system %q", system)}
+	}
+}
+
+func (f *NoBenchFixture) runSinew(qid string) Outcome {
+	sql := f.Par.Queries()[qid]
+	pager := f.Sinew.RDBMS().Pager()
+	pager.Reset()
+	start := time.Now()
+	res, err := f.Sinew.Query(sql)
+	cpu := time.Since(start)
+	read, _ := pager.Stats()
+	out := Outcome{CPU: cpu, BytesRead: read, Err: err}
+	if err == nil {
+		out.Rows = int64(len(res.Rows))
+		if res.RowsAffected > 0 {
+			out.Rows = res.RowsAffected
+		}
+	}
+	return out
+}
+
+func (f *NoBenchFixture) runPG(qid string) Outcome {
+	sql := f.Par.Queries()[qid]
+	if qid == "Q11" {
+		// The pgjson table has only the raw data column to project.
+		lo, hi := f.Par.RangeBounds()
+		sql = fmt.Sprintf(
+			`SELECT l.data FROM %s l, %s r WHERE l."nested_obj.str" = r.str1 AND l.num BETWEEN %d AND %d`,
+			f.Par.Table, f.Par.Table, lo, hi)
+	}
+	pager := f.PG.RDBMS().Pager()
+	pager.Reset()
+	start := time.Now()
+	res, err := f.PG.Query(sql)
+	cpu := time.Since(start)
+	read, _ := pager.Stats()
+	out := Outcome{CPU: cpu, BytesRead: read, Err: err}
+	if err == nil {
+		out.Rows = int64(len(res.Rows))
+		if res.RowsAffected > 0 {
+			out.Rows = res.RowsAffected
+		}
+	}
+	return out
+}
+
+func (f *NoBenchFixture) runEAV(qid string) Outcome {
+	par := f.Par
+	table := par.Table
+	lo, hi := par.RangeBounds()
+	dlo, dhi := par.DynBounds()
+	pager := f.EAV.RDBMS().Pager()
+	pager.Reset()
+	start := time.Now()
+	var rows int64
+	var err error
+	switch qid {
+	case "Q1":
+		res, e := f.EAV.ProjectKeys(table, "str1", "num")
+		err = e
+		if e == nil {
+			rows = int64(len(res.Rows))
+		}
+	case "Q2":
+		res, e := f.EAV.ProjectKeys(table, "nested_obj.str", "nested_obj.num")
+		err = e
+		if e == nil {
+			rows = int64(len(res.Rows))
+		}
+	case "Q3":
+		res, e := f.EAV.ProjectKeys(table, "sparse_110", "sparse_119")
+		err = e
+		if e == nil {
+			rows = int64(len(res.Rows))
+		}
+	case "Q4":
+		res, e := f.EAV.ProjectKeys(table, "sparse_110", "sparse_220")
+		err = e
+		if e == nil {
+			rows = int64(len(res.Rows))
+		}
+	case "Q5":
+		res, e := f.EAV.SelectEq(table, "str1", types.NewText(par.Str1Probe()))
+		err = e
+		if e == nil {
+			rows = eav.ReconstructObjects(res, 0)
+		}
+	case "Q6":
+		res, e := f.EAV.SelectRange(table, "num", float64(lo), float64(hi))
+		err = e
+		if e == nil {
+			rows = eav.ReconstructObjects(res, 0)
+		}
+	case "Q7":
+		res, e := f.EAV.SelectRange(table, "dyn1", float64(dlo), float64(dhi))
+		err = e
+		if e == nil {
+			rows = eav.ReconstructObjects(res, 0)
+		}
+	case "Q8":
+		res, e := f.EAV.SelectArrayContains(table, "nested_arr", types.NewText(par.ArrayProbe()))
+		err = e
+		if e == nil {
+			rows = eav.ReconstructObjects(res, 0)
+		}
+	case "Q9":
+		res, e := f.EAV.SelectEq(table, par.SparseQueryKey(), types.NewText(par.SparseProbe()))
+		err = e
+		if e == nil {
+			rows = eav.ReconstructObjects(res, 0)
+		}
+	case "Q10":
+		res, e := f.EAV.GroupCount(table, "num", float64(lo), float64(hi), "thousandth")
+		err = e
+		if e == nil {
+			rows = int64(len(res.Rows))
+		}
+	case "Q11":
+		res, e := f.EAV.Join(table, "nested_obj.str", "str1", "num", float64(lo), float64(hi))
+		err = e
+		if e == nil {
+			rows = int64(len(res.Rows))
+		}
+	case "Q12":
+		n, e := f.EAV.UpdateEq(table, par.SparseSetKey(), types.NewText("DUMMY"),
+			par.SparseQueryKey(), types.NewText(par.SparseProbe()))
+		err = e
+		rows = n
+	default:
+		err = fmt.Errorf("bench: unknown query %q", qid)
+	}
+	cpu := time.Since(start)
+	read, _ := pager.Stats()
+	return Outcome{CPU: cpu, BytesRead: read, Rows: rows, Err: err}
+}
+
+func (f *NoBenchFixture) runMongo(qid string) Outcome {
+	par := f.Par
+	lo, hi := par.RangeBounds()
+	dlo, dhi := par.DynBounds()
+	coll := f.MongoColl
+	f.Mongo.ResetIO()
+	start := time.Now()
+	var rows int64
+	var err error
+	switch qid {
+	case "Q1":
+		res, e := coll.Find(docstore.All{}, []string{"str1", "num"})
+		err = e
+		rows = int64(len(res))
+	case "Q2":
+		res, e := coll.Find(docstore.All{}, []string{"nested_obj.str", "nested_obj.num"})
+		err = e
+		rows = int64(len(res))
+	case "Q3":
+		res, e := coll.Find(docstore.All{}, []string{"sparse_110", "sparse_119"})
+		err = e
+		rows = int64(len(res))
+	case "Q4":
+		res, e := coll.Find(docstore.All{}, []string{"sparse_110", "sparse_220"})
+		err = e
+		rows = int64(len(res))
+	case "Q5":
+		res, e := coll.Find(docstore.Eq{Path: "str1", Val: jsonx.StringValue(par.Str1Probe())}, nil)
+		err = e
+		rows = int64(len(res))
+	case "Q6":
+		res, e := coll.Find(docstore.Range{Path: "num", Lo: float64(lo), Hi: float64(hi)}, nil)
+		err = e
+		rows = int64(len(res))
+	case "Q7":
+		res, e := coll.Find(docstore.Range{Path: "dyn1", Lo: float64(dlo), Hi: float64(dhi)}, nil)
+		err = e
+		rows = int64(len(res))
+	case "Q8":
+		res, e := coll.Find(docstore.Contains{Path: "nested_arr", Val: jsonx.StringValue(par.ArrayProbe())}, nil)
+		err = e
+		rows = int64(len(res))
+	case "Q9":
+		res, e := coll.Find(docstore.Eq{Path: par.SparseQueryKey(), Val: jsonx.StringValue(par.SparseProbe())}, nil)
+		err = e
+		rows = int64(len(res))
+	case "Q10":
+		groups, e := coll.GroupSum(docstore.Range{Path: "num", Lo: float64(lo), Hi: float64(hi)}, "thousandth", "")
+		err = e
+		rows = int64(len(groups))
+	case "Q11":
+		out, e := f.Mongo.JoinViaTemp(coll, coll, "nested_obj.str", "str1",
+			docstore.Range{Path: "num", Lo: float64(lo), Hi: float64(hi)})
+		err = e
+		if e == nil {
+			rows = out.Count()
+			f.Mongo.Drop(out.Name())
+		}
+	case "Q12":
+		n, e := coll.UpdateSet(
+			docstore.Eq{Path: par.SparseQueryKey(), Val: jsonx.StringValue(par.SparseProbe())},
+			par.SparseSetKey(), jsonx.StringValue("DUMMY"))
+		err = e
+		rows = n
+	default:
+		err = fmt.Errorf("bench: unknown query %q", qid)
+	}
+	cpu := time.Since(start)
+	return Outcome{CPU: cpu, BytesRead: f.Mongo.BytesRead(), Rows: rows, Err: err}
+}

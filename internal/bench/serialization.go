@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/nobench"
+	"github.com/sinewdata/sinew/internal/serial"
+	"github.com/sinewdata/sinew/internal/serial/avrolike"
+	"github.com/sinewdata/sinew/internal/serial/pblike"
+)
+
+// table4ExtractKeys are the keys extracted in the 10-key task (a mix of
+// dense, nested, and sparse — the access pattern a projection produces).
+var table4ExtractKeys = []string{
+	"str1", "str2", "num", "bool", "dyn1", "thousandth",
+	"nested_obj", "nested_arr", "sparse_110", "sparse_220",
+}
+
+// Table4 reproduces Appendix A's "Table 4: Comparison of Serialization
+// Formats": serialization, deserialization, 1-key and 10-key extraction
+// time, and encoded size, for Sinew's format vs the Protocol-Buffers-like
+// and Avro-like baselines, over n NoBench objects.
+func Table4(n int, seed int64) (*Table, error) {
+	docs := nobench.Generate(n, seed)
+	var originalBytes int64
+	for _, d := range docs {
+		originalBytes += int64(len(jsonx.ObjectValue(d).String()))
+	}
+
+	// Populate one shared dictionary up front (Avro requires the full
+	// writer schema; Sinew and PB allocate incrementally but sharing keeps
+	// attribute IDs identical across formats).
+	dict := serial.NewDictionary()
+	for _, d := range docs {
+		for _, m := range d.Members() {
+			if at, ok := serial.AttrTypeOf(m.Val); ok {
+				dict.IDFor(m.Key, at)
+			}
+			if m.Val.Kind == jsonx.Object {
+				for _, sm := range m.Val.Obj.Members() {
+					if at, ok := serial.AttrTypeOf(sm.Val); ok {
+						dict.IDFor(sm.Key, at)
+					}
+				}
+			}
+		}
+	}
+
+	type format struct {
+		name        string
+		serialize   func(*jsonx.Doc) ([]byte, error)
+		deserialize func([]byte) (*jsonx.Doc, error)
+		// extractMany fetches the given keys from one record the way an
+		// application using the format would: Sinew random-accesses each
+		// key; Protocol Buffers deserializes the whole message once and
+		// then dereferences fields (the up-front cost Appendix A
+		// describes); Avro scans sequentially per key (no random access,
+		// no cheap partial decode).
+		extractMany func([]byte, []string, map[string]serial.AttrType) error
+	}
+	formats := []format{
+		{
+			name:        "Sinew",
+			serialize:   func(d *jsonx.Doc) ([]byte, error) { return serial.Serialize(d, dict) },
+			deserialize: func(b []byte) (*jsonx.Doc, error) { return serial.Deserialize(b, dict) },
+			extractMany: func(b []byte, keys []string, kt map[string]serial.AttrType) error {
+				for _, k := range keys {
+					if _, _, err := serial.ExtractPath(b, k, kt[k], dict); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			name:        "Protocol Buffers",
+			serialize:   func(d *jsonx.Doc) ([]byte, error) { return pblike.Serialize(d, dict) },
+			deserialize: func(b []byte) (*jsonx.Doc, error) { return pblike.Deserialize(b, dict) },
+			extractMany: func(b []byte, keys []string, _ map[string]serial.AttrType) error {
+				doc, err := pblike.Deserialize(b, dict)
+				if err != nil {
+					return err
+				}
+				for _, k := range keys {
+					doc.Get(k)
+				}
+				return nil
+			},
+		},
+		{
+			name:        "Avro",
+			serialize:   func(d *jsonx.Doc) ([]byte, error) { return avrolike.Serialize(d, dict) },
+			deserialize: func(b []byte) (*jsonx.Doc, error) { return avrolike.Deserialize(b, dict) },
+			extractMany: func(b []byte, keys []string, kt map[string]serial.AttrType) error {
+				for _, k := range keys {
+					if _, _, err := avrolike.Extract(b, k, kt[k], dict); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	}
+
+	// Resolve extraction key types once (dict-typed attributes).
+	keyTypes := make(map[string]serial.AttrType, len(table4ExtractKeys))
+	for _, k := range table4ExtractKeys {
+		attrs := dict.IDsOfKey(k)
+		if len(attrs) > 0 {
+			keyTypes[k] = attrs[0].Type
+		} else {
+			keyTypes[k] = serial.TypeString
+		}
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Table 4 — Serialization format comparison (%d NoBench objects)", n),
+		Header: []string{"Task", "Sinew", "Protocol Buffers", "Avro"},
+	}
+	rows := map[string][]string{
+		"Serialization (s)":      {"Serialization (s)"},
+		"Deserialization (s)":    {"Deserialization (s)"},
+		"Extraction 1 key (s)":   {"Extraction 1 key (s)"},
+		"Extraction 10 keys (s)": {"Extraction 10 keys (s)"},
+		"Size":                   {"Size"},
+	}
+
+	for _, f := range formats {
+		// Serialization.
+		start := time.Now()
+		encoded := make([][]byte, len(docs))
+		var size int64
+		for i, d := range docs {
+			b, err := f.serialize(d)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s serialize: %w", f.name, err)
+			}
+			encoded[i] = b
+			size += int64(len(b))
+		}
+		serTime := time.Since(start)
+
+		// Deserialization.
+		start = time.Now()
+		for _, b := range encoded {
+			if _, err := f.deserialize(b); err != nil {
+				return nil, fmt.Errorf("bench: %s deserialize: %w", f.name, err)
+			}
+		}
+		deserTime := time.Since(start)
+
+		// Extraction: 1 key — "thousandth", a later attribute ID, so
+		// sequential formats cannot stop early.
+		oneKey := []string{"thousandth"}
+		start = time.Now()
+		for _, b := range encoded {
+			if err := f.extractMany(b, oneKey, keyTypes); err != nil {
+				return nil, fmt.Errorf("bench: %s extract: %w", f.name, err)
+			}
+		}
+		ext1 := time.Since(start)
+
+		// Extraction: 10 keys.
+		start = time.Now()
+		for _, b := range encoded {
+			if err := f.extractMany(b, table4ExtractKeys, keyTypes); err != nil {
+				return nil, fmt.Errorf("bench: %s extract10: %w", f.name, err)
+			}
+		}
+		ext10 := time.Since(start)
+
+		rows["Serialization (s)"] = append(rows["Serialization (s)"], fmtDur(serTime))
+		rows["Deserialization (s)"] = append(rows["Deserialization (s)"], fmtDur(deserTime))
+		rows["Extraction 1 key (s)"] = append(rows["Extraction 1 key (s)"], fmtDur(ext1))
+		rows["Extraction 10 keys (s)"] = append(rows["Extraction 10 keys (s)"], fmtDur(ext10))
+		rows["Size"] = append(rows["Size"], fmtBytes(size))
+	}
+	for _, name := range []string{
+		"Serialization (s)", "Deserialization (s)",
+		"Extraction 1 key (s)", "Extraction 10 keys (s)", "Size",
+	} {
+		t.AddRow(rows[name]...)
+	}
+	t.AddNote("Original JSON size: %s", fmtBytes(originalBytes))
+	t.AddNote("Avro has no optional attributes: every record stores a union tag for all %d schema attributes", dict.Len())
+	return t, nil
+}

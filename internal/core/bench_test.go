@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// benchFixture loads n simple documents with one materialized and one
+// virtual column.
+func benchFixture(b *testing.B, n int) *DB {
+	b.Helper()
+	db := Open(DefaultConfig())
+	if err := db.CreateCollection("b"); err != nil {
+		b.Fatal(err)
+	}
+	docs := make([]*jsonx.Doc, n)
+	for i := range docs {
+		d := jsonx.NewDoc()
+		d.Set("phys", jsonx.IntValue(int64(i)))
+		d.Set("virt", jsonx.IntValue(int64(i)))
+		d.Set("pad", jsonx.StringValue("some padding text to scan past"))
+		docs[i] = d
+	}
+	if _, err := db.LoadDocuments("b", docs); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.SetMaterialized("b", "phys", true); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := NewMaterializer(db).RunOnce("b"); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RDBMS().Analyze("b"); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkQueryPhysicalColumn is the Appendix B physical baseline.
+func BenchmarkQueryPhysicalColumn(b *testing.B) {
+	db := benchFixture(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT COUNT(*) FROM b WHERE phys >= 2500`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryVirtualColumn is the Appendix B virtual counterpart.
+func BenchmarkQueryVirtualColumn(b *testing.B) {
+	db := benchFixture(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT COUNT(*) FROM b WHERE virt >= 2500`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoad measures loader throughput (docs/op reported via N).
+func BenchmarkLoad(b *testing.B) {
+	docs := make([]*jsonx.Doc, 1000)
+	for i := range docs {
+		d := jsonx.NewDoc()
+		d.Set("k", jsonx.IntValue(int64(i)))
+		d.Set("s", jsonx.StringValue(fmt.Sprintf("value %d", i)))
+		docs[i] = d
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := Open(DefaultConfig())
+		if err := db.CreateCollection("l"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.LoadDocuments("l", docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaterializerPass measures one full materialization pass.
+func BenchmarkMaterializerPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := Open(DefaultConfig())
+		db.CreateCollection("m")
+		docs := make([]*jsonx.Doc, 2000)
+		for j := range docs {
+			d := jsonx.NewDoc()
+			d.Set("v", jsonx.IntValue(int64(j)))
+			docs[j] = d
+		}
+		db.LoadDocuments("m", docs)
+		db.SetMaterialized("m", "v", true)
+		m := NewMaterializer(db)
+		b.StartTimer()
+		if _, err := m.RunOnce("m"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/sinewdata/sinew/internal/serial"
+)
+
+// Catalog is Sinew's two-part catalog (§3.1.2, Figure 4): a global
+// attribute dictionary mapping every (key, type) pair across all
+// collections to a compact ID, plus per-collection column records tracking
+// occurrence counts, cardinality estimates, storage mode (physical or
+// virtual), and the dirty flag driving the materializer.
+type Catalog struct {
+	mu     sync.RWMutex
+	dict   *serial.Dictionary
+	tables map[string]*CollectionCatalog
+}
+
+// CollectionCatalog is the per-table half of the catalog (Figure 4b).
+type CollectionCatalog struct {
+	mu   sync.RWMutex
+	name string
+	// columns is keyed by attribute ID.
+	columns map[uint32]*ColumnInfo
+	// docCount is the number of loaded documents (density denominator).
+	docCount int64
+	// nextID assigns _id values.
+	nextID int64
+	// latch serializes the loader and the column materializer (§3.1.4:
+	// "the materializer and loader are not allowed to run concurrently").
+	latch sync.Mutex
+}
+
+// ColumnInfo is one logical column's catalog record.
+type ColumnInfo struct {
+	AttrID uint32
+	Key    string
+	Type   serial.AttrType
+	// Count is the number of documents containing the attribute.
+	Count int64
+	// Materialized is the *target* storage mode set by the schema
+	// analyzer; the physical schema converges to it via the materializer.
+	Materialized bool
+	// Dirty means values may be split between the reservoir and the
+	// physical column; queries must COALESCE (§3.1.4).
+	Dirty bool
+	// PhysicalName is the RDBMS column name once one exists ("" while
+	// purely virtual).
+	PhysicalName string
+
+	// distinct approximates cardinality: exact up to cardTrackLimit
+	// distinct values, then pinned to "many".
+	distinct     map[string]struct{}
+	distinctFull bool
+}
+
+// cardTrackLimit bounds per-column distinct tracking; beyond it the column
+// is simply "high cardinality", which is all the analyzer's threshold test
+// needs.
+const cardTrackLimit = 4096
+
+// Cardinality returns the (possibly saturated) distinct-value estimate.
+func (c *ColumnInfo) Cardinality() int64 {
+	if c.distinctFull {
+		return cardTrackLimit + 1
+	}
+	return int64(len(c.distinct))
+}
+
+// observe records one occurrence of the attribute with the given value
+// hash.
+func (c *ColumnInfo) observe(valueKey string) {
+	c.Count++
+	if c.distinctFull {
+		return
+	}
+	if c.distinct == nil {
+		c.distinct = make(map[string]struct{})
+	}
+	c.distinct[valueKey] = struct{}{}
+	if len(c.distinct) > cardTrackLimit {
+		c.distinctFull = true
+		c.distinct = nil
+	}
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{dict: serial.NewDictionary(), tables: make(map[string]*CollectionCatalog)}
+}
+
+// Dict returns the global attribute dictionary.
+func (cat *Catalog) Dict() *serial.Dictionary { return cat.dict }
+
+// Collection returns (creating if needed) the per-table catalog.
+func (cat *Catalog) Collection(name string) *CollectionCatalog {
+	cat.mu.Lock()
+	defer cat.mu.Unlock()
+	tc, ok := cat.tables[name]
+	if !ok {
+		tc = &CollectionCatalog{name: name, columns: make(map[uint32]*ColumnInfo)}
+		cat.tables[name] = tc
+	}
+	return tc
+}
+
+// Lookup returns the per-table catalog if it exists.
+func (cat *Catalog) Lookup(name string) (*CollectionCatalog, bool) {
+	cat.mu.RLock()
+	defer cat.mu.RUnlock()
+	tc, ok := cat.tables[name]
+	return tc, ok
+}
+
+// Collections lists catalog table names, sorted.
+func (cat *Catalog) Collections() []string {
+	cat.mu.RLock()
+	defer cat.mu.RUnlock()
+	out := make([]string, 0, len(cat.tables))
+	for n := range cat.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocCount returns the loaded document count.
+func (tc *CollectionCatalog) DocCount() int64 {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return tc.docCount
+}
+
+// NextID reserves n consecutive _id values and returns the first.
+func (tc *CollectionCatalog) NextID(n int64) int64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	id := tc.nextID
+	tc.nextID += n
+	return id
+}
+
+// Column returns the catalog record for an attribute ID, or nil.
+func (tc *CollectionCatalog) Column(attrID uint32) *ColumnInfo {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return tc.columns[attrID]
+}
+
+// ColumnsByKey returns all catalog records (one per type) for a key,
+// sorted by attribute ID.
+func (tc *CollectionCatalog) ColumnsByKey(key string) []*ColumnInfo {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	var out []*ColumnInfo
+	for _, c := range tc.columns {
+		if c.Key == key {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AttrID < out[j].AttrID })
+	return out
+}
+
+// Columns returns every column record sorted by attribute ID.
+func (tc *CollectionCatalog) Columns() []*ColumnInfo {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	out := make([]*ColumnInfo, 0, len(tc.columns))
+	for _, c := range tc.columns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AttrID < out[j].AttrID })
+	return out
+}
+
+// DirtyColumns returns columns with the dirty bit set (the materializer's
+// poll, §3.1.4).
+func (tc *CollectionCatalog) DirtyColumns() []*ColumnInfo {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	var out []*ColumnInfo
+	for _, c := range tc.columns {
+		if c.Dirty {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AttrID < out[j].AttrID })
+	return out
+}
+
+// recordObservation updates counts for one attribute occurrence during
+// load; it creates the column record on first sight (the invisible cost of
+// schema evolution, §3.2.1).
+func (tc *CollectionCatalog) recordObservation(attr serial.Attr, valueKey string) *ColumnInfo {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	col, ok := tc.columns[attr.ID]
+	if !ok {
+		col = &ColumnInfo{AttrID: attr.ID, Key: attr.Key, Type: attr.Type}
+		tc.columns[attr.ID] = col
+	}
+	col.observe(valueKey)
+	return col
+}
+
+// ensureColumn creates a catalog record for an attribute without counting
+// an occurrence (used when an UPDATE introduces a brand-new key — the
+// exact density is unknown until the next load or analyzer pass).
+func (tc *CollectionCatalog) ensureColumn(attr serial.Attr) *ColumnInfo {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	col, ok := tc.columns[attr.ID]
+	if !ok {
+		col = &ColumnInfo{AttrID: attr.ID, Key: attr.Key, Type: attr.Type}
+		tc.columns[attr.ID] = col
+	}
+	return col
+}
+
+// addDocs bumps the document count after a batch load.
+func (tc *CollectionCatalog) addDocs(n int64) {
+	tc.mu.Lock()
+	tc.docCount += n
+	tc.mu.Unlock()
+}
+
+// setDirty flags a column (under the table catalog lock).
+func (tc *CollectionCatalog) setDirty(attrID uint32, dirty bool) {
+	tc.mu.Lock()
+	if c, ok := tc.columns[attrID]; ok {
+		c.Dirty = dirty
+	}
+	tc.mu.Unlock()
+}
+
+// Latch locks out concurrent loader/materializer activity on this
+// collection; callers must Unlatch.
+func (tc *CollectionCatalog) Latch() { tc.latch.Lock() }
+
+// TryLatch acquires the latch without blocking.
+func (tc *CollectionCatalog) TryLatch() bool { return tc.latch.TryLock() }
+
+// Unlatch releases the loader/materializer latch.
+func (tc *CollectionCatalog) Unlatch() { tc.latch.Unlock() }
+
+// String summarizes the catalog (debugging, sinewcli \d output).
+func (tc *CollectionCatalog) String() string {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return fmt.Sprintf("collection %s: %d docs, %d attributes", tc.name, tc.docCount, len(tc.columns))
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// Catalog mirror tables (Figure 4): the paper keeps the catalog inside the
+// database — a global attribute dictionary plus a per-table relation. The
+// in-memory catalog is authoritative for performance; SyncCatalogTables
+// publishes a queryable snapshot so standard SQL (and the sinewcli user)
+// can inspect it exactly as Figure 4 draws it.
+const (
+	// AttributeCatalogTable is the global half: (_id, key_name, key_type).
+	AttributeCatalogTable = "sinew_attributes"
+	// columnCatalogPrefix + collection is the per-table half:
+	// (_id, count, materialized, dirty).
+	columnCatalogPrefix = "sinew_columns_"
+)
+
+// ColumnCatalogTable names the per-collection catalog mirror.
+func ColumnCatalogTable(collection string) string {
+	return columnCatalogPrefix + strings.ToLower(collection)
+}
+
+// SyncCatalogTables (re)builds the catalog mirror tables from the
+// in-memory catalog.
+func (db *DB) SyncCatalogTables() error {
+	// Global dictionary (Figure 4a).
+	if err := db.rdb.CreateTable(AttributeCatalogTable, []storage.Column{
+		{Name: "_id", Typ: types.Int, NotNull: true},
+		{Name: "key_name", Typ: types.Text, NotNull: true},
+		{Name: "key_type", Typ: types.Text, NotNull: true},
+	}, true); err != nil {
+		return err
+	}
+	if _, err := db.rdb.Exec("TRUNCATE " + AttributeCatalogTable); err != nil {
+		return err
+	}
+	attrs := db.dict().All()
+	rows := make([]storage.Row, len(attrs))
+	for i, a := range attrs {
+		rows[i] = storage.Row{
+			types.NewInt(int64(a.ID)),
+			types.NewText(a.Key),
+			types.NewText(a.Type.String()),
+		}
+	}
+	if err := db.rdb.InsertRows(AttributeCatalogTable, rows); err != nil {
+		return err
+	}
+
+	// Per-collection half (Figure 4b).
+	for _, coll := range db.cat.Collections() {
+		tc, _ := db.cat.Lookup(coll)
+		table := ColumnCatalogTable(coll)
+		if err := db.rdb.CreateTable(table, []storage.Column{
+			{Name: "_id", Typ: types.Int, NotNull: true},
+			{Name: "count", Typ: types.Int, NotNull: true},
+			{Name: "materialized", Typ: types.Bool, NotNull: true},
+			{Name: "dirty", Typ: types.Bool, NotNull: true},
+		}, true); err != nil {
+			return err
+		}
+		if _, err := db.rdb.Exec("TRUNCATE " + table); err != nil {
+			return err
+		}
+		cols := tc.Columns()
+		rows := make([]storage.Row, len(cols))
+		for i, c := range cols {
+			rows[i] = storage.Row{
+				types.NewInt(int64(c.AttrID)),
+				types.NewInt(c.Count),
+				types.NewBool(c.Materialized),
+				types.NewBool(c.Dirty),
+			}
+		}
+		if err := db.rdb.InsertRows(table, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

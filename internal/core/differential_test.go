@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// TestDifferentialPredicates cross-checks Sinew's full pipeline (loader →
+// rewriter → planner → executor → extraction UDFs) against a direct Go
+// evaluation of the same predicate over the same documents, across random
+// workloads. Any disagreement is a bug in one of the layers.
+func TestDifferentialPredicates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocs(r, 60)
+
+		db := Open(DefaultConfig())
+		if err := db.CreateCollection("d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.LoadDocuments("d", docs); err != nil {
+			t.Fatal(err)
+		}
+		// Half the runs also materialize + analyze a couple of keys so the
+		// physical/virtual split varies.
+		if r.Intn(2) == 0 {
+			for _, k := range []string{"num", "name"} {
+				if err := db.SetMaterialized("d", k, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := NewMaterializer(db).RunOnce("d"); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.RDBMS().Analyze("d"); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for i := 0; i < 8; i++ {
+			pred := randomPredicate(r)
+			sql := fmt.Sprintf(`SELECT COUNT(*) FROM d WHERE %s`, pred.sql)
+			res, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, sql, err)
+			}
+			got := res.Rows[0][0].I
+			var want int64
+			for _, doc := range docs {
+				if pred.eval(doc) {
+					want++
+				}
+			}
+			if got != want {
+				t.Fatalf("seed %d: %s\n sinew=%d reference=%d", seed, sql, got, want)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomDocs generates documents over a fixed key pool with mixed types
+// and sparsity.
+func randomDocs(r *rand.Rand, n int) []*jsonx.Doc {
+	docs := make([]*jsonx.Doc, n)
+	for i := range docs {
+		d := jsonx.NewDoc()
+		d.Set("num", jsonx.IntValue(int64(r.Intn(20))))
+		if r.Intn(4) > 0 {
+			d.Set("name", jsonx.StringValue(fmt.Sprintf("n%d", r.Intn(6))))
+		}
+		if r.Intn(2) == 0 {
+			d.Set("score", jsonx.FloatValue(float64(r.Intn(100))/4))
+		}
+		if r.Intn(3) == 0 {
+			d.Set("flag", jsonx.BoolValue(r.Intn(2) == 0))
+		}
+		switch r.Intn(3) { // multi-typed key
+		case 0:
+			d.Set("dyn", jsonx.IntValue(int64(r.Intn(10))))
+		case 1:
+			d.Set("dyn", jsonx.StringValue(fmt.Sprintf("s%d", r.Intn(4))))
+		}
+		sub := jsonx.NewDoc()
+		sub.Set("lang", jsonx.StringValue([]string{"en", "pl", "de"}[r.Intn(3)]))
+		d.Set("user", jsonx.ObjectValue(sub))
+		docs[i] = d
+	}
+	return docs
+}
+
+// predicate pairs SQL text with a reference evaluator.
+type predicate struct {
+	sql  string
+	eval func(*jsonx.Doc) bool
+}
+
+func randomPredicate(r *rand.Rand) predicate {
+	leaf := func() predicate {
+		switch r.Intn(8) {
+		case 0: // integer equality
+			v := int64(r.Intn(20))
+			return predicate{
+				sql: fmt.Sprintf("num = %d", v),
+				eval: func(d *jsonx.Doc) bool {
+					x, ok := d.Get("num")
+					return ok && x.Kind == jsonx.Int && x.I == v
+				},
+			}
+		case 1: // range
+			lo := int64(r.Intn(10))
+			hi := lo + int64(r.Intn(10))
+			return predicate{
+				sql: fmt.Sprintf("num BETWEEN %d AND %d", lo, hi),
+				eval: func(d *jsonx.Doc) bool {
+					x, ok := d.Get("num")
+					return ok && x.Kind == jsonx.Int && x.I >= lo && x.I <= hi
+				},
+			}
+		case 2: // text equality on a sparse key
+			v := fmt.Sprintf("n%d", r.Intn(6))
+			return predicate{
+				sql: fmt.Sprintf("name = '%s'", v),
+				eval: func(d *jsonx.Doc) bool {
+					x, ok := d.Get("name")
+					return ok && x.Kind == jsonx.String && x.S == v
+				},
+			}
+		case 3: // IS NULL on a sparse key
+			return predicate{
+				sql: "score IS NULL",
+				eval: func(d *jsonx.Doc) bool {
+					_, ok := d.Get("score")
+					return !ok
+				},
+			}
+		case 4: // IS NOT NULL
+			return predicate{
+				sql: "flag IS NOT NULL",
+				eval: func(d *jsonx.Doc) bool {
+					_, ok := d.Get("flag")
+					return ok
+				},
+			}
+		case 5: // multi-typed key, numeric context
+			v := int64(r.Intn(10))
+			return predicate{
+				sql: fmt.Sprintf("dyn >= %d", v),
+				eval: func(d *jsonx.Doc) bool {
+					x, ok := d.Get("dyn")
+					return ok && x.Kind == jsonx.Int && x.I >= v
+				},
+			}
+		case 6: // nested key
+			v := []string{"en", "pl", "de"}[r.Intn(3)]
+			return predicate{
+				sql: fmt.Sprintf(`"user.lang" = '%s'`, v),
+				eval: func(d *jsonx.Doc) bool {
+					x, ok := jsonx.PathGet(d, "user.lang")
+					return ok && x.Kind == jsonx.String && x.S == v
+				},
+			}
+		default: // float comparison
+			v := float64(r.Intn(100)) / 4
+			return predicate{
+				sql: fmt.Sprintf("score > %g", v),
+				eval: func(d *jsonx.Doc) bool {
+					x, ok := d.Get("score")
+					return ok && x.Kind == jsonx.Float && x.F > v
+				},
+			}
+		}
+	}
+	p := leaf()
+	for i := 0; i < r.Intn(3); i++ {
+		q := leaf()
+		if r.Intn(2) == 0 {
+			a, b := p, q
+			p = predicate{
+				sql:  fmt.Sprintf("(%s) AND (%s)", a.sql, b.sql),
+				eval: func(d *jsonx.Doc) bool { return a.eval(d) && b.eval(d) },
+			}
+		} else {
+			a, b := p, q
+			p = predicate{
+				sql:  fmt.Sprintf("(%s) OR (%s)", a.sql, b.sql),
+				eval: func(d *jsonx.Doc) bool { return a.eval(d) || b.eval(d) },
+			}
+		}
+	}
+	return p
+}

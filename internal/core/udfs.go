@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/rdbms/exec"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+	"github.com/sinewdata/sinew/internal/serial"
+)
+
+// Cost constants for the optimizer (abstract units per call). Extraction
+// from Sinew's format is one binary search plus a memory dereference
+// (Appendix B); it is far cheaper than parsing JSON text but pricier than
+// reading a physical column.
+const (
+	extractCost = 0.05
+	tojsonCost  = 1.0
+	setKeyCost  = 0.5
+)
+
+// registerUDFs installs Sinew's extraction and maintenance functions in the
+// underlying RDBMS — the same shape as the paper's Postgres UDF extension
+// (§5). All are stats-opaque: the optimizer cannot see through them, which
+// is precisely what makes virtual columns invisible to it (§3.1.1).
+func (db *DB) registerUDFs() {
+	type extractDef struct {
+		name string
+		want serial.AttrType
+		ret  types.Type
+	}
+	for _, d := range []extractDef{
+		{"sinew_extract_text", serial.TypeString, types.Text},
+		{"sinew_extract_int", serial.TypeInt, types.Int},
+		{"sinew_extract_real", serial.TypeFloat, types.Float},
+		{"sinew_extract_bool", serial.TypeBool, types.Bool},
+		{"sinew_extract_array", serial.TypeArray, types.Array},
+		{"sinew_extract_doc", serial.TypeObject, types.Bytes},
+	} {
+		d := d
+		db.rdb.RegisterFunc(&exec.FuncDef{
+			Name: d.name, MinArgs: 2, MaxArgs: 2,
+			RetType:     func([]types.Type) types.Type { return d.ret },
+			CostPerCall: extractCost,
+			Opaque:      true,
+			Eval: func(args []types.Datum) (types.Datum, error) {
+				data, key, err := extractArgs(args)
+				if err != nil {
+					return types.Datum{}, err
+				}
+				if data == nil {
+					return types.NewNull(d.ret), nil
+				}
+				v, found, err := serial.ExtractPath(data, key, d.want, db.dict())
+				if err != nil {
+					return types.Datum{}, err
+				}
+				if !found {
+					// Absent key or mismatched type: NULL, never an error
+					// (§3.2.2's graceful multi-type handling).
+					return types.NewNull(d.ret), nil
+				}
+				return datumFromJSON(v, db.dict())
+			},
+		})
+	}
+
+	// sinew_extract_any: projection with no type constraint — per §3.2.2
+	// the value is returned downcast to text, probing each attribute type
+	// observed for the key.
+	db.rdb.RegisterFunc(&exec.FuncDef{
+		Name: "sinew_extract_any", MinArgs: 2, MaxArgs: 2,
+		RetType:     func([]types.Type) types.Type { return types.Text },
+		CostPerCall: extractCost * 1.5,
+		Opaque:      true,
+		Eval: func(args []types.Datum) (types.Datum, error) {
+			data, key, err := extractArgs(args)
+			if err != nil {
+				return types.Datum{}, err
+			}
+			if data == nil {
+				return types.NewNull(types.Text), nil
+			}
+			for _, want := range []serial.AttrType{
+				serial.TypeString, serial.TypeInt, serial.TypeFloat,
+				serial.TypeBool, serial.TypeArray, serial.TypeObject,
+			} {
+				v, found, err := serial.ExtractPath(data, key, want, db.dict())
+				if err != nil {
+					return types.Datum{}, err
+				}
+				if found {
+					return types.NewText(v.String()), nil
+				}
+			}
+			return types.NewNull(types.Text), nil
+		},
+	})
+
+	// sinew_tojson reconstructs the reservoir's content as JSON text
+	// (SELECT * uses it to surface remaining virtual attributes).
+	db.rdb.RegisterFunc(&exec.FuncDef{
+		Name: "sinew_tojson", MinArgs: 1, MaxArgs: 1,
+		RetType:     func([]types.Type) types.Type { return types.Text },
+		CostPerCall: tojsonCost,
+		Opaque:      true,
+		Eval: func(args []types.Datum) (types.Datum, error) {
+			if args[0].IsNull() {
+				return types.NewNull(types.Text), nil
+			}
+			if args[0].Typ != types.Bytes {
+				return types.Datum{}, fmt.Errorf("sinew_tojson: want bytea, got %v", args[0].Typ)
+			}
+			doc, err := serial.Deserialize(args[0].Bs, db.dict())
+			if err != nil {
+				return types.Datum{}, err
+			}
+			return types.NewText(jsonx.ObjectValue(doc).String()), nil
+		},
+	})
+
+	// sinew_set_key(data, key, value) writes a key into the reservoir
+	// (UPDATEs on virtual columns); the value's SQL type picks the
+	// attribute type.
+	db.rdb.RegisterFunc(&exec.FuncDef{
+		Name: "sinew_set_key", MinArgs: 3, MaxArgs: 3,
+		RetType:     func([]types.Type) types.Type { return types.Bytes },
+		CostPerCall: setKeyCost,
+		Opaque:      true,
+		Eval: func(args []types.Datum) (types.Datum, error) {
+			data, key, err := extractArgs(args)
+			if err != nil {
+				return types.Datum{}, err
+			}
+			val := args[2]
+			doc := jsonx.NewDoc()
+			if data != nil {
+				d, err := serial.Deserialize(data, db.dict())
+				if err != nil {
+					return types.Datum{}, err
+				}
+				doc = d
+			}
+			jv, err := jsonFromDatum(val, db.dict())
+			if err != nil {
+				return types.Datum{}, err
+			}
+			if val.IsNull() {
+				// Setting NULL removes the key (absence is NULL).
+				doc.Delete(key)
+			} else {
+				// Replace any differently-typed attribute of the same key.
+				doc.Delete(key)
+				doc.Set(key, jv)
+			}
+			out, err := serial.Serialize(doc, db.dict())
+			if err != nil {
+				return types.Datum{}, err
+			}
+			return types.NewBytes(out), nil
+		},
+	})
+
+	// sinew_remove_key(data, key) strips every attribute of the key from
+	// the reservoir (the UPDATE path for dirty physical columns).
+	db.rdb.RegisterFunc(&exec.FuncDef{
+		Name: "sinew_remove_key", MinArgs: 2, MaxArgs: 2,
+		RetType:     func([]types.Type) types.Type { return types.Bytes },
+		CostPerCall: setKeyCost,
+		Opaque:      true,
+		Eval: func(args []types.Datum) (types.Datum, error) {
+			data, key, err := extractArgs(args)
+			if err != nil {
+				return types.Datum{}, err
+			}
+			if data == nil {
+				return types.NewNull(types.Bytes), nil
+			}
+			out := data
+			for _, attr := range db.dict().IDsOfKey(key) {
+				next, _, err := serial.Remove(out, attr.ID)
+				if err != nil {
+					return types.Datum{}, err
+				}
+				out = next
+			}
+			return types.NewBytes(out), nil
+		},
+	})
+
+	// sinew_match_set(_id, handle) probes a cached text-index result set
+	// (§4.3: the index search result applied as a filter).
+	db.rdb.RegisterFunc(&exec.FuncDef{
+		Name: "sinew_match_set", MinArgs: 2, MaxArgs: 2,
+		RetType:     func([]types.Type) types.Type { return types.Bool },
+		CostPerCall: 0.01,
+		Opaque:      true,
+		Eval: func(args []types.Datum) (types.Datum, error) {
+			if args[0].IsNull() || args[1].IsNull() {
+				return types.NewBool(false), nil
+			}
+			set, ok := db.lookupMatchSet(args[1].I)
+			if !ok {
+				return types.Datum{}, fmt.Errorf("sinew_match_set: unknown result set %d", args[1].I)
+			}
+			_, hit := set[args[0].I]
+			return types.NewBool(hit), nil
+		},
+	})
+}
+
+// extractArgs validates the common (data bytea, key text, ...) prefix;
+// data nil means the reservoir was NULL.
+func extractArgs(args []types.Datum) ([]byte, string, error) {
+	if args[1].IsNull() {
+		return nil, "", fmt.Errorf("sinew: extraction key must not be NULL")
+	}
+	if args[1].Typ != types.Text {
+		return nil, "", fmt.Errorf("sinew: extraction key must be text, got %v", args[1].Typ)
+	}
+	if args[0].IsNull() {
+		return nil, args[1].S, nil
+	}
+	if args[0].Typ != types.Bytes {
+		return nil, "", fmt.Errorf("sinew: reservoir argument must be bytea, got %v", args[0].Typ)
+	}
+	return args[0].Bs, args[1].S, nil
+}

@@ -1,0 +1,304 @@
+// Package bsonlike implements a BSON-style binary document encoding for the
+// MongoDB baseline of §6. Like BSON it is sequential — element type byte,
+// null-terminated key name, then the value — so locating a key scans
+// elements from the start (checking key existence is cheaper than decoding
+// a value, matching the projection behaviour the paper observes in §6.3),
+// and the per-element type-plus-keyname overhead can make records larger
+// than the original JSON (§6.2).
+package bsonlike
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// Element type tags (a subset of BSON's).
+const (
+	tagFloat  = 0x01
+	tagString = 0x02
+	tagDoc    = 0x03
+	tagArray  = 0x04
+	tagBool   = 0x08
+	tagNull   = 0x0a
+	tagInt64  = 0x12
+)
+
+// Encode serializes a document: int32 total length, elements, 0x00
+// terminator.
+func Encode(doc *jsonx.Doc) ([]byte, error) {
+	body := make([]byte, 4) // length patched below
+	var err error
+	for _, m := range doc.Members() {
+		body, err = appendElement(body, m.Key, m.Val)
+		if err != nil {
+			return nil, err
+		}
+	}
+	body = append(body, 0x00)
+	binary.LittleEndian.PutUint32(body, uint32(len(body)))
+	return body, nil
+}
+
+func appendElement(out []byte, key string, v jsonx.Value) ([]byte, error) {
+	switch v.Kind {
+	case jsonx.Null:
+		out = append(out, tagNull)
+		out = appendCString(out, key)
+		return out, nil
+	case jsonx.Bool:
+		out = append(out, tagBool)
+		out = appendCString(out, key)
+		if v.B {
+			return append(out, 1), nil
+		}
+		return append(out, 0), nil
+	case jsonx.Int:
+		out = append(out, tagInt64)
+		out = appendCString(out, key)
+		return binary.LittleEndian.AppendUint64(out, uint64(v.I)), nil
+	case jsonx.Float:
+		out = append(out, tagFloat)
+		out = appendCString(out, key)
+		return binary.LittleEndian.AppendUint64(out, math.Float64bits(v.F)), nil
+	case jsonx.String:
+		out = append(out, tagString)
+		out = appendCString(out, key)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v.S)+1))
+		out = append(out, v.S...)
+		return append(out, 0x00), nil
+	case jsonx.Object:
+		sub, err := Encode(v.Obj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tagDoc)
+		out = appendCString(out, key)
+		return append(out, sub...), nil
+	case jsonx.Array:
+		// BSON arrays are documents keyed "0", "1", ...
+		arrDoc := jsonx.NewDoc()
+		for i, e := range v.A {
+			arrDoc.Set(itoa(i), e)
+		}
+		sub, err := Encode(arrDoc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tagArray)
+		out = appendCString(out, key)
+		return append(out, sub...), nil
+	default:
+		return nil, fmt.Errorf("bsonlike: cannot encode %v", v.Kind)
+	}
+}
+
+func appendCString(out []byte, s string) []byte {
+	out = append(out, s...)
+	return append(out, 0x00)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// walker steps through elements sequentially.
+type walker struct {
+	b   []byte
+	pos int
+	end int
+}
+
+func newWalker(data []byte) (*walker, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("bsonlike: record too short")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n > len(data) || n < 5 {
+		return nil, fmt.Errorf("bsonlike: bad record length %d", n)
+	}
+	return &walker{b: data, pos: 4, end: n - 1}, nil
+}
+
+// next returns the next element's tag, key, and raw value bytes.
+func (w *walker) next() (tag byte, key string, val []byte, ok bool, err error) {
+	if w.pos >= w.end {
+		return 0, "", nil, false, nil
+	}
+	tag = w.b[w.pos]
+	w.pos++
+	// Key cstring.
+	start := w.pos
+	for w.pos < w.end && w.b[w.pos] != 0x00 {
+		w.pos++
+	}
+	if w.pos >= w.end+1 {
+		return 0, "", nil, false, fmt.Errorf("bsonlike: unterminated key")
+	}
+	key = string(w.b[start:w.pos])
+	w.pos++ // skip NUL
+	vstart := w.pos
+	switch tag {
+	case tagNull:
+	case tagBool:
+		w.pos++
+	case tagInt64, tagFloat:
+		w.pos += 8
+	case tagString:
+		if w.pos+4 > w.end {
+			return 0, "", nil, false, fmt.Errorf("bsonlike: truncated string")
+		}
+		n := int(binary.LittleEndian.Uint32(w.b[w.pos:]))
+		w.pos += 4 + n
+	case tagDoc, tagArray:
+		if w.pos+4 > w.end {
+			return 0, "", nil, false, fmt.Errorf("bsonlike: truncated subdocument")
+		}
+		n := int(binary.LittleEndian.Uint32(w.b[w.pos:]))
+		w.pos += n
+	default:
+		return 0, "", nil, false, fmt.Errorf("bsonlike: unknown tag 0x%02x", tag)
+	}
+	if w.pos > w.end {
+		return 0, "", nil, false, fmt.Errorf("bsonlike: truncated element %q", key)
+	}
+	return tag, key, w.b[vstart:w.pos], true, nil
+}
+
+// decodeValue converts raw element bytes into a jsonx value.
+func decodeValue(tag byte, val []byte) (jsonx.Value, error) {
+	switch tag {
+	case tagNull:
+		return jsonx.NullValue(), nil
+	case tagBool:
+		return jsonx.BoolValue(val[0] != 0), nil
+	case tagInt64:
+		return jsonx.IntValue(int64(binary.LittleEndian.Uint64(val))), nil
+	case tagFloat:
+		return jsonx.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(val))), nil
+	case tagString:
+		n := int(binary.LittleEndian.Uint32(val))
+		return jsonx.StringValue(string(val[4 : 4+n-1])), nil
+	case tagDoc:
+		doc, err := Decode(val)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.ObjectValue(doc), nil
+	case tagArray:
+		doc, err := Decode(val)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		elems := make([]jsonx.Value, doc.Len())
+		for i, m := range doc.Members() {
+			elems[i] = m.Val
+		}
+		return jsonx.ArrayValue(elems...), nil
+	default:
+		return jsonx.Value{}, fmt.Errorf("bsonlike: unknown tag 0x%02x", tag)
+	}
+}
+
+// Decode reconstructs the full document.
+func Decode(data []byte) (*jsonx.Doc, error) {
+	w, err := newWalker(data)
+	if err != nil {
+		return nil, err
+	}
+	doc := jsonx.NewDoc()
+	for {
+		tag, key, val, ok, err := w.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return doc, nil
+		}
+		v, err := decodeValue(tag, val)
+		if err != nil {
+			return nil, err
+		}
+		doc.Set(key, v)
+	}
+}
+
+// Has reports whether a (possibly dotted) path exists, scanning keys
+// without decoding values — the cheap existence check of §6.3.
+func Has(data []byte, path string) (bool, error) {
+	head, rest := splitPath(path)
+	w, err := newWalker(data)
+	if err != nil {
+		return false, err
+	}
+	for {
+		tag, key, val, ok, err := w.next()
+		if err != nil || !ok {
+			return false, err
+		}
+		if key != head {
+			continue
+		}
+		if rest == "" {
+			return tag != tagNull, nil
+		}
+		if tag != tagDoc {
+			return false, nil
+		}
+		return Has(val, rest)
+	}
+}
+
+// ExtractPath decodes the value at a dotted path; found=false when absent
+// or when an intermediate step is not a document.
+func ExtractPath(data []byte, path string) (jsonx.Value, bool, error) {
+	head, rest := splitPath(path)
+	w, err := newWalker(data)
+	if err != nil {
+		return jsonx.Value{}, false, err
+	}
+	for {
+		tag, key, val, ok, err := w.next()
+		if err != nil || !ok {
+			return jsonx.Value{}, false, err
+		}
+		if key != head {
+			continue
+		}
+		if rest != "" {
+			if tag != tagDoc {
+				return jsonx.Value{}, false, nil
+			}
+			return ExtractPath(val, rest)
+		}
+		v, err := decodeValue(tag, val)
+		if err != nil {
+			return jsonx.Value{}, false, err
+		}
+		if v.Kind == jsonx.Null {
+			return jsonx.Value{}, false, nil
+		}
+		return v, true, nil
+	}
+}
+
+func splitPath(path string) (head, rest string) {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			return path[:i], path[i+1:]
+		}
+	}
+	return path, ""
+}

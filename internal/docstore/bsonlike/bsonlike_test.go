@@ -1,0 +1,145 @@
+package bsonlike
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+func doc(t *testing.T, s string) *jsonx.Doc {
+	t.Helper()
+	d, err := jsonx.ParseDocument([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []string{
+		`{"a":1,"b":2.5,"c":"text","d":true,"e":false,"f":null}`,
+		`{"nested":{"x":{"y":[1,2,3]}}}`,
+		`{"arr":[1,"two",false,null,{"k":"v"}]}`,
+		`{}`,
+		`{"unicode":"héllo 日本","empty":""}`,
+	}
+	for _, s := range cases {
+		in := doc(t, s)
+		data, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		out, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s, err)
+		}
+		if !jsonx.ObjectValue(in).Equal(jsonx.ObjectValue(out)) {
+			t.Errorf("round trip mismatch for %s:\n got %v", s, jsonx.ObjectValue(out))
+		}
+	}
+}
+
+func TestExtractPath(t *testing.T) {
+	data, _ := Encode(doc(t, `{"a":1,"user":{"id":7,"geo":{"city":"nyc"}},"n":null}`))
+	v, ok, err := ExtractPath(data, "user.id")
+	if err != nil || !ok || v.I != 7 {
+		t.Fatalf("user.id = %v %v %v", v, ok, err)
+	}
+	v, ok, _ = ExtractPath(data, "user.geo.city")
+	if !ok || v.S != "nyc" {
+		t.Fatalf("city = %v %v", v, ok)
+	}
+	if _, ok, _ := ExtractPath(data, "missing"); ok {
+		t.Error("missing key found")
+	}
+	if _, ok, _ := ExtractPath(data, "a.b"); ok {
+		t.Error("descent through a scalar should fail")
+	}
+	// Explicit null reads as absent.
+	if _, ok, _ := ExtractPath(data, "n"); ok {
+		t.Error("null value should read as absent")
+	}
+}
+
+func TestHas(t *testing.T) {
+	data, _ := Encode(doc(t, `{"a":1,"user":{"id":7},"n":null}`))
+	cases := map[string]bool{
+		"a": true, "user": true, "user.id": true,
+		"missing": false, "n": false, "user.missing": false,
+	}
+	for path, want := range cases {
+		got, err := Has(data, path)
+		if err != nil || got != want {
+			t.Errorf("Has(%q) = %v %v, want %v", path, got, err, want)
+		}
+	}
+}
+
+func TestCorruptInputsDontPanic(t *testing.T) {
+	good, _ := Encode(mustDoc(t))
+	for cut := 0; cut < len(good); cut++ {
+		_, _ = Decode(good[:cut])
+		_, _, _ = ExtractPath(good[:cut], "a")
+	}
+	if _, err := Decode([]byte{1, 0, 0}); err == nil {
+		t.Error("short record should error")
+	}
+	// Length field larger than the data.
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad length should error")
+	}
+}
+
+func mustDoc(t *testing.T) *jsonx.Doc {
+	return doc(t, `{"a":1,"s":"hello","nested":{"x":true}}`)
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := jsonx.NewDoc()
+		for i := 0; i < 1+r.Intn(10); i++ {
+			key := string(rune('a' + r.Intn(26)))
+			switch r.Intn(6) {
+			case 0:
+				d.Set(key, jsonx.IntValue(r.Int63()-r.Int63()))
+			case 1:
+				d.Set(key, jsonx.FloatValue(r.NormFloat64()))
+			case 2:
+				d.Set(key, jsonx.StringValue(randText(r)))
+			case 3:
+				d.Set(key, jsonx.BoolValue(r.Intn(2) == 0))
+			case 4:
+				d.Set(key, jsonx.ArrayValue(jsonx.IntValue(1), jsonx.StringValue("x")))
+			case 5:
+				sub := jsonx.NewDoc()
+				sub.Set("inner", jsonx.IntValue(int64(r.Intn(100))))
+				d.Set(key, jsonx.ObjectValue(sub))
+			}
+		}
+		data, err := Encode(d)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return jsonx.ObjectValue(d).Equal(jsonx.ObjectValue(out))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randText(r *rand.Rand) string {
+	b := make([]byte, r.Intn(16))
+	for i := range b {
+		b[i] = byte(32 + r.Intn(90))
+	}
+	return string(b)
+}

@@ -1,0 +1,213 @@
+package docstore
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+func doc(t *testing.T, s string) *jsonx.Doc {
+	t.Helper()
+	d, err := jsonx.ParseDocument([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func seedStore(t *testing.T) (*Store, *Collection) {
+	t.Helper()
+	s := Open()
+	c := s.Create("users")
+	docs := []string{
+		`{"name":"ada","age":36,"langs":["asm","math"],"addr":{"city":"london"}}`,
+		`{"name":"grace","age":85,"langs":["cobol"],"addr":{"city":"nyc"}}`,
+		`{"name":"alan","age":41,"langs":["asm"]}`,
+		`{"name":"kurt","score":9.5}`,
+	}
+	for _, d := range docs {
+		if _, err := c.Insert(doc(t, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, c
+}
+
+func TestInsertAssignsIDs(t *testing.T) {
+	_, c := seedStore(t)
+	rows, err := c.Find(Eq{Path: "name", Val: jsonx.StringValue("ada")}, []string{"_id"})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	if rows[0][0].I != 0 {
+		t.Errorf("first _id = %v", rows[0][0])
+	}
+	if c.Count() != 4 {
+		t.Errorf("count = %d", c.Count())
+	}
+}
+
+func TestFilters(t *testing.T) {
+	_, c := seedStore(t)
+	cases := []struct {
+		name string
+		f    Filter
+		want int64
+	}{
+		{"eq", Eq{Path: "name", Val: jsonx.StringValue("alan")}, 1},
+		{"eq miss", Eq{Path: "name", Val: jsonx.StringValue("x")}, 0},
+		{"eq nested", Eq{Path: "addr.city", Val: jsonx.StringValue("nyc")}, 1},
+		{"range", Range{Path: "age", Lo: 40, Hi: 90}, 2},
+		{"range non-numeric miss", Range{Path: "name", Lo: 0, Hi: 1}, 0},
+		{"exists", Exists{Path: "score"}, 1},
+		{"exists nested", Exists{Path: "addr.city"}, 2},
+		{"contains", Contains{Path: "langs", Val: jsonx.StringValue("asm")}, 2},
+		{"contains miss", Contains{Path: "langs", Val: jsonx.StringValue("go")}, 0},
+		{"and", And{Range{Path: "age", Lo: 0, Hi: 50}, Contains{Path: "langs", Val: jsonx.StringValue("asm")}}, 2},
+		{"all", All{}, 4},
+	}
+	for _, cse := range cases {
+		n, err := c.CountWhere(cse.f)
+		if err != nil {
+			t.Fatalf("%s: %v", cse.name, err)
+		}
+		if n != cse.want {
+			t.Errorf("%s: %d, want %d", cse.name, n, cse.want)
+		}
+	}
+}
+
+func TestProjectionAbsentIsNull(t *testing.T) {
+	_, c := seedStore(t)
+	rows, err := c.Find(All{}, []string{"name", "score"})
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+	var nulls int
+	for _, r := range rows {
+		if r[1].Kind == jsonx.Null {
+			nulls++
+		}
+	}
+	if nulls != 3 {
+		t.Errorf("null scores = %d, want 3", nulls)
+	}
+}
+
+func TestGroupSumAndDistinct(t *testing.T) {
+	s := Open()
+	c := s.Create("t")
+	for i := 0; i < 30; i++ {
+		d := jsonx.NewDoc()
+		d.Set("k", jsonx.IntValue(int64(i%3)))
+		d.Set("v", jsonx.IntValue(int64(i)))
+		c.Insert(d)
+	}
+	groups, err := c.GroupSum(All{}, "k", "")
+	if err != nil || len(groups) != 3 || groups["0"] != 10 {
+		t.Fatalf("groups = %v err=%v", groups, err)
+	}
+	sums, _ := c.GroupSum(All{}, "k", "v")
+	if sums["0"] != 135 { // 0+3+...+27
+		t.Errorf("sum k=0 -> %v", sums["0"])
+	}
+	distinct, _ := c.DistinctValues(All{}, "k")
+	if len(distinct) != 3 {
+		t.Errorf("distinct = %v", distinct)
+	}
+}
+
+func TestUpdateSet(t *testing.T) {
+	_, c := seedStore(t)
+	n, err := c.UpdateSet(Eq{Path: "name", Val: jsonx.StringValue("ada")}, "age", jsonx.IntValue(37))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	rows, _ := c.Find(Eq{Path: "name", Val: jsonx.StringValue("ada")}, []string{"age"})
+	if rows[0][0].I != 37 {
+		t.Errorf("age = %v", rows[0][0])
+	}
+	// Setting a dotted path creates intermediates.
+	c.UpdateSet(Eq{Path: "name", Val: jsonx.StringValue("kurt")}, "addr.city", jsonx.StringValue("vienna"))
+	n, _ = c.CountWhere(Eq{Path: "addr.city", Val: jsonx.StringValue("vienna")})
+	if n != 1 {
+		t.Error("dotted update failed")
+	}
+}
+
+func TestJoinViaTemp(t *testing.T) {
+	s := Open()
+	left := s.Create("orders")
+	right := s.Create("users")
+	for i := 0; i < 20; i++ {
+		d := jsonx.NewDoc()
+		d.Set("user", jsonx.StringValue([]string{"ada", "grace"}[i%2]))
+		d.Set("amount", jsonx.IntValue(int64(i)))
+		left.Insert(d)
+	}
+	for _, name := range []string{"ada", "grace", "alan"} {
+		d := jsonx.NewDoc()
+		d.Set("name", jsonx.StringValue(name))
+		right.Insert(d)
+	}
+	out, err := s.JoinViaTemp(left, right, "user", "name", Range{Path: "amount", Lo: 0, Hi: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drop(out.Name())
+	if out.Count() != 10 {
+		t.Errorf("joined = %d, want 10", out.Count())
+	}
+	// Joined docs carry both sides.
+	rows, _ := out.Find(All{}, []string{"left.user", "right.name"})
+	for _, r := range rows {
+		if !r[0].Equal(r[1]) {
+			t.Errorf("join mismatch: %v vs %v", r[0], r[1])
+		}
+	}
+}
+
+func TestScratchBudgetExhaustion(t *testing.T) {
+	s := Open()
+	s.ScratchBudget = 500
+	left := s.Create("l")
+	right := s.Create("r")
+	for i := 0; i < 50; i++ {
+		d := jsonx.NewDoc()
+		d.Set("k", jsonx.IntValue(int64(i)))
+		d.Set("pad", jsonx.StringValue("xxxxxxxxxxxxxxxxxxxxxxxx"))
+		left.Insert(d)
+		e := jsonx.NewDoc()
+		e.Set("k", jsonx.IntValue(int64(i)))
+		right.Insert(e)
+	}
+	_, err := s.JoinViaTemp(left, right, "k", "k", All{})
+	if !errors.Is(err, ErrScratchExhausted) {
+		t.Fatalf("err = %v, want scratch exhaustion", err)
+	}
+	// Dropped temps release their accounting.
+	if s.ScratchUsed() != 0 {
+		t.Errorf("scratch used after failure = %d", s.ScratchUsed())
+	}
+}
+
+func TestBytesReadAccounting(t *testing.T) {
+	s, c := seedStore(t)
+	s.ResetIO()
+	c.Find(All{}, []string{"name"})
+	if s.BytesRead() != c.SizeBytes() {
+		t.Errorf("read %d, size %d", s.BytesRead(), c.SizeBytes())
+	}
+}
+
+func TestTotalSizeExcludesTemps(t *testing.T) {
+	s, c := seedStore(t)
+	base := s.TotalSizeBytes()
+	tmp := s.CreateTemp("scratch")
+	tmp.InsertRaw(make([]byte, 100))
+	if s.TotalSizeBytes() != base {
+		t.Error("temp collections should not count toward database size")
+	}
+	_ = c
+}

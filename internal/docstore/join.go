@@ -1,0 +1,125 @@
+package docstore
+
+import (
+	"fmt"
+
+	"github.com/sinewdata/sinew/internal/docstore/bsonlike"
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// JoinViaTemp performs the inner equi-join the way a MongoDB 2.4 client
+// must (§6.5): there is no native join, so the "user code" materializes
+// explicit intermediate collections — one holding the filtered left side
+// keyed by the join value, and one holding the joined output — consuming
+// large amounts of scratch space. The result collection name is returned;
+// it counts against the store's scratch budget, and exhausting the budget
+// aborts with ErrScratchExhausted (the paper's 64M-record DNF).
+//
+// leftFilter may be All{}. The output documents have members "left" and
+// "right" holding the two source documents.
+func (s *Store) JoinViaTemp(left, right *Collection, leftPath, rightPath string, leftFilter Filter) (*Collection, error) {
+	// Phase 1: materialize the filtered left side into a temp collection,
+	// re-keyed by join value (emulating the map phase of the JavaScript
+	// map-reduce approach).
+	phase1 := s.CreateTemp(left.name + "_join_phase1")
+	defer s.Drop(phase1.name)
+	// An in-memory index over the temp collection positions by join key;
+	// MongoDB would use the temp collection's _id index the same way.
+	index := make(map[string][]int64)
+	err := left.FindRaw(leftFilter, func(data []byte) error {
+		key, ok, err := bsonlike.ExtractPath(data, leftPath)
+		if err != nil || !ok {
+			return err
+		}
+		// The map phase re-emits each document through user code: decode
+		// and re-encode rather than a raw byte copy (MongoDB 2.4's
+		// JavaScript map-reduce pays this on every record).
+		doc, err := bsonlike.Decode(data)
+		if err != nil {
+			return err
+		}
+		enc, err := bsonlike.Encode(doc)
+		if err != nil {
+			return err
+		}
+		pos, err := phase1.InsertRaw(enc)
+		if err != nil {
+			return err
+		}
+		index[joinKey(key)] = append(index[joinKey(key)], pos)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("docstore: join phase 1: %w", err)
+	}
+
+	// Phase 2: re-key the entire right side into a second temp collection
+	// (the map-reduce emit step has no filter to push, so the whole
+	// collection is copied — this is where the scratch space explodes on
+	// large datasets, §6.5).
+	phase2 := s.CreateTemp(right.name + "_join_phase2")
+	defer s.Drop(phase2.name)
+	err = right.FindRaw(All{}, func(rdata []byte) error {
+		doc, err := bsonlike.Decode(rdata)
+		if err != nil {
+			return err
+		}
+		enc, err := bsonlike.Encode(doc)
+		if err != nil {
+			return err
+		}
+		_, err = phase2.InsertRaw(enc)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("docstore: join phase 2: %w", err)
+	}
+
+	// Phase 3: stream the re-keyed right side, probe the left temp
+	// collection, and materialize joined pairs into the output.
+	out := s.CreateTemp(left.name + "_" + right.name + "_joined")
+	err = phase2.FindRaw(All{}, func(rdata []byte) error {
+		key, ok, err := bsonlike.ExtractPath(rdata, rightPath)
+		if err != nil || !ok {
+			return err
+		}
+		for _, pos := range index[joinKey(key)] {
+			ldata := phase1.docAt(pos)
+			ldoc, err := bsonlike.Decode(ldata)
+			if err != nil {
+				return err
+			}
+			rdoc, err := bsonlike.Decode(rdata)
+			if err != nil {
+				return err
+			}
+			joined := jsonx.NewDoc()
+			joined.Set("left", jsonx.ObjectValue(ldoc))
+			joined.Set("right", jsonx.ObjectValue(rdoc))
+			if _, err := out.Insert(joined); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		s.Drop(out.name)
+		return nil, fmt.Errorf("docstore: join phase 3: %w", err)
+	}
+	return out, nil
+}
+
+func (c *Collection) docAt(pos int64) []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docs[pos]
+}
+
+// joinKey canonicalizes a join value so 2 and 2.0 collide, matching the
+// dynamic-typing equality used elsewhere.
+func joinKey(v jsonx.Value) string {
+	if f, ok := v.AsFloat(); ok {
+		return fmt.Sprintf("n:%g", f)
+	}
+	return "v:" + v.String()
+}

@@ -1,0 +1,460 @@
+// Package docstore is an embedded document database standing in for
+// MongoDB in the paper's evaluation (§6.1): collections of BSON-like binary
+// documents, filter-based finds, aggregation primitives, in-place updates
+// without transactional guarantees, and — crucially — no native join. Joins
+// are performed client-side through explicitly materialized intermediate
+// collections whose scratch space is budgeted, reproducing the Figure 7
+// behaviour where the join runs out of disk at the large scale.
+package docstore
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sinewdata/sinew/internal/docstore/bsonlike"
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// Store is a set of collections.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+	// ScratchBudget caps total bytes written to temporary collections
+	// (CreateTemp); 0 means unlimited. Exceeding it returns
+	// ErrScratchExhausted, the stand-in for "ran out of disk space".
+	ScratchBudget int64
+	scratchUsed   int64
+	bytesRead     int64
+}
+
+// BytesRead reports cumulative record bytes visited by reads (the I/O
+// model input, mirroring the RDBMS pager).
+func (s *Store) BytesRead() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytesRead
+}
+
+// ResetIO zeroes the read counter between benchmark phases.
+func (s *Store) ResetIO() {
+	s.mu.Lock()
+	s.bytesRead = 0
+	s.mu.Unlock()
+}
+
+func (s *Store) addRead(n int64) {
+	s.mu.Lock()
+	s.bytesRead += n
+	s.mu.Unlock()
+}
+
+// ErrScratchExhausted reports that intermediate collections exceeded the
+// configured scratch budget.
+var ErrScratchExhausted = fmt.Errorf("docstore: out of scratch disk space for intermediate collections")
+
+// Open creates an empty store.
+func Open() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Collection holds documents as encoded byte records.
+type Collection struct {
+	mu     sync.RWMutex
+	name   string
+	docs   [][]byte
+	nextID int64
+	temp   bool
+	store  *Store
+}
+
+// Create makes (or returns) a collection.
+func (s *Store) Create(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok {
+		return c
+	}
+	c := &Collection{name: name, store: s}
+	s.collections[name] = c
+	return c
+}
+
+// Collection returns an existing collection or nil.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collections[name]
+}
+
+// CreateTemp makes an intermediate collection charged against the scratch
+// budget (client-side joins use these).
+func (s *Store) CreateTemp(name string) *Collection {
+	c := s.Create(name)
+	c.temp = true
+	return c
+}
+
+// Drop removes a collection, releasing its scratch accounting if temp.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok && c.temp {
+		s.scratchUsed -= c.SizeBytes()
+	}
+	delete(s.collections, name)
+}
+
+// ScratchUsed reports current temp-collection bytes.
+func (s *Store) ScratchUsed() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scratchUsed
+}
+
+// TotalSizeBytes sums the stored size of all non-temp collections (the
+// database footprint for Table 3).
+func (s *Store) TotalSizeBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, c := range s.collections {
+		if !c.temp {
+			total += c.SizeBytes()
+		}
+	}
+	return total
+}
+
+// Insert encodes and stores a document, assigning a sequential _id if none
+// is present. It returns the document's position.
+func (c *Collection) Insert(doc *jsonx.Doc) (int64, error) {
+	if !doc.Has("_id") {
+		c.mu.Lock()
+		id := c.nextID
+		c.nextID++
+		c.mu.Unlock()
+		doc.Set("_id", jsonx.IntValue(id))
+	}
+	data, err := bsonlike.Encode(doc)
+	if err != nil {
+		return 0, err
+	}
+	return c.InsertRaw(data)
+}
+
+// InsertRaw stores an already-encoded document.
+func (c *Collection) InsertRaw(data []byte) (int64, error) {
+	if c.temp {
+		c.store.mu.Lock()
+		if c.store.ScratchBudget > 0 && c.store.scratchUsed+int64(len(data)) > c.store.ScratchBudget {
+			c.store.mu.Unlock()
+			return 0, ErrScratchExhausted
+		}
+		c.store.scratchUsed += int64(len(data))
+		c.store.mu.Unlock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs = append(c.docs, data)
+	return int64(len(c.docs) - 1), nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Count returns the number of documents.
+func (c *Collection) Count() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return int64(len(c.docs))
+}
+
+// SizeBytes returns the stored byte size of the collection.
+func (c *Collection) SizeBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int64
+	for _, d := range c.docs {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// ---------- Filters ----------
+
+// Filter matches encoded documents. Implementations evaluate directly on
+// the BSON-like bytes (as MongoDB does), so existence tests avoid decoding.
+type Filter interface {
+	Matches(data []byte) (bool, error)
+}
+
+// All matches every document.
+type All struct{}
+
+// Matches implements Filter.
+func (All) Matches([]byte) (bool, error) { return true, nil }
+
+// Eq matches path == value.
+type Eq struct {
+	Path string
+	Val  jsonx.Value
+}
+
+// Matches implements Filter.
+func (f Eq) Matches(data []byte) (bool, error) {
+	v, ok, err := bsonlike.ExtractPath(data, f.Path)
+	if err != nil || !ok {
+		return false, err
+	}
+	return v.Equal(f.Val), nil
+}
+
+// Range matches lo <= path <= hi for numeric values. The value is
+// extracted once and compared twice (the paper notes MongoDB precomputes
+// the value for BETWEEN-style predicates, §6.4).
+type Range struct {
+	Path   string
+	Lo, Hi float64
+}
+
+// Matches implements Filter.
+func (f Range) Matches(data []byte) (bool, error) {
+	v, ok, err := bsonlike.ExtractPath(data, f.Path)
+	if err != nil || !ok {
+		return false, err
+	}
+	x, numeric := v.AsFloat()
+	if !numeric {
+		return false, nil
+	}
+	return x >= f.Lo && x <= f.Hi, nil
+}
+
+// Exists matches documents where the path is present (and non-null).
+type Exists struct{ Path string }
+
+// Matches implements Filter.
+func (f Exists) Matches(data []byte) (bool, error) {
+	return bsonlike.Has(data, f.Path)
+}
+
+// Contains matches documents whose array at Path contains Val.
+type Contains struct {
+	Path string
+	Val  jsonx.Value
+}
+
+// Matches implements Filter.
+func (f Contains) Matches(data []byte) (bool, error) {
+	v, ok, err := bsonlike.ExtractPath(data, f.Path)
+	if err != nil || !ok {
+		return false, err
+	}
+	if v.Kind != jsonx.Array {
+		return false, nil
+	}
+	for _, e := range v.A {
+		if e.Equal(f.Val) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// And conjoins filters.
+type And []Filter
+
+// Matches implements Filter.
+func (fs And) Matches(data []byte) (bool, error) {
+	for _, f := range fs {
+		ok, err := f.Matches(data)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// ---------- Reads ----------
+
+// Project extracts the given paths from each matching document; a nil
+// paths slice decodes whole documents.
+func (c *Collection) Find(filter Filter, paths []string) ([][]jsonx.Value, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.store != nil {
+		var n int64
+		for _, data := range c.docs {
+			n += int64(len(data))
+		}
+		c.store.addRead(n)
+	}
+	var out [][]jsonx.Value
+	for _, data := range c.docs {
+		ok, err := filter.Matches(data)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if paths == nil {
+			doc, err := bsonlike.Decode(data)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, []jsonx.Value{jsonx.ObjectValue(doc)})
+			continue
+		}
+		row := make([]jsonx.Value, len(paths))
+		for i, p := range paths {
+			v, found, err := bsonlike.ExtractPath(data, p)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				row[i] = v
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FindRaw streams matching raw records to fn (join machinery uses this to
+// avoid decode costs it wouldn't pay in MongoDB either).
+func (c *Collection) FindRaw(filter Filter, fn func(data []byte) error) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.store != nil {
+		var n int64
+		for _, data := range c.docs {
+			n += int64(len(data))
+		}
+		c.store.addRead(n)
+	}
+	for _, data := range c.docs {
+		ok, err := filter.Matches(data)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountWhere counts matches without decoding.
+func (c *Collection) CountWhere(filter Filter) (int64, error) {
+	var n int64
+	err := c.FindRaw(filter, func([]byte) error { n++; return nil })
+	return n, err
+}
+
+// ---------- Aggregation primitives ----------
+
+// GroupSum groups matching documents by keyPath and sums sumPath per group
+// (the aggregation-pipeline stand-in used for NoBench Q10).
+func (c *Collection) GroupSum(filter Filter, keyPath, sumPath string) (map[string]float64, error) {
+	groups := make(map[string]float64)
+	err := c.FindRaw(filter, func(data []byte) error {
+		k, ok, err := bsonlike.ExtractPath(data, keyPath)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		var add float64
+		if sumPath == "" {
+			add = 1 // count
+		} else {
+			v, ok, err := bsonlike.ExtractPath(data, sumPath)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			f, numeric := v.AsFloat()
+			if !numeric {
+				return nil
+			}
+			add = f
+		}
+		groups[k.String()] += add
+		return nil
+	})
+	return groups, err
+}
+
+// DistinctValues returns the set of distinct values at keyPath among
+// matching documents.
+func (c *Collection) DistinctValues(filter Filter, keyPath string) (map[string]struct{}, error) {
+	out := make(map[string]struct{})
+	err := c.FindRaw(filter, func(data []byte) error {
+		v, ok, err := bsonlike.ExtractPath(data, keyPath)
+		if err != nil || !ok {
+			return err
+		}
+		out[v.String()] = struct{}{}
+		return nil
+	})
+	return out, err
+}
+
+// ---------- Updates ----------
+
+// UpdateSet sets path = val on every matching document, rewriting records
+// in place. No transactional guarantees: a failure mid-way leaves earlier
+// updates applied (MongoDB 2.4 semantics the paper benchmarks against).
+func (c *Collection) UpdateSet(filter Filter, path string, val jsonx.Value) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var updated int64
+	for i, data := range c.docs {
+		ok, err := filter.Matches(data)
+		if err != nil {
+			return updated, err
+		}
+		if !ok {
+			continue
+		}
+		doc, err := bsonlike.Decode(data)
+		if err != nil {
+			return updated, err
+		}
+		setPath(doc, path, val)
+		enc, err := bsonlike.Encode(doc)
+		if err != nil {
+			return updated, err
+		}
+		c.docs[i] = enc
+		updated++
+	}
+	return updated, nil
+}
+
+// setPath sets a dotted path, creating intermediate documents.
+func setPath(doc *jsonx.Doc, path string, val jsonx.Value) {
+	for i := 0; i < len(path); i++ {
+		if path[i] != '.' {
+			continue
+		}
+		head, rest := path[:i], path[i+1:]
+		sub, ok := doc.Get(head)
+		if !ok || sub.Kind != jsonx.Object {
+			nd := jsonx.NewDoc()
+			doc.Set(head, jsonx.ObjectValue(nd))
+			setPath(nd, rest, val)
+			return
+		}
+		setPath(sub.Obj, rest, val)
+		return
+	}
+	doc.Set(path, val)
+}

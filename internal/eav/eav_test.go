@@ -1,0 +1,157 @@
+package eav
+
+import (
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+func seed(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if err := db.CreateCollection("web"); err != nil {
+		t.Fatal(err)
+	}
+	var docs []*jsonx.Doc
+	for _, s := range []string{
+		`{"url":"a.com","hits":22,"country":"pl","tags":["x","y"],"geo":{"lat":1.5,"city":"krk"}}`,
+		`{"url":"b.com","hits":15,"owner":"smith","tags":["y"]}`,
+		`{"url":"c.com","hits":30,"country":"us"}`,
+	} {
+		d, err := jsonx.ParseDocument([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	n, err := db.LoadDocuments("web", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triples: doc1: url,hits,country,tags×2,geo.lat,geo.city = 7
+	// doc2: url,hits,owner,tags = 4; doc3: url,hits,country = 3
+	if n != 14 {
+		t.Fatalf("triples = %d", n)
+	}
+	if err := db.Analyze("web"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestShreddingCounts(t *testing.T) {
+	db := seed(t)
+	if got := db.TripleCount("web"); got != 14 {
+		t.Errorf("TripleCount = %d", got)
+	}
+	if db.SizeBytes("web") <= 0 {
+		t.Error("size should be positive")
+	}
+}
+
+func TestProjectKeys(t *testing.T) {
+	db := seed(t)
+	res, err := db.ProjectKeys("web", "url", "hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Inner-join semantics drop objects missing a key.
+	res, err = db.ProjectKeys("web", "url", "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("url+owner rows = %d, want 1", len(res.Rows))
+	}
+	// Nested dotted keys are plain attribute names after flattening.
+	res, err = db.ProjectKeys("web", "geo.lat", "geo.city")
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("nested projection rows = %d err=%v", len(res.Rows), err)
+	}
+	if _, err := db.ProjectKeys("web"); err == nil {
+		t.Error("no keys should error")
+	}
+}
+
+func TestSelectAndReconstruct(t *testing.T) {
+	db := seed(t)
+	res, err := db.SelectEq("web", "country", types.NewText("pl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One matching object reconstructed as its 7 triples.
+	if len(res.Rows) != 7 {
+		t.Errorf("triples = %d", len(res.Rows))
+	}
+	if ReconstructObjects(res, 0) != 1 {
+		t.Errorf("objects = %d", ReconstructObjects(res, 0))
+	}
+	res, _ = db.SelectRange("web", "hits", 20, 40)
+	if ReconstructObjects(res, 0) != 2 {
+		t.Errorf("range objects = %d", ReconstructObjects(res, 0))
+	}
+	// Array containment: elements are triples.
+	res, _ = db.SelectArrayContains("web", "tags", types.NewText("y"))
+	if ReconstructObjects(res, 0) != 2 {
+		t.Errorf("containment objects = %d", ReconstructObjects(res, 0))
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	db := seed(t)
+	// Text group key: two countries among the three objects.
+	res, err := db.GroupCount("web", "hits", 0, 100, "country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("country groups = %v", res.Rows)
+	}
+	// Numeric group key.
+	res, err = db.GroupCount("web", "hits", 0, 100, "hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("hits groups = %v", res.Rows)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := seed(t)
+	// Self-join url=url with a hits filter: every object whose hits in
+	// range joins itself once.
+	res, err := db.Join("web", "url", "url", "hits", 20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("join rows = %d", len(res.Rows))
+	}
+}
+
+func TestUpdateEq(t *testing.T) {
+	db := seed(t)
+	// Update an existing triple.
+	n, err := db.UpdateEq("web", "country", types.NewText("de"), "url", types.NewText("a.com"))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	res, _ := db.SelectEq("web", "country", types.NewText("de"))
+	if ReconstructObjects(res, 0) != 1 {
+		t.Error("update not visible")
+	}
+	// Update of an absent key inserts the triple.
+	n, err = db.UpdateEq("web", "brand_new", types.NewText("v"), "url", types.NewText("b.com"))
+	if err != nil || n != 1 {
+		t.Fatalf("insert-on-update: n=%d err=%v", n, err)
+	}
+	res, _ = db.SelectEq("web", "brand_new", types.NewText("v"))
+	if ReconstructObjects(res, 0) != 1 {
+		t.Error("inserted triple not visible")
+	}
+}

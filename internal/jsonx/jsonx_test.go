@@ -1,0 +1,274 @@
+package jsonx
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Value {
+	t.Helper()
+	v, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestParseScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{`null`, NullValue()},
+		{`true`, BoolValue(true)},
+		{`false`, BoolValue(false)},
+		{`42`, IntValue(42)},
+		{`-17`, IntValue(-17)},
+		{`0`, IntValue(0)},
+		{`3.5`, FloatValue(3.5)},
+		{`-0.25`, FloatValue(-0.25)},
+		{`1e3`, FloatValue(1000)},
+		{`2E-2`, FloatValue(0.02)},
+		{`"hello"`, StringValue("hello")},
+		{`""`, StringValue("")},
+		{`"a\nb\t\"c\""`, StringValue("a\nb\t\"c\"")},
+		{`"Aé"`, StringValue("Aé")},
+		{`"😀"`, StringValue("😀")},
+	}
+	for _, c := range cases {
+		got := mustParse(t, c.in)
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntFloatDistinction(t *testing.T) {
+	if mustParse(t, `2`).Kind != Int {
+		t.Error("2 should parse as Int")
+	}
+	if mustParse(t, `2.0`).Kind != Float {
+		t.Error("2.0 should parse as Float")
+	}
+	if mustParse(t, `2`).Equal(mustParse(t, `2.0`)) {
+		t.Error("Int 2 must not Equal Float 2.0 (attribute typing)")
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	v := mustParse(t, `{"a": 1, "b": {"c": [1, "x", null, {"d": true}]}, "e": []}`)
+	if v.Kind != Object || v.Obj.Len() != 3 {
+		t.Fatalf("v = %v", v)
+	}
+	b, _ := v.Obj.Get("b")
+	c, _ := b.Obj.Get("c")
+	if c.Kind != Array || len(c.A) != 4 {
+		t.Fatalf("c = %v", c)
+	}
+	if c.A[2].Kind != Null {
+		t.Errorf("c[2] = %v", c.A[2])
+	}
+	d, ok := c.A[3].Obj.Get("d")
+	if !ok || !d.B {
+		t.Errorf("d = %v", d)
+	}
+}
+
+func TestMemberOrderPreserved(t *testing.T) {
+	v := mustParse(t, `{"z": 1, "a": 2, "m": 3}`)
+	got := v.Obj.Keys()
+	want := []string{"z", "a", "m"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("keys = %v, want %v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `{`, `}`, `[1,`, `{"a"}`, `{"a":}`, `{a:1}`, `"unterminated`,
+		`01`, `1.`, `1e`, `tru`, `nul`, `[1 2]`, `{"a":1,}`, `1 2`,
+		`"\q"`, "\"ctrl\x01char\"",
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseDocumentRejectsNonObject(t *testing.T) {
+	if _, err := ParseDocument([]byte(`[1,2]`)); err == nil {
+		t.Error("array should not be a document")
+	}
+	if _, err := ParseDocument([]byte(`{"a":1}`)); err != nil {
+		t.Errorf("object document: %v", err)
+	}
+}
+
+func TestDeepNestingLimit(t *testing.T) {
+	deep := strings.Repeat("[", 600) + strings.Repeat("]", 600)
+	if _, err := ParseString(deep); err == nil {
+		t.Error("expected depth-limit error")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	inputs := []string{
+		`{"a":1,"b":2.5,"c":"x","d":true,"e":null,"f":[1,"y",false],"g":{"h":-3}}`,
+		`{"s":"\"quoted\" and \\slash\\ and \ttab"}`,
+		`{"empty_obj":{},"empty_arr":[]}`,
+		`{"unicode":"héllo wörld 日本"}`,
+	}
+	for _, in := range inputs {
+		v1 := mustParse(t, in)
+		out := v1.String()
+		v2 := mustParse(t, out)
+		if !v1.Equal(v2) {
+			t.Errorf("round trip failed:\n in=%s\nout=%s", in, out)
+		}
+	}
+}
+
+func TestFloatAlwaysReadsBackAsFloat(t *testing.T) {
+	v := FloatValue(4)
+	again := mustParse(t, v.String())
+	if again.Kind != Float {
+		t.Errorf("Float 4 encoded as %q, reparsed as %v", v.String(), again.Kind)
+	}
+}
+
+func TestDocSetGetDelete(t *testing.T) {
+	d := NewDoc()
+	d.Set("a", IntValue(1))
+	d.Set("b", IntValue(2))
+	d.Set("a", IntValue(3)) // overwrite keeps position
+	if d.Len() != 2 || d.Keys()[0] != "a" {
+		t.Fatalf("doc = %v", d.Keys())
+	}
+	if v, _ := d.Get("a"); v.I != 3 {
+		t.Errorf("a = %v", v)
+	}
+	if !d.Delete("a") || d.Delete("a") {
+		t.Error("delete semantics")
+	}
+	if d.Len() != 1 || !d.Has("b") {
+		t.Errorf("after delete: %v", d.Keys())
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	v := mustParse(t, `{"url":"x","user":{"id":7,"geo":{"lat":1.5}},"tags":[1,2]}`)
+	flat := Flatten(v.Obj)
+	paths := make(map[string]Value)
+	for _, f := range flat {
+		paths[f.Path] = f.Val
+	}
+	for _, want := range []string{"url", "user", "user.id", "user.geo", "user.geo.lat", "tags"} {
+		if _, ok := paths[want]; !ok {
+			t.Errorf("missing flattened path %q (got %v)", want, flat)
+		}
+	}
+	if paths["user.id"].I != 7 {
+		t.Errorf("user.id = %v", paths["user.id"])
+	}
+	if paths["tags"].Kind != Array {
+		t.Errorf("tags kept whole, got %v", paths["tags"].Kind)
+	}
+}
+
+func TestPathGet(t *testing.T) {
+	v := mustParse(t, `{"user":{"name":{"first":"ann"}},"user.name":"shadow"}`)
+	// Literal dotted member shadows the path.
+	got, ok := PathGet(v.Obj, "user.name")
+	if !ok || got.S != "shadow" {
+		t.Errorf("user.name = %v %v", got, ok)
+	}
+	got, ok = PathGet(v.Obj, "user.name.first")
+	if !ok || got.S != "ann" {
+		t.Errorf("user.name.first = %v %v", got, ok)
+	}
+	if _, ok := PathGet(v.Obj, "user.missing"); ok {
+		t.Error("user.missing should be absent")
+	}
+}
+
+// randomValue builds an arbitrary JSON value for property tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(7)
+	if depth > 3 && k >= 5 {
+		k = r.Intn(5)
+	}
+	switch k {
+	case 0:
+		return NullValue()
+	case 1:
+		return BoolValue(r.Intn(2) == 0)
+	case 2:
+		return IntValue(r.Int63() - r.Int63())
+	case 3:
+		return FloatValue(r.NormFloat64() * 1e6)
+	case 4:
+		b := make([]byte, r.Intn(20))
+		for i := range b {
+			b[i] = byte(32 + r.Intn(90))
+		}
+		return StringValue(string(b))
+	case 5:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth+1)
+		}
+		return ArrayValue(elems...)
+	default:
+		d := NewDoc()
+		for i := 0; i < r.Intn(5); i++ {
+			d.Set(string(rune('a'+r.Intn(26)))+string(rune('a'+r.Intn(26))), randomValue(r, depth+1))
+		}
+		return ObjectValue(d)
+	}
+}
+
+func TestPropertyEncodeParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := NewDoc()
+		for i := 0; i < 1+r.Intn(8); i++ {
+			d.Set(string(rune('a'+r.Intn(26)))+string(rune('0'+r.Intn(10))), randomValue(r, 0))
+		}
+		v := ObjectValue(d)
+		parsed, err := ParseString(v.String())
+		return err == nil && v.Equal(parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValuePathGetArrays(t *testing.T) {
+	v := mustParse(t, `{"tags":["a","b",{"deep":[10,20]}],"n":5}`)
+	cases := []struct {
+		path string
+		ok   bool
+		want Value
+	}{
+		{"tags.0", true, StringValue("a")},
+		{"tags.2.deep.1", true, IntValue(20)},
+		{"tags.9", false, Value{}},
+		{"tags.x", false, Value{}},
+		{"n.0", false, Value{}},
+	}
+	for _, c := range cases {
+		got, ok := PathGet(v.Obj, c.path)
+		if ok != c.ok {
+			t.Errorf("PathGet(%q) ok = %v, want %v", c.path, ok, c.ok)
+			continue
+		}
+		if ok && !got.Equal(c.want) {
+			t.Errorf("PathGet(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package jsonx
+
+import (
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// SyntaxError describes a JSON parse failure with a byte offset.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jsonx: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses a single JSON value from data, requiring that nothing but
+// whitespace follows it.
+func Parse(data []byte) (Value, error) {
+	p := parser{data: data}
+	p.skipSpace()
+	v, err := p.parseValue(0)
+	if err != nil {
+		return Value{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.data) {
+		return Value{}, p.errf("trailing data after value")
+	}
+	return v, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (Value, error) { return Parse([]byte(s)) }
+
+// ParseDocument parses a JSON value and requires it to be an object, which
+// is the unit of loading in Sinew (one document per row).
+func ParseDocument(data []byte) (*Doc, error) {
+	v, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != Object {
+		return nil, &SyntaxError{Offset: 0, Msg: "top-level value is not an object"}
+	}
+	return v.Obj, nil
+}
+
+// maxDepth bounds nesting so hostile inputs cannot overflow the stack.
+const maxDepth = 512
+
+type parser struct {
+	data []byte
+	pos  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) parseValue(depth int) (Value, error) {
+	if depth > maxDepth {
+		return Value{}, p.errf("nesting too deep (limit %d)", maxDepth)
+	}
+	if p.pos >= len(p.data) {
+		return Value{}, p.errf("unexpected end of input")
+	}
+	switch c := p.data[p.pos]; {
+	case c == '{':
+		return p.parseObject(depth)
+	case c == '[':
+		return p.parseArray(depth)
+	case c == '"':
+		s, err := p.parseString()
+		if err != nil {
+			return Value{}, err
+		}
+		return StringValue(s), nil
+	case c == 't':
+		return p.parseLiteral("true", BoolValue(true))
+	case c == 'f':
+		return p.parseLiteral("false", BoolValue(false))
+	case c == 'n':
+		return p.parseLiteral("null", NullValue())
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumber()
+	default:
+		return Value{}, p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *parser) parseLiteral(lit string, v Value) (Value, error) {
+	if len(p.data)-p.pos < len(lit) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
+		return Value{}, p.errf("invalid literal")
+	}
+	p.pos += len(lit)
+	return v, nil
+}
+
+func (p *parser) parseObject(depth int) (Value, error) {
+	p.pos++ // consume '{'
+	doc := NewDoc()
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		return ObjectValue(doc), nil
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+			return Value{}, p.errf("expected object key string")
+		}
+		key, err := p.parseString()
+		if err != nil {
+			return Value{}, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			return Value{}, p.errf("expected ':' after object key")
+		}
+		p.pos++
+		p.skipSpace()
+		val, err := p.parseValue(depth + 1)
+		if err != nil {
+			return Value{}, err
+		}
+		doc.Set(key, val)
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return Value{}, p.errf("unterminated object")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return ObjectValue(doc), nil
+		default:
+			return Value{}, p.errf("expected ',' or '}' in object")
+		}
+	}
+}
+
+func (p *parser) parseArray(depth int) (Value, error) {
+	p.pos++ // consume '['
+	var elems []Value
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		p.pos++
+		return Value{Kind: Array, A: elems}, nil
+	}
+	for {
+		p.skipSpace()
+		v, err := p.parseValue(depth + 1)
+		if err != nil {
+			return Value{}, err
+		}
+		elems = append(elems, v)
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return Value{}, p.errf("unterminated array")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return Value{Kind: Array, A: elems}, nil
+		default:
+			return Value{}, p.errf("expected ',' or ']' in array")
+		}
+	}
+}
+
+func (p *parser) parseString() (string, error) {
+	p.pos++ // consume '"'
+	start := p.pos
+	// Fast path: no escapes, ASCII-safe scan.
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if c == '"' {
+			s := string(p.data[start:p.pos])
+			p.pos++
+			return s, nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+		p.pos++
+	}
+	// Slow path with escape handling.
+	buf := make([]byte, 0, p.pos-start+16)
+	buf = append(buf, p.data[start:p.pos]...)
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return string(buf), nil
+		case c < 0x20:
+			return "", p.errf("control character in string")
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return "", p.errf("unterminated escape")
+			}
+			switch e := p.data[p.pos]; e {
+			case '"':
+				buf = append(buf, '"')
+			case '\\':
+				buf = append(buf, '\\')
+			case '/':
+				buf = append(buf, '/')
+			case 'b':
+				buf = append(buf, '\b')
+			case 'f':
+				buf = append(buf, '\f')
+			case 'n':
+				buf = append(buf, '\n')
+			case 'r':
+				buf = append(buf, '\r')
+			case 't':
+				buf = append(buf, '\t')
+			case 'u':
+				r, err := p.parseHexRune()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(r) {
+					// Expect a low surrogate continuation.
+					if p.pos+2 < len(p.data) && p.data[p.pos+1] == '\\' && p.data[p.pos+2] == 'u' {
+						p.pos += 2
+						r2, err := p.parseHexRune()
+						if err != nil {
+							return "", err
+						}
+						if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+							r = dec
+						} else {
+							r = utf8.RuneError
+						}
+					} else {
+						r = utf8.RuneError
+					}
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", p.errf("invalid escape character %q", e)
+			}
+			p.pos++
+		default:
+			buf = append(buf, c)
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+// parseHexRune parses the 4 hex digits of a \uXXXX escape; p.pos is on 'u'
+// at entry and on the final hex digit at exit.
+func (p *parser) parseHexRune() (rune, error) {
+	if p.pos+4 >= len(p.data) {
+		return 0, p.errf("truncated \\u escape")
+	}
+	var r rune
+	for i := 1; i <= 4; i++ {
+		c := p.data[p.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, p.errf("invalid hex digit %q in \\u escape", c)
+		}
+	}
+	p.pos += 4
+	return r, nil
+}
+
+func (p *parser) parseNumber() (Value, error) {
+	start := p.pos
+	if p.data[p.pos] == '-' {
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		return Value{}, p.errf("invalid number")
+	}
+	// Leading-zero rule: "0" alone or "0.x" are fine; "01" is not.
+	if digits > 1 && p.data[start] == '0' || digits > 1 && p.data[start] == '-' && p.data[start+1] == '0' {
+		return Value{}, p.errf("invalid leading zero in number")
+	}
+	isFloat := false
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		isFloat = true
+		p.pos++
+		frac := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			frac++
+		}
+		if frac == 0 {
+			return Value{}, p.errf("digits required after decimal point")
+		}
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		isFloat = true
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		exp := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			exp++
+		}
+		if exp == 0 {
+			return Value{}, p.errf("digits required in exponent")
+		}
+	}
+	text := string(p.data[start:p.pos])
+	if !isFloat {
+		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return IntValue(i), nil
+		}
+		// Out-of-range integers fall back to float, like most JSON parsers.
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		p.pos = start
+		return Value{}, p.errf("invalid number %q", text)
+	}
+	return FloatValue(f), nil
+}

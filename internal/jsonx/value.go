@@ -1,0 +1,329 @@
+// Package jsonx implements an order-preserving, type-faithful JSON value
+// model, parser, and encoder.
+//
+// Unlike encoding/json, jsonx distinguishes integers from floating-point
+// numbers (Sinew's catalog types integer and real depend on this), preserves
+// object member order (needed for stable serialization and round-trip
+// tests), and exposes a document model that the Sinew loader can flatten
+// into dotted attribute paths.
+package jsonx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The JSON kinds. Int and Float are both JSON numbers; the parser yields
+// Int for numbers with no fraction or exponent that fit in int64.
+const (
+	Null Kind = iota
+	Bool
+	Int
+	Float
+	String
+	Array
+	Object
+)
+
+// String returns the lowercase kind name ("null", "bool", ...).
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Array:
+		return "array"
+	case Object:
+		return "object"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single JSON value of any kind. The zero Value is JSON null.
+type Value struct {
+	Kind Kind
+	// Exactly one of the following is meaningful, selected by Kind.
+	B   bool
+	I   int64
+	F   float64
+	S   string
+	A   []Value
+	Obj *Doc
+}
+
+// Doc is a JSON object with preserved member order and O(1) key lookup.
+type Doc struct {
+	members []Member
+	index   map[string]int
+}
+
+// Member is a single key/value pair of an object.
+type Member struct {
+	Key string
+	Val Value
+}
+
+// NewDoc returns an empty object.
+func NewDoc() *Doc {
+	return &Doc{index: make(map[string]int)}
+}
+
+// Set appends the member or overwrites an existing member with the same key.
+func (d *Doc) Set(key string, v Value) {
+	if i, ok := d.index[key]; ok {
+		d.members[i].Val = v
+		return
+	}
+	d.index[key] = len(d.members)
+	d.members = append(d.members, Member{Key: key, Val: v})
+}
+
+// Get returns the value for key and whether it was present.
+func (d *Doc) Get(key string) (Value, bool) {
+	if d == nil {
+		return Value{}, false
+	}
+	if i, ok := d.index[key]; ok {
+		return d.members[i].Val, true
+	}
+	return Value{}, false
+}
+
+// Has reports whether key is present.
+func (d *Doc) Has(key string) bool {
+	if d == nil {
+		return false
+	}
+	_, ok := d.index[key]
+	return ok
+}
+
+// Delete removes key if present and reports whether it was removed.
+func (d *Doc) Delete(key string) bool {
+	i, ok := d.index[key]
+	if !ok {
+		return false
+	}
+	d.members = append(d.members[:i], d.members[i+1:]...)
+	delete(d.index, key)
+	for j := i; j < len(d.members); j++ {
+		d.index[d.members[j].Key] = j
+	}
+	return true
+}
+
+// Len returns the number of members.
+func (d *Doc) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.members)
+}
+
+// Members returns the members in insertion order. The returned slice is the
+// Doc's backing storage; callers must not modify it.
+func (d *Doc) Members() []Member {
+	if d == nil {
+		return nil
+	}
+	return d.members
+}
+
+// Keys returns the keys in insertion order.
+func (d *Doc) Keys() []string {
+	if d == nil {
+		return nil
+	}
+	ks := make([]string, len(d.members))
+	for i, m := range d.members {
+		ks[i] = m.Key
+	}
+	return ks
+}
+
+// Convenience constructors.
+
+// NullValue returns the JSON null value.
+func NullValue() Value { return Value{Kind: Null} }
+
+// BoolValue returns a JSON boolean.
+func BoolValue(b bool) Value { return Value{Kind: Bool, B: b} }
+
+// IntValue returns a JSON integer number.
+func IntValue(i int64) Value { return Value{Kind: Int, I: i} }
+
+// FloatValue returns a JSON floating-point number.
+func FloatValue(f float64) Value { return Value{Kind: Float, F: f} }
+
+// StringValue returns a JSON string.
+func StringValue(s string) Value { return Value{Kind: String, S: s} }
+
+// ArrayValue returns a JSON array over elems (not copied).
+func ArrayValue(elems ...Value) Value { return Value{Kind: Array, A: elems} }
+
+// ObjectValue returns a JSON object value wrapping d.
+func ObjectValue(d *Doc) Value { return Value{Kind: Object, Obj: d} }
+
+// Equal reports deep structural equality. Int and Float compare equal only
+// if both are the same kind (2 != 2.0), matching Sinew's attribute typing.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case Null:
+		return true
+	case Bool:
+		return v.B == w.B
+	case Int:
+		return v.I == w.I
+	case Float:
+		return v.F == w.F
+	case String:
+		return v.S == w.S
+	case Array:
+		if len(v.A) != len(w.A) {
+			return false
+		}
+		for i := range v.A {
+			if !v.A[i].Equal(w.A[i]) {
+				return false
+			}
+		}
+		return true
+	case Object:
+		if v.Obj.Len() != w.Obj.Len() {
+			return false
+		}
+		for _, m := range v.Obj.Members() {
+			wv, ok := w.Obj.Get(m.Key)
+			if !ok || !m.Val.Equal(wv) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value as compact JSON text.
+func (v Value) String() string {
+	var sb strings.Builder
+	encodeValue(&sb, v)
+	return sb.String()
+}
+
+// IsNumeric reports whether the value is an Int or Float.
+func (v Value) IsNumeric() bool { return v.Kind == Int || v.Kind == Float }
+
+// AsFloat returns the numeric value widened to float64; ok is false for
+// non-numeric kinds.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.Kind {
+	case Int:
+		return float64(v.I), true
+	case Float:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// encodeValue appends compact JSON text for v to sb.
+func encodeValue(sb *strings.Builder, v Value) {
+	switch v.Kind {
+	case Null:
+		sb.WriteString("null")
+	case Bool:
+		if v.B {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case Int:
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	case Float:
+		sb.WriteString(formatFloat(v.F))
+	case String:
+		encodeString(sb, v.S)
+	case Array:
+		sb.WriteByte('[')
+		for i, e := range v.A {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			encodeValue(sb, e)
+		}
+		sb.WriteByte(']')
+	case Object:
+		sb.WriteByte('{')
+		for i, m := range v.Obj.Members() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			encodeString(sb, m.Key)
+			sb.WriteByte(':')
+			encodeValue(sb, m.Val)
+		}
+		sb.WriteByte('}')
+	}
+}
+
+// formatFloat renders f so that it always reads back as a Float (never as an
+// integer literal), preserving the Int/Float distinction across round trips.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+const hexDigits = "0123456789abcdef"
+
+// encodeString writes s as a quoted, escaped JSON string.
+func encodeString(sb *strings.Builder, s string) {
+	sb.WriteByte('"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		sb.WriteString(s[start:i])
+		switch c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\b':
+			sb.WriteString(`\b`)
+		case '\f':
+			sb.WriteString(`\f`)
+		default:
+			sb.WriteString(`\u00`)
+			sb.WriteByte(hexDigits[c>>4])
+			sb.WriteByte(hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	sb.WriteString(s[start:])
+	sb.WriteByte('"')
+}

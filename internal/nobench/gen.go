@@ -1,0 +1,142 @@
+// Package nobench generates the NoBench dataset and queries (Chasseur,
+// Li, Patel — "Enabling JSON Document Stores in Relational Systems",
+// WebDB 2013), the workload of §6 of the Sinew paper.
+//
+// Each record has ~15 keys: common scalars (str1, str2, num, bool), two
+// dynamically-typed keys (dyn1, dyn2 — string, integer, or boolean chosen
+// per record), a nested array (nested_arr), a nested document
+// (nested_obj with str and num), a low-cardinality thousandth, and ten
+// consecutive sparse keys drawn from a pool of 1000 (sparse_000 ...
+// sparse_999) so that each sparse key appears in ~1% of records.
+package nobench
+
+import (
+	"encoding/base32"
+	"fmt"
+	"math/rand"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// SparsePool is the number of distinct sparse keys.
+const SparsePool = 1000
+
+// SparsePerRecord is how many consecutive sparse keys each record carries.
+const SparsePerRecord = 10
+
+// ArrayLen is the nested_arr length.
+const ArrayLen = 5
+
+// SparseValueDomain is the number of distinct sparse values; with each
+// sparse key present in ~1% of records, an equality probe on (key, value)
+// matches ~1/10000 of records — the paper's update-task selectivity (§6.6).
+const SparseValueDomain = 100
+
+// Generator produces deterministic NoBench records.
+type Generator struct {
+	rng *rand.Rand
+	n   int
+	i   int
+}
+
+// NewGenerator returns a generator for n records with a fixed seed.
+func NewGenerator(n int, seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// encodeStr renders an integer the way NoBench does (base32 text), e.g.
+// "GBRDCMBQGA======".
+func encodeStr(v int64) string {
+	raw := fmt.Sprintf("%d", v)
+	return base32.StdEncoding.EncodeToString([]byte(raw))
+}
+
+// StrValue returns the canonical string for seed value v — queries use it
+// to build equality predicates that actually match generated data.
+func StrValue(v int64) string { return encodeStr(v) }
+
+// SparseKey names sparse key k.
+func SparseKey(k int) string { return fmt.Sprintf("sparse_%03d", k) }
+
+// Next generates the next record; ok=false after n records.
+func (g *Generator) Next() (*jsonx.Doc, bool) {
+	if g.i >= g.n {
+		return nil, false
+	}
+	i := int64(g.i)
+	g.i++
+	r := g.rng
+
+	doc := jsonx.NewDoc()
+	doc.Set("str1", jsonx.StringValue(encodeStr(i)))
+	doc.Set("str2", jsonx.StringValue(encodeStr(r.Int63n(int64(g.n)))))
+	doc.Set("num", jsonx.IntValue(i))
+	doc.Set("bool", jsonx.BoolValue(i%2 == 0))
+
+	// Dynamically typed keys: the type depends on the record.
+	doc.Set("dyn1", dynValue(r, i))
+	doc.Set("dyn2", dynValue(r, i+1))
+
+	// nested_arr: strings drawn from the same space as str1 so array
+	// containment probes can hit.
+	elems := make([]jsonx.Value, ArrayLen)
+	for j := range elems {
+		elems[j] = jsonx.StringValue(encodeStr(r.Int63n(int64(g.n)))) //nolint: gosec
+	}
+	doc.Set("nested_arr", jsonx.ArrayValue(elems...))
+
+	// nested_obj: str joins against str1 (Q11), num mirrors num.
+	sub := jsonx.NewDoc()
+	sub.Set("str", jsonx.StringValue(encodeStr(r.Int63n(int64(g.n)))))
+	sub.Set("num", jsonx.IntValue(r.Int63n(int64(g.n))))
+	doc.Set("nested_obj", jsonx.ObjectValue(sub))
+
+	doc.Set("thousandth", jsonx.IntValue(i%1000))
+
+	// Ten consecutive sparse keys; the cluster advances per record so every
+	// sparse key appears in ~SparsePerRecord/SparsePool of records.
+	cluster := (g.i * SparsePerRecord) % SparsePool
+	for j := 0; j < SparsePerRecord; j++ {
+		doc.Set(SparseKey((cluster+j)%SparsePool), jsonx.StringValue(encodeStr(r.Int63n(SparseValueDomain))))
+	}
+	return doc, true
+}
+
+// dynValue picks a string, integer, or boolean for the dyn keys.
+func dynValue(r *rand.Rand, i int64) jsonx.Value {
+	switch i % 3 {
+	case 0:
+		return jsonx.IntValue(i)
+	case 1:
+		return jsonx.StringValue(encodeStr(i))
+	default:
+		return jsonx.BoolValue(r.Intn(2) == 0)
+	}
+}
+
+// Generate materializes all n records.
+func Generate(n int, seed int64) []*jsonx.Doc {
+	g := NewGenerator(n, seed)
+	out := make([]*jsonx.Doc, 0, n)
+	for {
+		d, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, d)
+	}
+}
+
+// GenerateJSON renders records as JSON text lines (the pgjson loader's
+// input and the "original size" row of Table 3).
+func GenerateJSON(n int, seed int64) []string {
+	g := NewGenerator(n, seed)
+	out := make([]string, 0, n)
+	for {
+		d, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, jsonx.ObjectValue(d).String())
+	}
+}

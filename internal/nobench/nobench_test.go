@@ -1,0 +1,135 @@
+package nobench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := GenerateJSON(50, 7)
+	b := GenerateJSON(50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across runs with the same seed", i)
+		}
+	}
+	c := GenerateJSON(50, 8)
+	if a[0] == c[0] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRecordShape(t *testing.T) {
+	docs := Generate(100, 1)
+	if len(docs) != 100 {
+		t.Fatalf("n = %d", len(docs))
+	}
+	for i, d := range docs {
+		for _, key := range []string{"str1", "str2", "num", "bool", "dyn1", "dyn2", "nested_arr", "nested_obj", "thousandth"} {
+			if !d.Has(key) {
+				t.Fatalf("record %d missing %s", i, key)
+			}
+		}
+		num, _ := d.Get("num")
+		if num.I != int64(i) {
+			t.Errorf("num = %v, want %d", num, i)
+		}
+		th, _ := d.Get("thousandth")
+		if th.I != int64(i%1000) {
+			t.Errorf("thousandth = %v", th)
+		}
+		arr, _ := d.Get("nested_arr")
+		if arr.Kind != jsonx.Array || len(arr.A) != ArrayLen {
+			t.Errorf("nested_arr = %v", arr)
+		}
+		obj, _ := d.Get("nested_obj")
+		if obj.Kind != jsonx.Object || !obj.Obj.Has("str") || !obj.Obj.Has("num") {
+			t.Errorf("nested_obj = %v", obj)
+		}
+		// Exactly SparsePerRecord sparse keys.
+		sparse := 0
+		for _, k := range d.Keys() {
+			if strings.HasPrefix(k, "sparse_") {
+				sparse++
+			}
+		}
+		if sparse != SparsePerRecord {
+			t.Errorf("record %d has %d sparse keys", i, sparse)
+		}
+	}
+}
+
+func TestDynTypesCycle(t *testing.T) {
+	docs := Generate(9, 1)
+	kinds := map[jsonx.Kind]int{}
+	for _, d := range docs {
+		v, _ := d.Get("dyn1")
+		kinds[v.Kind]++
+	}
+	if kinds[jsonx.Int] != 3 || kinds[jsonx.String] != 3 || kinds[jsonx.Bool] != 3 {
+		t.Errorf("dyn1 kind distribution = %v", kinds)
+	}
+}
+
+func TestSparseKeyDensity(t *testing.T) {
+	n := 2000
+	docs := Generate(n, 42)
+	count := 0
+	key := SparseKey(110)
+	for _, d := range docs {
+		if d.Has(key) {
+			count++
+		}
+	}
+	// Each sparse key should appear in ~1% of records.
+	if count < n/200 || count > n/25 {
+		t.Errorf("%s appears in %d/%d records, want ~1%%", key, count, n)
+	}
+}
+
+func TestStr1ProbeHits(t *testing.T) {
+	n := 1000
+	docs := Generate(n, 42)
+	par := NewParams(n)
+	probe := par.Str1Probe()
+	hits := 0
+	for _, d := range docs {
+		if v, _ := d.Get("str1"); v.S == probe {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("str1 probe hits %d records, want exactly 1", hits)
+	}
+}
+
+func TestQueriesAreComplete(t *testing.T) {
+	par := NewParams(1000)
+	qs := par.Queries()
+	if len(qs) != 12 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, qid := range QueryOrder() {
+		sql, ok := qs[qid]
+		if !ok || sql == "" {
+			t.Errorf("missing %s", qid)
+		}
+		if !strings.Contains(sql, par.Table) {
+			t.Errorf("%s does not reference the table: %s", qid, sql)
+		}
+	}
+	lo, hi := par.RangeBounds()
+	if hi <= lo {
+		t.Errorf("bounds = %d..%d", lo, hi)
+	}
+}
+
+func TestGeneratedJSONParses(t *testing.T) {
+	for _, line := range GenerateJSON(20, 3) {
+		if _, err := jsonx.ParseDocument([]byte(line)); err != nil {
+			t.Fatalf("generated JSON invalid: %v\n%s", err, line)
+		}
+	}
+}

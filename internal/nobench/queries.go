@@ -1,0 +1,88 @@
+package nobench
+
+import "fmt"
+
+// Params fixes the constants of the parameterized NoBench queries for a
+// dataset of N records so that selectivities match the original benchmark:
+// equality probes hit one record, range predicates select ~0.1%, sparse
+// equality touches ~1% of records.
+type Params struct {
+	N int
+	// Table is the collection name (default "nobench_main").
+	Table string
+}
+
+// NewParams returns defaults for n records.
+func NewParams(n int) Params { return Params{N: n, Table: "nobench_main"} }
+
+// rangeWidth selects ~0.1% of num's domain [0, N).
+func (p Params) rangeWidth() int64 {
+	w := int64(p.N / 1000)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RangeBounds returns the num BETWEEN bounds (Q6, Q10, Q11).
+func (p Params) RangeBounds() (int64, int64) {
+	lo := int64(p.N / 3)
+	return lo, lo + p.rangeWidth()
+}
+
+// DynBounds returns the dyn1 BETWEEN bounds (Q7); dyn1 is the record index
+// when integer-typed, so a window within [0,N) matches ~1/3 of a 0.1%
+// slice.
+func (p Params) DynBounds() (int64, int64) {
+	lo := int64(p.N / 2)
+	return lo, lo + 10*p.rangeWidth()
+}
+
+// Str1Probe is an equality value present in the data (Q5).
+func (p Params) Str1Probe() string { return StrValue(int64(p.N / 4)) }
+
+// ArrayProbe is a containment value drawn from the nested_arr domain (Q8).
+func (p Params) ArrayProbe() string { return StrValue(int64(p.N / 5)) }
+
+// SparseQueryKey is the sparse key probed by Q9 and the update task.
+func (p Params) SparseQueryKey() string { return SparseKey(589) }
+
+// SparseSetKey is the sparse key written by the update task.
+func (p Params) SparseSetKey() string { return SparseKey(588) }
+
+// SparseProbe is the equality value probed against SparseQueryKey (Q9 and
+// the update task); it lies inside the sparse value domain.
+func (p Params) SparseProbe() string { return StrValue(50) }
+
+// Queries returns the 11 NoBench queries plus the update task (§6.6) as
+// SQL over the logical schema. Q1–Q4 are projections, Q5–Q9 selections,
+// Q10 an aggregate, Q11 a join, Q12 the random update.
+func (p Params) Queries() map[string]string {
+	t := p.Table
+	lo, hi := p.RangeBounds()
+	dlo, dhi := p.DynBounds()
+	return map[string]string{
+		"Q1": fmt.Sprintf(`SELECT str1, num FROM %s`, t),
+		"Q2": fmt.Sprintf(`SELECT "nested_obj.str", "nested_obj.num" FROM %s`, t),
+		"Q3": fmt.Sprintf(`SELECT sparse_110, sparse_119 FROM %s`, t),
+		"Q4": fmt.Sprintf(`SELECT sparse_110, sparse_220 FROM %s`, t),
+		"Q5": fmt.Sprintf(`SELECT * FROM %s WHERE str1 = '%s'`, t, p.Str1Probe()),
+		"Q6": fmt.Sprintf(`SELECT * FROM %s WHERE num BETWEEN %d AND %d`, t, lo, hi),
+		"Q7": fmt.Sprintf(`SELECT * FROM %s WHERE dyn1 BETWEEN %d AND %d`, t, dlo, dhi),
+		"Q8": fmt.Sprintf(`SELECT * FROM %s WHERE '%s' IN nested_arr`, t, p.ArrayProbe()),
+		"Q9": fmt.Sprintf(`SELECT * FROM %s WHERE %s = '%s'`, t, p.SparseQueryKey(), p.SparseProbe()),
+		"Q10": fmt.Sprintf(
+			`SELECT thousandth, COUNT(*) FROM %s WHERE num BETWEEN %d AND %d GROUP BY thousandth`,
+			t, lo, hi),
+		"Q11": fmt.Sprintf(
+			`SELECT l._id, r._id FROM %s l, %s r WHERE l."nested_obj.str" = r.str1 AND l.num BETWEEN %d AND %d`,
+			t, t, lo, hi),
+		"Q12": fmt.Sprintf(`UPDATE %s SET %s = 'DUMMY' WHERE %s = '%s'`,
+			t, p.SparseSetKey(), p.SparseQueryKey(), p.SparseProbe()),
+	}
+}
+
+// QueryOrder lists query IDs in presentation order.
+func QueryOrder() []string {
+	return []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11", "Q12"}
+}

@@ -1,0 +1,366 @@
+package exec
+
+import (
+	"sort"
+
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// Iterator is the Volcano-style row cursor all operators implement.
+type Iterator interface {
+	// Next returns the next row; ok=false marks the end of the stream.
+	Next() (row storage.Row, ok bool, err error)
+	// Close releases resources; safe to call more than once.
+	Close()
+}
+
+// Collect drains an iterator into a slice and closes it.
+func Collect(it Iterator) ([]storage.Row, error) {
+	defer it.Close()
+	var out []storage.Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// ---------- Scan ----------
+
+// ScanIter reads a heap sequentially, applying an optional pushed-down
+// filter. DML statements use RowIDScanIter instead, which also reports heap
+// addresses.
+type ScanIter struct {
+	it     *storage.HeapIter
+	Filter Expr // may be nil
+}
+
+// NewScan returns a scan over h with an optional filter.
+func NewScan(h *storage.Heap, filter Expr) *ScanIter {
+	return &ScanIter{it: h.Iterate(), Filter: filter}
+}
+
+// Next implements Iterator.
+func (s *ScanIter) Next() (storage.Row, bool, error) {
+	for {
+		_, row, ok := s.it.Next()
+		if !ok {
+			return nil, false, nil
+		}
+		if s.Filter != nil {
+			keep, err := EvalBool(s.Filter, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return row, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (s *ScanIter) Close() {}
+
+// RowIDScanIter scans a heap yielding (row, id) pairs for DML.
+type RowIDScanIter struct {
+	it     *storage.HeapIter
+	Filter Expr
+}
+
+// NewRowIDScan returns a scan that also reports row IDs.
+func NewRowIDScan(h *storage.Heap, filter Expr) *RowIDScanIter {
+	return &RowIDScanIter{it: h.Iterate(), Filter: filter}
+}
+
+// NextWithID returns the next matching row and its heap address.
+func (s *RowIDScanIter) NextWithID() (storage.RowID, storage.Row, bool, error) {
+	for {
+		id, row, ok := s.it.Next()
+		if !ok {
+			return storage.RowID{}, nil, false, nil
+		}
+		if s.Filter != nil {
+			keep, err := EvalBool(s.Filter, row)
+			if err != nil {
+				return storage.RowID{}, nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return id, row, true, nil
+	}
+}
+
+// ---------- Filter / Project / Limit ----------
+
+// FilterIter drops rows failing the predicate.
+type FilterIter struct {
+	In   Iterator
+	Pred Expr
+}
+
+// Next implements Iterator.
+func (f *FilterIter) Next() (storage.Row, bool, error) {
+	for {
+		row, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := EvalBool(f.Pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *FilterIter) Close() { f.In.Close() }
+
+// ProjectIter evaluates output expressions into fresh rows.
+type ProjectIter struct {
+	In    Iterator
+	Exprs []Expr
+}
+
+// Next implements Iterator.
+func (p *ProjectIter) Next() (storage.Row, bool, error) {
+	row, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(storage.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Iterator.
+func (p *ProjectIter) Close() { p.In.Close() }
+
+// LimitIter stops after N rows.
+type LimitIter struct {
+	In   Iterator
+	N    int64
+	seen int64
+}
+
+// Next implements Iterator.
+func (l *LimitIter) Next() (storage.Row, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (l *LimitIter) Close() { l.In.Close() }
+
+// ---------- Sort / Unique ----------
+
+// SortKey is one ordering key for SortIter.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SortIter materializes its input and emits it sorted. NULLs order last
+// ascending, first descending (Postgres default).
+type SortIter struct {
+	In   Iterator
+	Keys []SortKey
+
+	rows   []storage.Row
+	keys   [][]types.Datum
+	pos    int
+	sorted bool
+	err    error
+}
+
+// Next implements Iterator.
+func (s *SortIter) Next() (storage.Row, bool, error) {
+	if !s.sorted {
+		s.materialize()
+	}
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+func (s *SortIter) materialize() {
+	s.sorted = true
+	rows, err := Collect(s.In)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.rows = rows
+	s.keys = make([][]types.Datum, len(rows))
+	for i, r := range rows {
+		ks := make([]types.Datum, len(s.Keys))
+		for j, k := range s.Keys {
+			v, err := k.Expr.Eval(r)
+			if err != nil {
+				s.err = err
+				return
+			}
+			ks[j] = v
+		}
+		s.keys[i] = ks
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		ka, kb := s.keys[idx[a]], s.keys[idx[b]]
+		for j, k := range s.Keys {
+			c, err := compareForSort(ka[j], kb[j], k.Desc)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		s.err = sortErr
+		return
+	}
+	sortedRows := make([]storage.Row, len(rows))
+	sortedKeys := make([][]types.Datum, len(rows))
+	for i, ix := range idx {
+		sortedRows[i] = s.rows[ix]
+		sortedKeys[i] = s.keys[ix]
+	}
+	s.rows, s.keys = sortedRows, sortedKeys
+}
+
+// compareForSort orders a before b (<0) honoring direction and NULL rules.
+func compareForSort(a, b types.Datum, desc bool) (int, error) {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0, nil
+	case an: // NULLS LAST ascending, FIRST descending (Postgres default)
+		if desc {
+			return -1, nil
+		}
+		return 1, nil
+	case bn:
+		if desc {
+			return 1, nil
+		}
+		return -1, nil
+	}
+	c, err := types.Compare(a, b)
+	if err != nil {
+		// Heterogeneous values (multi-typed attributes): order by type tag
+		// so sorting is total and deterministic rather than an error.
+		c = int(a.Typ) - int(b.Typ)
+		err = nil
+	}
+	if desc {
+		c = -c
+	}
+	return c, err
+}
+
+// Close implements Iterator.
+func (s *SortIter) Close() { s.In.Close() }
+
+// UniqueIter removes consecutive duplicate rows (input must be sorted on
+// the compared columns); Cols selects which leading columns to compare,
+// nil meaning all.
+type UniqueIter struct {
+	In   Iterator
+	Cols []int
+
+	started bool
+	buf     []byte
+	prevKey []byte
+}
+
+// Next implements Iterator.
+func (u *UniqueIter) Next() (storage.Row, bool, error) {
+	for {
+		row, ok, err := u.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		u.buf = u.buf[:0]
+		if u.Cols == nil {
+			for _, d := range row {
+				u.buf = d.HashKey(u.buf)
+			}
+		} else {
+			for _, i := range u.Cols {
+				u.buf = row[i].HashKey(u.buf)
+			}
+		}
+		if u.started && string(u.buf) == string(u.prevKey) {
+			continue
+		}
+		u.started = true
+		u.prevKey = append(u.prevKey[:0], u.buf...)
+		return row, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (u *UniqueIter) Close() { u.In.Close() }
+
+// ---------- Materialized input helper ----------
+
+// SliceIter replays a materialized row slice.
+type SliceIter struct {
+	Rows []storage.Row
+	pos  int
+}
+
+// Next implements Iterator.
+func (s *SliceIter) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, false, nil
+	}
+	r := s.Rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (s *SliceIter) Close() {}

@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// TestPropertyJoinAlgorithmsAgree checks that hash join, merge join (over
+// sorted inputs), and nested-loop join produce identical multisets of
+// results on random inputs — the planner is free to pick any of them, so
+// they must be interchangeable.
+func TestPropertyJoinAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mkRows := func(n, keySpace int) []storage.Row {
+			rows := make([]storage.Row, n)
+			for i := range rows {
+				key := types.NewInt(int64(r.Intn(keySpace)))
+				if r.Intn(10) == 0 {
+					key = types.NewNull(types.Int) // NULLs never join
+				}
+				rows[i] = storage.Row{key, types.NewInt(int64(i))}
+			}
+			return rows
+		}
+		left := mkRows(1+r.Intn(40), 1+r.Intn(8))
+		right := mkRows(1+r.Intn(40), 1+r.Intn(8))
+		keyL := []Expr{col(0, types.Int)}
+		keyR := []Expr{col(0, types.Int)}
+
+		hj, err := Collect(&HashJoinIter{
+			Probe: sliceIter(left...), Build: sliceIter(right...),
+			ProbeKeys: keyL, BuildKeys: keyR,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Merge join needs sorted inputs.
+		sortedL := &SortIter{In: sliceIter(left...), Keys: []SortKey{{Expr: col(0, types.Int)}}}
+		sortedR := &SortIter{In: sliceIter(right...), Keys: []SortKey{{Expr: col(0, types.Int)}}}
+		mj, err := Collect(&MergeJoinIter{
+			Left: sortedL, Right: sortedR, LeftKeys: keyL, RightKeys: keyR,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cond := &BinExpr{Op: "=", L: col(0, types.Int), R: col(2, types.Int)}
+		nl, err := Collect(&NestedLoopIter{
+			Outer: sliceIter(left...), Inner: sliceIter(right...), Cond: cond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, c := canonical(hj), canonical(mj), canonical(nl)
+		if a != b || b != c {
+			t.Fatalf("seed %d: hash %q merge %q nl %q", seed, a, b, c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAggregationStrategiesAgree checks HashAgg vs sorted GroupAgg
+// on random groups.
+func TestPropertyAggregationStrategiesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		rows := make([]storage.Row, n)
+		for i := range rows {
+			g := types.NewInt(int64(r.Intn(6)))
+			v := types.NewInt(int64(r.Intn(50)))
+			if r.Intn(8) == 0 {
+				v = types.NewNull(types.Int)
+			}
+			rows[i] = storage.Row{g, v}
+		}
+		specs := func() []*AggSpec {
+			return []*AggSpec{
+				{Kind: AggCountStar},
+				{Kind: AggCount, Arg: col(1, types.Int)},
+				{Kind: AggSum, Arg: col(1, types.Int)},
+				{Kind: AggMin, Arg: col(1, types.Int)},
+				{Kind: AggMax, Arg: col(1, types.Int)},
+			}
+		}
+		hashed, err := Collect(&HashAggIter{
+			In: sliceIter(rows...), GroupBy: []Expr{col(0, types.Int)}, Aggs: specs(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := &SortIter{In: sliceIter(rows...), Keys: []SortKey{{Expr: col(0, types.Int)}}}
+		grouped, err := Collect(&GroupAggIter{
+			In: sorted, GroupBy: []Expr{col(0, types.Int)}, Aggs: specs(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canonical(hashed) != canonical(grouped) {
+			t.Fatalf("seed %d: hash %v vs sort %v", seed, hashed, grouped)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// canonical renders a row multiset order-independently.
+func canonical(rows []storage.Row) string {
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		var buf []byte
+		for _, d := range r {
+			buf = d.HashKey(buf)
+		}
+		lines[i] = string(buf)
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\x00"
+	}
+	return out
+}

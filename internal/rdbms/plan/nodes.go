@@ -1,0 +1,437 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/sinewdata/sinew/internal/rdbms/exec"
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+)
+
+// Node is a physical plan operator. Estimated rows and total cost are fixed
+// at plan time; Open instantiates the executor tree.
+type Node interface {
+	// Layout is the output row shape.
+	Layout() *Layout
+	// Rows is the estimated output cardinality.
+	Rows() float64
+	// Cost is the estimated total cost (inputs included), in abstract units.
+	Cost() float64
+	// Open builds the runtime iterator.
+	Open() exec.Iterator
+	// Label is the EXPLAIN head line (without rows/cost annotations).
+	Label() string
+	// Details are extra EXPLAIN lines (Filter:, Sort Key:, ...).
+	Details() []string
+	// Children returns input nodes in display order.
+	Children() []Node
+}
+
+// baseNode carries the common plan-time estimates.
+type baseNode struct {
+	layout *Layout
+	rows   float64
+	cost   float64
+}
+
+func (b *baseNode) Layout() *Layout { return b.layout }
+func (b *baseNode) Rows() float64   { return b.rows }
+func (b *baseNode) Cost() float64   { return b.cost }
+
+// ---------- Scan ----------
+
+// ScanNode is a sequential scan with pushed-down filter conjuncts.
+type ScanNode struct {
+	baseNode
+	Heap      *storage.Heap
+	TableName string
+	AliasName string
+	Preds     []exec.Expr
+}
+
+// Label implements Node.
+func (s *ScanNode) Label() string {
+	if s.AliasName != "" && s.AliasName != s.TableName {
+		return fmt.Sprintf("Seq Scan on %s %s", s.TableName, s.AliasName)
+	}
+	return fmt.Sprintf("Seq Scan on %s", s.TableName)
+}
+
+// Details implements Node.
+func (s *ScanNode) Details() []string {
+	if len(s.Preds) == 0 {
+		return nil
+	}
+	return []string{"Filter: " + predsDisplay(s.Preds)}
+}
+
+// Children implements Node.
+func (s *ScanNode) Children() []Node { return nil }
+
+// Open implements Node.
+func (s *ScanNode) Open() exec.Iterator {
+	return exec.NewScan(s.Heap, conjoinExec(s.Preds))
+}
+
+// ---------- Filter ----------
+
+// FilterNode applies residual predicates above another node.
+type FilterNode struct {
+	baseNode
+	Child Node
+	Preds []exec.Expr
+}
+
+// Label implements Node.
+func (f *FilterNode) Label() string { return "Filter" }
+
+// Details implements Node.
+func (f *FilterNode) Details() []string { return []string{"Filter: " + predsDisplay(f.Preds)} }
+
+// Children implements Node.
+func (f *FilterNode) Children() []Node { return []Node{f.Child} }
+
+// Open implements Node.
+func (f *FilterNode) Open() exec.Iterator {
+	return &exec.FilterIter{In: f.Child.Open(), Pred: conjoinExec(f.Preds)}
+}
+
+// ---------- Project ----------
+
+// ProjectNode computes output expressions.
+type ProjectNode struct {
+	baseNode
+	Child Node
+	Exprs []exec.Expr
+}
+
+// Label implements Node.
+func (p *ProjectNode) Label() string { return "Project" }
+
+// Details implements Node.
+func (p *ProjectNode) Details() []string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return []string{"Output: " + strings.Join(parts, ", ")}
+}
+
+// Children implements Node.
+func (p *ProjectNode) Children() []Node { return []Node{p.Child} }
+
+// Open implements Node.
+func (p *ProjectNode) Open() exec.Iterator {
+	return &exec.ProjectIter{In: p.Child.Open(), Exprs: p.Exprs}
+}
+
+// ---------- Sort / Unique ----------
+
+// SortNode materializes and sorts its input.
+type SortNode struct {
+	baseNode
+	Child Node
+	Keys  []exec.SortKey
+}
+
+// Label implements Node.
+func (s *SortNode) Label() string { return "Sort" }
+
+// Details implements Node.
+func (s *SortNode) Details() []string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return []string{"Sort Key: " + strings.Join(parts, ", ")}
+}
+
+// Children implements Node.
+func (s *SortNode) Children() []Node { return []Node{s.Child} }
+
+// Open implements Node.
+func (s *SortNode) Open() exec.Iterator {
+	return &exec.SortIter{In: s.Child.Open(), Keys: s.Keys}
+}
+
+// UniqueNode removes consecutive duplicates of sorted input (the sort-based
+// DISTINCT; Table 2's "Unique" operator).
+type UniqueNode struct {
+	baseNode
+	Child Node
+}
+
+// Label implements Node.
+func (u *UniqueNode) Label() string { return "Unique" }
+
+// Details implements Node.
+func (u *UniqueNode) Details() []string { return nil }
+
+// Children implements Node.
+func (u *UniqueNode) Children() []Node { return []Node{u.Child} }
+
+// Open implements Node.
+func (u *UniqueNode) Open() exec.Iterator { return &exec.UniqueIter{In: u.Child.Open()} }
+
+// ---------- Aggregation ----------
+
+// HashAggNode groups via hash table (Table 2's "HashAggregate").
+type HashAggNode struct {
+	baseNode
+	Child    Node
+	GroupBy  []exec.Expr
+	Aggs     []*exec.AggSpec
+	AggNames []string
+}
+
+// Label implements Node.
+func (h *HashAggNode) Label() string { return "HashAggregate" }
+
+// Details implements Node.
+func (h *HashAggNode) Details() []string {
+	if len(h.GroupBy) == 0 {
+		return nil
+	}
+	parts := make([]string, len(h.GroupBy))
+	for i, g := range h.GroupBy {
+		parts[i] = g.String()
+	}
+	return []string{"Group Key: " + strings.Join(parts, ", ")}
+}
+
+// Children implements Node.
+func (h *HashAggNode) Children() []Node { return []Node{h.Child} }
+
+// Open implements Node.
+func (h *HashAggNode) Open() exec.Iterator {
+	return &exec.HashAggIter{In: h.Child.Open(), GroupBy: h.GroupBy, Aggs: h.Aggs}
+}
+
+// GroupAggNode groups sorted input (Table 2's "GroupAggregate"); the
+// planner puts a SortNode below it.
+type GroupAggNode struct {
+	baseNode
+	Child   Node
+	GroupBy []exec.Expr
+	Aggs    []*exec.AggSpec
+}
+
+// Label implements Node.
+func (g *GroupAggNode) Label() string { return "GroupAggregate" }
+
+// Details implements Node.
+func (g *GroupAggNode) Details() []string {
+	parts := make([]string, len(g.GroupBy))
+	for i, ge := range g.GroupBy {
+		parts[i] = ge.String()
+	}
+	return []string{"Group Key: " + strings.Join(parts, ", ")}
+}
+
+// Children implements Node.
+func (g *GroupAggNode) Children() []Node { return []Node{g.Child} }
+
+// Open implements Node.
+func (g *GroupAggNode) Open() exec.Iterator {
+	return &exec.GroupAggIter{In: g.Child.Open(), GroupBy: g.GroupBy, Aggs: g.Aggs}
+}
+
+// ---------- Joins ----------
+
+// HashJoinNode is an inner equi-join building on the right child.
+type HashJoinNode struct {
+	baseNode
+	Probe     Node
+	Build     Node
+	ProbeKeys []exec.Expr
+	BuildKeys []exec.Expr
+	Residual  []exec.Expr
+}
+
+// Label implements Node.
+func (j *HashJoinNode) Label() string { return "Hash Join" }
+
+// Details implements Node.
+func (j *HashJoinNode) Details() []string {
+	parts := make([]string, len(j.ProbeKeys))
+	for i := range j.ProbeKeys {
+		parts[i] = j.ProbeKeys[i].String() + " = " + j.BuildKeys[i].String()
+	}
+	d := []string{"Hash Cond: " + strings.Join(parts, " AND ")}
+	if len(j.Residual) > 0 {
+		d = append(d, "Join Filter: "+predsDisplay(j.Residual))
+	}
+	return d
+}
+
+// Children implements Node.
+func (j *HashJoinNode) Children() []Node { return []Node{j.Probe, j.Build} }
+
+// Open implements Node.
+func (j *HashJoinNode) Open() exec.Iterator {
+	return &exec.HashJoinIter{
+		Probe: j.Probe.Open(), Build: j.Build.Open(),
+		ProbeKeys: j.ProbeKeys, BuildKeys: j.BuildKeys,
+		Residual: conjoinExec(j.Residual),
+	}
+}
+
+// MergeJoinNode is an inner equi-join over sorted children (the planner
+// inserts the Sorts).
+type MergeJoinNode struct {
+	baseNode
+	Left      Node
+	Right     Node
+	LeftKeys  []exec.Expr
+	RightKeys []exec.Expr
+	Residual  []exec.Expr
+}
+
+// Label implements Node.
+func (j *MergeJoinNode) Label() string { return "Merge Join" }
+
+// Details implements Node.
+func (j *MergeJoinNode) Details() []string {
+	parts := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		parts[i] = j.LeftKeys[i].String() + " = " + j.RightKeys[i].String()
+	}
+	d := []string{"Merge Cond: " + strings.Join(parts, " AND ")}
+	if len(j.Residual) > 0 {
+		d = append(d, "Join Filter: "+predsDisplay(j.Residual))
+	}
+	return d
+}
+
+// Children implements Node.
+func (j *MergeJoinNode) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Open implements Node.
+func (j *MergeJoinNode) Open() exec.Iterator {
+	return &exec.MergeJoinIter{
+		Left: j.Left.Open(), Right: j.Right.Open(),
+		LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
+		Residual: conjoinExec(j.Residual),
+	}
+}
+
+// NestedLoopNode joins on an arbitrary (or absent) condition.
+type NestedLoopNode struct {
+	baseNode
+	Outer Node
+	Inner Node
+	Cond  []exec.Expr
+}
+
+// Label implements Node.
+func (j *NestedLoopNode) Label() string { return "Nested Loop" }
+
+// Details implements Node.
+func (j *NestedLoopNode) Details() []string {
+	if len(j.Cond) == 0 {
+		return nil
+	}
+	return []string{"Join Filter: " + predsDisplay(j.Cond)}
+}
+
+// Children implements Node.
+func (j *NestedLoopNode) Children() []Node { return []Node{j.Outer, j.Inner} }
+
+// Open implements Node.
+func (j *NestedLoopNode) Open() exec.Iterator {
+	return &exec.NestedLoopIter{Outer: j.Outer.Open(), Inner: j.Inner.Open(), Cond: conjoinExec(j.Cond)}
+}
+
+// ---------- Limit ----------
+
+// LimitNode truncates output.
+type LimitNode struct {
+	baseNode
+	Child Node
+	N     int64
+}
+
+// Label implements Node.
+func (l *LimitNode) Label() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// Details implements Node.
+func (l *LimitNode) Details() []string { return nil }
+
+// Children implements Node.
+func (l *LimitNode) Children() []Node { return []Node{l.Child} }
+
+// Open implements Node.
+func (l *LimitNode) Open() exec.Iterator { return &exec.LimitIter{In: l.Child.Open(), N: l.N} }
+
+// ---------- EXPLAIN rendering ----------
+
+// Explain renders the plan tree in a Postgres-like text form.
+func Explain(root Node) string {
+	var sb strings.Builder
+	explainNode(&sb, root, 0, true)
+	return sb.String()
+}
+
+func explainNode(sb *strings.Builder, n Node, depth int, first bool) {
+	indent := strings.Repeat("  ", depth)
+	arrow := ""
+	if !first {
+		arrow = "->  "
+	}
+	fmt.Fprintf(sb, "%s%s%s  (rows=%.0f cost=%.2f)\n", indent, arrow, n.Label(), math.Ceil(n.Rows()), n.Cost())
+	for _, d := range n.Details() {
+		fmt.Fprintf(sb, "%s      %s\n", indent, d)
+	}
+	for _, c := range n.Children() {
+		explainNode(sb, c, depth+1, false)
+	}
+}
+
+// LeafOrder returns the scan targets ("table" or "table alias") in plan
+// pre-order — for join plans this is the join order the optimizer chose,
+// which the Table 2 experiment diffs between virtual- and physical-column
+// states.
+func LeafOrder(root Node) []string {
+	var out []string
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*ScanNode); ok {
+			name := s.TableName
+			if s.AliasName != "" && s.AliasName != s.TableName {
+				name = s.AliasName
+			}
+			out = append(out, name)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// OperatorNames returns the operator labels of the plan in pre-order —
+// convenient for tests and for the Table 2 plan-diff experiment.
+func OperatorNames(root Node) []string {
+	var out []string
+	var walk func(Node)
+	walk = func(n Node) {
+		label := n.Label()
+		if i := strings.Index(label, " on "); i > 0 {
+			label = label[:i]
+		}
+		if strings.HasPrefix(label, "Limit") {
+			label = "Limit"
+		}
+		out = append(out, label)
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}

@@ -1,0 +1,201 @@
+// Package sqlparse implements the SQL dialect of the embedded RDBMS:
+// a lexer, an AST, a recursive-descent parser, and an AST printer.
+//
+// The dialect covers what Sinew and its baselines need: SELECT with
+// DISTINCT / joins / GROUP BY / HAVING / ORDER BY / LIMIT, scalar and
+// aggregate functions, BETWEEN / IN / LIKE / IS NULL / = ANY predicates,
+// CAST, COALESCE, INSERT, UPDATE, DELETE, CREATE/ALTER/DROP TABLE,
+// TRUNCATE, EXPLAIN, and ANALYZE. Quoted identifiers preserve case and may
+// contain dots ("user.id" is a single flattened-attribute name, per the
+// paper's Table 1 queries).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkQuotedIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkOp     // punctuation and operators
+	tkInvald // lex error sentinel
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords uppercased; unquoted idents lowercased
+	pos  int
+}
+
+// ParseError is a lex or parse failure with position information.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at position %d: %s", e.Pos, e.Msg)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"OFFSET": true, "ASC": true, "DESC": true, "AS": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "AND": true, "OR": true, "NOT": true, "NULL": true,
+	"IS": true, "IN": true, "BETWEEN": true, "LIKE": true, "ANY": true,
+	"ALL": true, "TRUE": true, "FALSE": true, "CAST": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true,
+	"DROP": true, "ALTER": true, "ADD": true, "COLUMN": true,
+	"TRUNCATE": true, "EXPLAIN": true, "ANALYZE": true, "IF": true,
+	"EXISTS": true, "PRIMARY": true, "KEY": true, "UNIQUE": true,
+	"DEFAULT": true, "NULLS": true, "FIRST": true, "LAST": true,
+	"USING": true, "RETURNING": true,
+}
+
+// lex tokenizes input; the returned slice always ends with a tkEOF token.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*': // block comment
+			j := strings.Index(input[i+2:], "*/")
+			if j < 0 {
+				return nil, &ParseError{Pos: i, Msg: "unterminated block comment"}
+			}
+			i += j + 4
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tkKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: strings.ToLower(word), pos: start})
+			}
+		case c == '"':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '"' {
+					if i+1 < n && input[i+1] == '"' { // doubled quote escape
+						sb.WriteByte('"')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &ParseError{Pos: start, Msg: "unterminated quoted identifier"}
+			}
+			toks = append(toks, token{kind: tkQuotedIdent, text: sb.String(), pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // doubled quote escape
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &ParseError{Pos: start, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tkNumber, text: input[start:i], pos: start})
+		default:
+			start := i
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=", "||":
+				toks = append(toks, token{kind: tkOp, text: two, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+				toks = append(toks, token{kind: tkOp, text: string(c), pos: start})
+				i++
+			default:
+				return nil, &ParseError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '$'
+}

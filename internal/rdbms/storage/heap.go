@@ -1,0 +1,408 @@
+// Package storage implements the physical layer of the embedded RDBMS:
+// heap tables organized into pages, a byte-accounting pager that models I/O,
+// and per-column statistics for the optimizer.
+//
+// The heap is a row store in the style of Postgres: each row carries a small
+// header plus a null bitmap (one bit per schema attribute), so NULLs in wide
+// sparse schemas cost one bit, not a column width — the property §3.1.1 of
+// the Sinew paper relies on when choosing Postgres as the substrate.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// Column describes one attribute of a table schema.
+type Column struct {
+	Name    string
+	Typ     types.Type
+	NotNull bool
+}
+
+// Schema is an ordered set of columns with name lookup.
+type Schema struct {
+	Cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema; duplicate column names are an error.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range s.Cols {
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// ColumnIndex returns the position of name, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// AddColumn appends a column (ALTER TABLE ... ADD COLUMN).
+func (s *Schema) AddColumn(c Column) error {
+	if _, dup := s.byName[c.Name]; dup {
+		return fmt.Errorf("storage: column %q already exists", c.Name)
+	}
+	s.byName[c.Name] = len(s.Cols)
+	s.Cols = append(s.Cols, c)
+	return nil
+}
+
+// DropColumn removes a column from the schema (ALTER TABLE ... DROP).
+func (s *Schema) DropColumn(name string) error {
+	i, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("storage: column %q does not exist", name)
+	}
+	s.Cols = append(s.Cols[:i], s.Cols[i+1:]...)
+	delete(s.byName, name)
+	for j := i; j < len(s.Cols); j++ {
+		s.byName[s.Cols[j].Name] = j
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c, _ := NewSchema(s.Cols...)
+	return c
+}
+
+// Row is one tuple; len(Row) always equals len(Schema.Cols) of its table.
+type Row []types.Datum
+
+// Clone deep-copies the row (datum payloads that alias memory — bytes,
+// arrays — are shared; callers treat datums as immutable).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// rowsPerPage is the heap page grouping factor. Pages are the unit of I/O
+// accounting; the value trades accounting granularity against bookkeeping.
+const rowsPerPage = 128
+
+// rowHeaderBytes models the fixed per-tuple header (Postgres: 23 bytes +
+// alignment). The null bitmap is added per schema width.
+const rowHeaderBytes = 24
+
+// page groups rows for I/O accounting.
+type page struct {
+	rows  []Row
+	bytes int64 // estimated on-disk footprint of live rows
+}
+
+// Heap is a mutable row store for one table.
+//
+// Concurrency: Heap methods are not internally synchronized; the rdbms
+// layer serializes access with its table locks. The pager it reports to is
+// safe for concurrent use.
+type Heap struct {
+	schema *Schema
+	pages  []*page
+	nrows  int64
+	bytes  int64
+	pager  *Pager
+}
+
+// NewHeap creates an empty heap over schema, reporting I/O to pager
+// (which may be nil for untracked scratch tables).
+func NewHeap(schema *Schema, pager *Pager) *Heap {
+	return &Heap{schema: schema, pager: pager}
+}
+
+// Schema returns the heap's schema (shared, not a copy).
+func (h *Heap) Schema() *Schema { return h.schema }
+
+// NumRows returns the live row count.
+func (h *Heap) NumRows() int64 { return h.nrows }
+
+// SizeBytes returns the estimated on-disk size of the table.
+func (h *Heap) SizeBytes() int64 { return h.bytes }
+
+// rowFootprint estimates the stored size of row under the current schema:
+// header + null bitmap + non-null datum payloads.
+func (h *Heap) rowFootprint(row Row) int64 {
+	n := int64(rowHeaderBytes) + int64((len(h.schema.Cols)+7)/8)
+	for _, d := range row {
+		n += d.SizeBytes()
+	}
+	return n
+}
+
+// Insert appends a row. The row must match the schema width; NOT NULL
+// constraints are enforced here.
+func (h *Heap) Insert(row Row) error {
+	if len(row) != len(h.schema.Cols) {
+		return fmt.Errorf("storage: row width %d does not match schema width %d", len(row), len(h.schema.Cols))
+	}
+	for i, c := range h.schema.Cols {
+		if c.NotNull && row[i].IsNull() {
+			return fmt.Errorf("storage: null value in column %q violates not-null constraint", c.Name)
+		}
+	}
+	var p *page
+	if n := len(h.pages); n > 0 && len(h.pages[n-1].rows) < rowsPerPage {
+		p = h.pages[n-1]
+	} else {
+		p = &page{rows: make([]Row, 0, rowsPerPage)}
+		h.pages = append(h.pages, p)
+	}
+	fp := h.rowFootprint(row)
+	p.rows = append(p.rows, row)
+	p.bytes += fp
+	h.nrows++
+	h.bytes += fp
+	if h.pager != nil {
+		h.pager.recordWrite(fp)
+	}
+	return nil
+}
+
+// LastRowID returns the address of the most recently inserted row; it is
+// only meaningful immediately after Insert on a non-empty heap.
+func (h *Heap) LastRowID() RowID {
+	p := len(h.pages) - 1
+	if p < 0 {
+		return RowID{Page: -1, Slot: -1}
+	}
+	return RowID{Page: p, Slot: len(h.pages[p].rows) - 1}
+}
+
+// RowID addresses a row stably across updates (not deletes).
+type RowID struct {
+	Page int
+	Slot int
+}
+
+// Scan iterates all live rows in heap order, charging page reads to the
+// pager. fn may not retain the row slice across calls unless it clones.
+// Returning false from fn stops the scan early (remaining pages unread).
+func (h *Heap) Scan(fn func(id RowID, row Row) bool) {
+	for pi, p := range h.pages {
+		if h.pager != nil {
+			h.pager.recordRead(p.bytes)
+		}
+		for si, r := range p.rows {
+			if r == nil {
+				continue // deleted
+			}
+			if !fn(RowID{Page: pi, Slot: si}, r) {
+				return
+			}
+		}
+	}
+}
+
+// HeapIter is a pull-style cursor over live rows in heap order; it charges
+// each page to the pager when first touched.
+type HeapIter struct {
+	h    *Heap
+	page int
+	slot int
+}
+
+// Iterate returns a cursor positioned before the first row.
+func (h *Heap) Iterate() *HeapIter { return &HeapIter{h: h} }
+
+// Next returns the next live row, or ok=false at the end.
+func (it *HeapIter) Next() (RowID, Row, bool) {
+	for it.page < len(it.h.pages) {
+		p := it.h.pages[it.page]
+		if it.slot == 0 && it.h.pager != nil {
+			it.h.pager.recordRead(p.bytes)
+		}
+		for it.slot < len(p.rows) {
+			s := it.slot
+			it.slot++
+			if p.rows[s] != nil {
+				return RowID{Page: it.page, Slot: s}, p.rows[s], true
+			}
+		}
+		it.page++
+		it.slot = 0
+	}
+	return RowID{}, nil, false
+}
+
+// Get fetches a single row by ID, charging only that row's bytes (a point
+// read, as through an index).
+func (h *Heap) Get(id RowID) (Row, bool) {
+	if id.Page < 0 || id.Page >= len(h.pages) {
+		return nil, false
+	}
+	p := h.pages[id.Page]
+	if id.Slot < 0 || id.Slot >= len(p.rows) || p.rows[id.Slot] == nil {
+		return nil, false
+	}
+	if h.pager != nil {
+		h.pager.recordRead(h.rowFootprint(p.rows[id.Slot]))
+	}
+	return p.rows[id.Slot], true
+}
+
+// Update atomically replaces the row at id. It returns the previous row for
+// undo logging.
+func (h *Heap) Update(id RowID, row Row) (Row, error) {
+	if len(row) != len(h.schema.Cols) {
+		return nil, fmt.Errorf("storage: row width %d does not match schema width %d", len(row), len(h.schema.Cols))
+	}
+	p, old, err := h.slot(id)
+	if err != nil {
+		return nil, err
+	}
+	oldFP, newFP := h.rowFootprint(old), h.rowFootprint(row)
+	p.rows[id.Slot] = row
+	p.bytes += newFP - oldFP
+	h.bytes += newFP - oldFP
+	if h.pager != nil {
+		h.pager.recordWrite(newFP)
+	}
+	return old, nil
+}
+
+// Delete removes the row at id, returning it for undo logging.
+func (h *Heap) Delete(id RowID) (Row, error) {
+	p, old, err := h.slot(id)
+	if err != nil {
+		return nil, err
+	}
+	fp := h.rowFootprint(old)
+	p.rows[id.Slot] = nil
+	p.bytes -= fp
+	h.bytes -= fp
+	h.nrows--
+	if h.pager != nil {
+		h.pager.recordWrite(int64(rowHeaderBytes))
+	}
+	return old, nil
+}
+
+// Restore reinstates a previously deleted row at id (undo of Delete).
+func (h *Heap) Restore(id RowID, row Row) error {
+	if id.Page < 0 || id.Page >= len(h.pages) {
+		return fmt.Errorf("storage: restore: bad page %d", id.Page)
+	}
+	p := h.pages[id.Page]
+	if id.Slot < 0 || id.Slot >= len(p.rows) {
+		return fmt.Errorf("storage: restore: bad slot %d", id.Slot)
+	}
+	if p.rows[id.Slot] != nil {
+		return fmt.Errorf("storage: restore: slot %d.%d is occupied", id.Page, id.Slot)
+	}
+	fp := h.rowFootprint(row)
+	p.rows[id.Slot] = row
+	p.bytes += fp
+	h.bytes += fp
+	h.nrows++
+	return nil
+}
+
+func (h *Heap) slot(id RowID) (*page, Row, error) {
+	if id.Page < 0 || id.Page >= len(h.pages) {
+		return nil, nil, fmt.Errorf("storage: bad page %d", id.Page)
+	}
+	p := h.pages[id.Page]
+	if id.Slot < 0 || id.Slot >= len(p.rows) || p.rows[id.Slot] == nil {
+		return nil, nil, fmt.Errorf("storage: no live row at %d.%d", id.Page, id.Slot)
+	}
+	return p, p.rows[id.Slot], nil
+}
+
+// AddColumnData extends every row with a NULL for a newly added column and
+// adjusts footprints (the null bitmap may grow by a byte).
+func (h *Heap) AddColumnData() {
+	for _, p := range h.pages {
+		p.bytes = 0
+		for i, r := range p.rows {
+			if r == nil {
+				continue
+			}
+			p.rows[i] = append(r, types.Datum{Null: true})
+			p.bytes += h.rowFootprint(p.rows[i])
+		}
+	}
+	h.recomputeBytes()
+}
+
+// DropColumnData removes column idx from every row.
+func (h *Heap) DropColumnData(idx int) {
+	for _, p := range h.pages {
+		p.bytes = 0
+		for i, r := range p.rows {
+			if r == nil {
+				continue
+			}
+			nr := make(Row, 0, len(r)-1)
+			nr = append(nr, r[:idx]...)
+			nr = append(nr, r[idx+1:]...)
+			p.rows[i] = nr
+			p.bytes += h.rowFootprint(nr)
+		}
+	}
+	h.recomputeBytes()
+}
+
+func (h *Heap) recomputeBytes() {
+	h.bytes = 0
+	for _, p := range h.pages {
+		h.bytes += p.bytes
+	}
+}
+
+// Truncate discards all rows.
+func (h *Heap) Truncate() {
+	h.pages = nil
+	h.nrows = 0
+	h.bytes = 0
+}
+
+// Pager models storage I/O by counting bytes read and written. The harness
+// converts byte counts into an effective scan time under a configured
+// bandwidth (DESIGN.md §2): engines whose per-tuple CPU cost is low become
+// bandwidth-bound exactly as Sinew does on the paper's 40 GB dataset.
+type Pager struct {
+	mu           sync.Mutex
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// NewPager returns a zeroed pager.
+func NewPager() *Pager { return &Pager{} }
+
+func (p *Pager) recordRead(n int64) {
+	p.mu.Lock()
+	p.bytesRead += n
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordWrite(n int64) {
+	p.mu.Lock()
+	p.bytesWritten += n
+	p.mu.Unlock()
+}
+
+// Stats returns cumulative bytes read and written.
+func (p *Pager) Stats() (read, written int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesRead, p.bytesWritten
+}
+
+// Reset zeroes the counters (between benchmark phases).
+func (p *Pager) Reset() {
+	p.mu.Lock()
+	p.bytesRead, p.bytesWritten = 0, 0
+	p.mu.Unlock()
+}

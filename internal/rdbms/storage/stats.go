@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"sort"
+
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// ColumnStats summarizes one column for the optimizer, in the style of
+// pg_statistic: row/null counts, distinct estimate, extrema, and most
+// common values. Stats exist only for physical columns — expressions such
+// as Sinew's extract_key UDF are opaque, which is exactly the effect
+// Table 2 of the paper measures.
+type ColumnStats struct {
+	RowCount  int64
+	NullCount int64
+	NDistinct int64
+	// HasMinMax is set for orderable columns with at least one non-null.
+	HasMinMax bool
+	Min, Max  types.Datum
+	// MCVs lists up to statsMCVLimit most common values with frequencies
+	// (fraction of all rows).
+	MCVs []MCV
+}
+
+// MCV is a most-common-value entry.
+type MCV struct {
+	Val  types.Datum
+	Freq float64
+}
+
+// TableStats is the result of ANALYZE: per-column statistics keyed by
+// column name, plus the table row count at analysis time.
+type TableStats struct {
+	RowCount int64
+	Columns  map[string]*ColumnStats
+}
+
+const (
+	// statsDistinctTrackLimit caps the exact-distinct tracking; beyond it
+	// the estimate scales up proportionally (a crude HLL stand-in).
+	statsDistinctTrackLimit = 1 << 16
+	statsMCVLimit           = 10
+)
+
+// Analyze computes statistics for every column of h with a full scan.
+func Analyze(h *Heap) *TableStats {
+	schema := h.Schema()
+	n := len(schema.Cols)
+	type colAcc struct {
+		nulls    int64
+		distinct map[string]int64 // hashkey -> count (value kept separately)
+		sample   map[string]types.Datum
+		overflow bool
+		seen     int64
+		min, max types.Datum
+		hasMM    bool
+		cmpOK    bool
+	}
+	accs := make([]colAcc, n)
+	for i := range accs {
+		accs[i].distinct = make(map[string]int64)
+		accs[i].sample = make(map[string]types.Datum)
+		accs[i].cmpOK = true
+	}
+	var rows int64
+	var keyBuf []byte
+	h.Scan(func(_ RowID, row Row) bool {
+		rows++
+		for i := 0; i < n; i++ {
+			d := row[i]
+			a := &accs[i]
+			if d.IsNull() {
+				a.nulls++
+				continue
+			}
+			a.seen++
+			keyBuf = d.HashKey(keyBuf[:0])
+			k := string(keyBuf)
+			if !a.overflow {
+				a.distinct[k]++
+				if _, ok := a.sample[k]; !ok {
+					a.sample[k] = d
+				}
+				if len(a.distinct) > statsDistinctTrackLimit {
+					a.overflow = true
+				}
+			} else if c, ok := a.distinct[k]; ok {
+				a.distinct[k] = c + 1
+			}
+			if a.cmpOK {
+				if !a.hasMM {
+					a.min, a.max, a.hasMM = d, d, true
+				} else {
+					if c, err := types.Compare(d, a.min); err != nil {
+						a.cmpOK = false
+						a.hasMM = false
+					} else if c < 0 {
+						a.min = d
+					}
+					if a.cmpOK {
+						if c, err := types.Compare(d, a.max); err != nil {
+							a.cmpOK = false
+							a.hasMM = false
+						} else if c > 0 {
+							a.max = d
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	ts := &TableStats{RowCount: rows, Columns: make(map[string]*ColumnStats, n)}
+	for i, c := range schema.Cols {
+		a := &accs[i]
+		cs := &ColumnStats{RowCount: rows, NullCount: a.nulls}
+		nd := int64(len(a.distinct))
+		if a.overflow && a.seen > 0 {
+			// Tracked the first statsDistinctTrackLimit distincts over some
+			// prefix; scale linearly as Postgres's estimator would.
+			nd = nd * a.seen / maxInt64(1, sumCounts(a.distinct))
+			if nd < statsDistinctTrackLimit {
+				nd = statsDistinctTrackLimit
+			}
+		}
+		cs.NDistinct = nd
+		if a.hasMM {
+			cs.HasMinMax = true
+			cs.Min, cs.Max = a.min, a.max
+		}
+		if rows > 0 && len(a.distinct) > 0 {
+			type kv struct {
+				k string
+				c int64
+			}
+			top := make([]kv, 0, len(a.distinct))
+			for k, c := range a.distinct {
+				top = append(top, kv{k, c})
+			}
+			sort.Slice(top, func(x, y int) bool {
+				if top[x].c != top[y].c {
+					return top[x].c > top[y].c
+				}
+				return top[x].k < top[y].k
+			})
+			if len(top) > statsMCVLimit {
+				top = top[:statsMCVLimit]
+			}
+			for _, t := range top {
+				cs.MCVs = append(cs.MCVs, MCV{Val: a.sample[t.k], Freq: float64(t.c) / float64(rows)})
+			}
+		}
+		ts.Columns[c.Name] = cs
+	}
+	return ts
+}
+
+func sumCounts(m map[string]int64) int64 {
+	var s int64
+	for _, c := range m {
+		s += c
+	}
+	return s
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,347 @@
+// Package types defines the value system of the embedded relational engine:
+// SQL types, datums, comparison, casting, and hashing. It is shared by the
+// storage layer, planner, executor, and by Sinew's serialization format.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type is a SQL column type.
+type Type uint8
+
+// The supported SQL types. Unknown is the type of an untyped NULL literal
+// and of expressions whose type cannot be derived.
+const (
+	Unknown Type = iota
+	Bool
+	Int
+	Float
+	Text
+	Bytes
+	Array
+)
+
+// String returns the SQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case Unknown:
+		return "unknown"
+	case Bool:
+		return "boolean"
+	case Int:
+		return "integer"
+	case Float:
+		return "real"
+	case Text:
+		return "text"
+	case Bytes:
+		return "bytea"
+	case Array:
+		return "array"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ParseType resolves a SQL type name (as written in DDL) to a Type.
+func ParseType(name string) (Type, error) {
+	switch strings.ToLower(name) {
+	case "bool", "boolean":
+		return Bool, nil
+	case "int", "integer", "bigint", "int8", "int4", "smallint":
+		return Int, nil
+	case "real", "float", "float8", "double", "double precision", "numeric", "decimal":
+		return Float, nil
+	case "text", "varchar", "char", "string":
+		return Text, nil
+	case "bytea", "blob", "bytes":
+		return Bytes, nil
+	case "array":
+		return Array, nil
+	default:
+		return Unknown, fmt.Errorf("types: unknown type name %q", name)
+	}
+}
+
+// Datum is a single SQL value. The zero Datum is the SQL NULL of unknown
+// type. Exactly one payload field is meaningful, selected by Typ; a Datum
+// with Null set has no payload.
+type Datum struct {
+	Typ  Type
+	Null bool
+	B    bool
+	I    int64
+	F    float64
+	S    string
+	Bs   []byte
+	A    []Datum
+}
+
+// Constructors.
+
+// NewNull returns a NULL of the given type.
+func NewNull(t Type) Datum { return Datum{Typ: t, Null: true} }
+
+// NewBool returns a boolean datum.
+func NewBool(b bool) Datum { return Datum{Typ: Bool, B: b} }
+
+// NewInt returns an integer datum.
+func NewInt(i int64) Datum { return Datum{Typ: Int, I: i} }
+
+// NewFloat returns a real datum.
+func NewFloat(f float64) Datum { return Datum{Typ: Float, F: f} }
+
+// NewText returns a text datum.
+func NewText(s string) Datum { return Datum{Typ: Text, S: s} }
+
+// NewBytes returns a bytea datum (b is not copied).
+func NewBytes(b []byte) Datum { return Datum{Typ: Bytes, Bs: b} }
+
+// NewArray returns an array datum over elems (not copied).
+func NewArray(elems ...Datum) Datum { return Datum{Typ: Array, A: elems} }
+
+// IsNull reports whether the datum is SQL NULL. A Datum of Unknown type is
+// always NULL (no expression produces a non-null Unknown value), so the zero
+// Datum is the untyped NULL literal.
+func (d Datum) IsNull() bool { return d.Null || d.Typ == Unknown }
+
+// String renders the datum for display (EXPLAIN, result printing, tests).
+func (d Datum) String() string {
+	if d.Null {
+		return "NULL"
+	}
+	switch d.Typ {
+	case Unknown:
+		return "NULL"
+	case Bool:
+		if d.B {
+			return "true"
+		}
+		return "false"
+	case Int:
+		return strconv.FormatInt(d.I, 10)
+	case Float:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case Text:
+		return d.S
+	case Bytes:
+		return fmt.Sprintf("\\x%x", d.Bs)
+	case Array:
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i, e := range d.A {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	default:
+		return fmt.Sprintf("<datum %v>", d.Typ)
+	}
+}
+
+// SizeBytes estimates the on-disk footprint of the datum, used by the
+// byte-accounting pager (and therefore by the I/O model and Table 3 storage
+// sizes). NULLs cost nothing beyond the row's null bitmap.
+func (d Datum) SizeBytes() int64 {
+	if d.Null {
+		return 0
+	}
+	switch d.Typ {
+	case Bool:
+		return 1
+	case Int:
+		return 8
+	case Float:
+		return 8
+	case Text:
+		return int64(4 + len(d.S)) // 4-byte varlena length header
+	case Bytes:
+		return int64(4 + len(d.Bs))
+	case Array:
+		n := int64(4)
+		for _, e := range d.A {
+			n += 1 + e.SizeBytes() // element type tag + payload
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Float64 widens numeric datums to float64; ok is false for non-numerics
+// and NULL.
+func (d Datum) Float64() (float64, bool) {
+	if d.Null {
+		return 0, false
+	}
+	switch d.Typ {
+	case Int:
+		return float64(d.I), true
+	case Float:
+		return d.F, true
+	}
+	return 0, false
+}
+
+// Compare orders two non-NULL datums: -1, 0, +1. Numeric types compare
+// cross-type (integer vs real); all other cross-type comparisons are
+// incomparable and return an error. NULL handling is the caller's job
+// (SQL three-valued logic lives in the expression evaluator).
+func Compare(a, b Datum) (int, error) {
+	if a.Null || b.Null {
+		return 0, fmt.Errorf("types: Compare called with NULL operand")
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.Typ == Int && b.Typ == Int {
+			return cmpInt(a.I, b.I), nil
+		}
+		af, _ := a.Float64()
+		bf, _ := b.Float64()
+		return cmpFloat(af, bf), nil
+	}
+	if a.Typ != b.Typ {
+		return 0, fmt.Errorf("types: cannot compare %v with %v", a.Typ, b.Typ)
+	}
+	switch a.Typ {
+	case Bool:
+		return cmpBool(a.B, b.B), nil
+	case Text:
+		return strings.Compare(a.S, b.S), nil
+	case Bytes:
+		return strings.Compare(string(a.Bs), string(b.Bs)), nil
+	case Array:
+		for i := 0; i < len(a.A) && i < len(b.A); i++ {
+			if a.A[i].Null || b.A[i].Null {
+				if a.A[i].Null && b.A[i].Null {
+					continue
+				}
+				if a.A[i].Null {
+					return -1, nil // NULLs first inside arrays
+				}
+				return 1, nil
+			}
+			c, err := Compare(a.A[i], b.A[i])
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				return c, nil
+			}
+		}
+		return cmpInt(int64(len(a.A)), int64(len(b.A))), nil
+	default:
+		return 0, fmt.Errorf("types: cannot compare values of type %v", a.Typ)
+	}
+}
+
+// IsNumeric reports whether the datum holds an integer or real value.
+func (d Datum) IsNumeric() bool { return d.Typ == Int || d.Typ == Float }
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// NaN ordering: NaN sorts after everything and equals itself, so sorts
+	// and aggregates terminate deterministically.
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return 1
+	default:
+		return -1
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports SQL equality of two non-NULL datums; incomparable types are
+// simply unequal (rather than an error) which matches the dynamic-typing
+// behaviour Sinew needs for multi-typed attributes.
+func Equal(a, b Datum) bool {
+	if a.Null || b.Null {
+		return false
+	}
+	if a.Typ != b.Typ && !(a.IsNumeric() && b.IsNumeric()) {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// HashKey encodes the datum into buf as a self-delimiting byte key such that
+// Equal datums produce equal keys. Numerics are normalized to float64 so
+// 2 and 2.0 collide (matching Equal). Used by hash join/aggregate.
+func (d Datum) HashKey(buf []byte) []byte {
+	if d.Null {
+		return append(buf, 0x00)
+	}
+	switch d.Typ {
+	case Bool:
+		if d.B {
+			return append(buf, 0x01, 1)
+		}
+		return append(buf, 0x01, 0)
+	case Int, Float:
+		f, _ := d.Float64()
+		bits := math.Float64bits(f)
+		buf = append(buf, 0x02)
+		for shift := 56; shift >= 0; shift -= 8 {
+			buf = append(buf, byte(bits>>shift))
+		}
+		return buf
+	case Text:
+		buf = append(buf, 0x03)
+		buf = appendLenPrefixed(buf, d.S)
+		return buf
+	case Bytes:
+		buf = append(buf, 0x04)
+		buf = appendLenPrefixed(buf, string(d.Bs))
+		return buf
+	case Array:
+		buf = append(buf, 0x05)
+		buf = append(buf, byte(len(d.A)>>8), byte(len(d.A)))
+		for _, e := range d.A {
+			buf = e.HashKey(buf)
+		}
+		return buf
+	default:
+		return append(buf, 0xff)
+	}
+}
+
+func appendLenPrefixed(buf []byte, s string) []byte {
+	n := len(s)
+	buf = append(buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(buf, s...)
+}

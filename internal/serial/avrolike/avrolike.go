@@ -1,0 +1,260 @@
+// Package avrolike implements an Avro-style sequential serialization used
+// as the Appendix A baseline. Like Avro, it has no notion of optional
+// attributes: the writer schema is the full closed set of attributes in the
+// dictionary, and every record encodes a union tag ([null, T]) for every
+// schema attribute — explicit NULLs for all absent keys. On sparse data
+// (NoBench has ~1000 mostly-absent keys) this bloats the encoding and makes
+// both deserialization and key extraction scan the whole record, which is
+// exactly the behaviour Table 4 of the paper measures.
+package avrolike
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/serial"
+)
+
+// Serialize encodes doc against the dictionary's full attribute schema.
+// The dictionary must already contain every attribute of doc (run a
+// cataloging pass first, as Avro requires the writer schema up front).
+func Serialize(doc *jsonx.Doc, dict serial.Dict) ([]byte, error) {
+	var out []byte
+	for _, attr := range dict.All() {
+		v, ok := doc.Get(attr.Key)
+		at, typed := serial.AttrTypeOf(v)
+		if !ok || !typed || at != attr.Type {
+			out = append(out, 0) // union branch 0: null
+			continue
+		}
+		out = append(out, 1) // union branch 1: value
+		var err error
+		out, err = appendValue(out, v, dict)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// appendValue writes a length-prefixed (for variable types) binary value.
+func appendValue(out []byte, v jsonx.Value, dict serial.Dict) ([]byte, error) {
+	switch v.Kind {
+	case jsonx.Bool:
+		if v.B {
+			return append(out, 1), nil
+		}
+		return append(out, 0), nil
+	case jsonx.Int:
+		return binary.AppendVarint(out, v.I), nil
+	case jsonx.Float:
+		return binary.LittleEndian.AppendUint64(out, math.Float64bits(v.F)), nil
+	case jsonx.String:
+		out = binary.AppendUvarint(out, uint64(len(v.S)))
+		return append(out, v.S...), nil
+	case jsonx.Object:
+		sub, err := Serialize(v.Obj, dict)
+		if err != nil {
+			return nil, err
+		}
+		out = binary.AppendUvarint(out, uint64(len(sub)))
+		return append(out, sub...), nil
+	case jsonx.Array:
+		out = binary.AppendUvarint(out, uint64(len(v.A)))
+		for _, e := range v.A {
+			at, ok := serial.AttrTypeOf(e)
+			if !ok {
+				out = append(out, 0xff)
+				continue
+			}
+			out = append(out, byte(at))
+			var err error
+			out, err = appendValue(out, e, dict)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("avrolike: cannot serialize %v", v.Kind)
+	}
+}
+
+// reader walks a record sequentially.
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("avrolike: truncated record")
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("avrolike: bad varint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("avrolike: bad uvarint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.pos+n > len(r.b) {
+		return nil, fmt.Errorf("avrolike: truncated record")
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// readValue decodes (or skips, when decode is false) one value of type t.
+func (r *reader) readValue(t serial.AttrType, dict serial.Dict, decode bool) (jsonx.Value, error) {
+	switch t {
+	case serial.TypeBool:
+		c, err := r.byte()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.BoolValue(c != 0), nil
+	case serial.TypeInt:
+		v, err := r.varint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.IntValue(v), nil
+	case serial.TypeFloat:
+		b, err := r.take(8)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case serial.TypeString:
+		n, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		if !decode {
+			return jsonx.Value{}, nil
+		}
+		return jsonx.StringValue(string(b)), nil
+	case serial.TypeObject:
+		n, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		if !decode {
+			return jsonx.Value{}, nil
+		}
+		doc, err := Deserialize(b, dict)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.ObjectValue(doc), nil
+	case serial.TypeArray:
+		n, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		elems := make([]jsonx.Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			tag, err := r.byte()
+			if err != nil {
+				return jsonx.Value{}, err
+			}
+			if tag == 0xff {
+				if decode {
+					elems = append(elems, jsonx.NullValue())
+				}
+				continue
+			}
+			v, err := r.readValue(serial.AttrType(tag), dict, decode)
+			if err != nil {
+				return jsonx.Value{}, err
+			}
+			if decode {
+				elems = append(elems, v)
+			}
+		}
+		if !decode {
+			return jsonx.Value{}, nil
+		}
+		return jsonx.ArrayValue(elems...), nil
+	default:
+		return jsonx.Value{}, fmt.Errorf("avrolike: unknown type %d", t)
+	}
+}
+
+// Deserialize reconstructs the document (sequentially, reading every
+// attribute slot of the schema).
+func Deserialize(data []byte, dict serial.Dict) (*jsonx.Doc, error) {
+	r := &reader{b: data}
+	doc := jsonx.NewDoc()
+	for _, attr := range dict.All() {
+		branch, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if branch == 0 {
+			continue
+		}
+		v, err := r.readValue(attr.Type, dict, true)
+		if err != nil {
+			return nil, err
+		}
+		doc.Set(attr.Key, v)
+	}
+	return doc, nil
+}
+
+// Extract fetches a single attribute by scanning the record from the start
+// — Avro supports no random access, so every attribute slot before the
+// target must be walked (and all of them when the key is absent).
+func Extract(data []byte, key string, want serial.AttrType, dict serial.Dict) (jsonx.Value, bool, error) {
+	r := &reader{b: data}
+	for _, attr := range dict.All() {
+		branch, err := r.byte()
+		if err != nil {
+			return jsonx.Value{}, false, err
+		}
+		hit := attr.Key == key && attr.Type == want
+		if branch == 0 {
+			if hit {
+				return jsonx.Value{}, false, nil
+			}
+			continue
+		}
+		v, err := r.readValue(attr.Type, dict, hit)
+		if err != nil {
+			return jsonx.Value{}, false, err
+		}
+		if hit {
+			return v, true, nil
+		}
+	}
+	return jsonx.Value{}, false, nil
+}

@@ -1,0 +1,106 @@
+package avrolike
+
+import (
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/serial"
+)
+
+// fixture returns a dictionary (the closed writer schema) and two docs.
+func fixture(t *testing.T) (*serial.Dictionary, []*jsonx.Doc) {
+	t.Helper()
+	dict := serial.NewDictionary()
+	var docs []*jsonx.Doc
+	for _, s := range []string{
+		`{"a":1,"b":"text","c":2.5,"d":true,"nested":{"x":1},"arr":[1,"y",null]}`,
+		`{"a":2,"sparse":"only here"}`,
+	} {
+		d, err := jsonx.ParseDocument([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+		catalogDoc(dict, d)
+	}
+	return dict, docs
+}
+
+// catalogDoc registers every attribute, recursively by local key name —
+// Avro requires the complete writer schema (nested records included)
+// before any record can be encoded.
+func catalogDoc(dict *serial.Dictionary, d *jsonx.Doc) {
+	for _, m := range d.Members() {
+		if at, ok := serial.AttrTypeOf(m.Val); ok {
+			dict.IDFor(m.Key, at)
+		}
+		if m.Val.Kind == jsonx.Object {
+			catalogDoc(dict, m.Val.Obj)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dict, docs := fixture(t)
+	for _, d := range docs {
+		data, err := Serialize(d, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Deserialize(data, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Nulls inside arrays survive; absent keys stay absent.
+		for _, m := range d.Members() {
+			got, ok := out.Get(m.Key)
+			if _, typed := serial.AttrTypeOf(m.Val); !typed {
+				continue
+			}
+			if !ok || !got.Equal(m.Val) {
+				t.Errorf("key %q: got %v, want %v", m.Key, got, m.Val)
+			}
+		}
+	}
+}
+
+func TestUnionNullBloat(t *testing.T) {
+	dict, docs := fixture(t)
+	// The sparse doc has 2 keys but pays a union byte for all 7 schema
+	// attributes — the Appendix A size penalty in miniature.
+	data, err := Serialize(docs[1], dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < dict.Len() {
+		t.Errorf("record %d bytes < %d schema slots", len(data), dict.Len())
+	}
+}
+
+func TestExtract(t *testing.T) {
+	dict, docs := fixture(t)
+	data, _ := Serialize(docs[0], dict)
+	v, ok, err := Extract(data, "b", serial.TypeString, dict)
+	if err != nil || !ok || v.S != "text" {
+		t.Fatalf("b = %v %v %v", v, ok, err)
+	}
+	// Absent attribute.
+	if _, ok, _ := Extract(data, "sparse", serial.TypeString, dict); ok {
+		t.Error("sparse should be absent in doc 0")
+	}
+	// Wrong type is absent, not an error.
+	if _, ok, _ := Extract(data, "b", serial.TypeInt, dict); ok {
+		t.Error("type-mismatched extraction should be absent")
+	}
+}
+
+func TestTruncatedRecordErrors(t *testing.T) {
+	dict, docs := fixture(t)
+	data, _ := Serialize(docs[0], dict)
+	for cut := 0; cut < len(data); cut++ {
+		_, _ = Deserialize(data[:cut], dict) // must not panic
+	}
+	if _, err := Deserialize(nil, dict); err == nil {
+		t.Error("empty record should error against a non-empty schema")
+	}
+}

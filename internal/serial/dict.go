@@ -1,0 +1,186 @@
+// Package serial implements Sinew's custom serialization format (§4.1 of
+// the paper, Figure 5): a per-record header holding the attribute count, a
+// sorted list of attribute IDs, and a parallel list of value offsets,
+// followed by a binary body. The header separates structure from data so a
+// single key is located with one binary search (O(log n)) instead of the
+// sequential scan Avro/Protocol-Buffers-style formats require; IDs and
+// offsets are stored contiguously for cache-friendly searches.
+//
+// Attribute IDs come from a dictionary (the global half of Sinew's catalog,
+// Figure 4a): every distinct (key, type) pair — an attribute — maps to a
+// compact integer ID, which doubles as dictionary compression of key names.
+package serial
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// AttrType is the dynamic type half of an attribute. The same JSON key with
+// values of two types yields two attributes (paper §3.2.2: extraction is
+// type-selective).
+type AttrType uint8
+
+// Attribute types.
+const (
+	TypeString AttrType = iota
+	TypeInt
+	TypeFloat
+	TypeBool
+	TypeObject
+	TypeArray
+)
+
+// String returns the catalog name of the type (matching Figure 4's
+// key_type column).
+func (t AttrType) String() string {
+	switch t {
+	case TypeString:
+		return "text"
+	case TypeInt:
+		return "integer"
+	case TypeFloat:
+		return "real"
+	case TypeBool:
+		return "boolean"
+	case TypeObject:
+		return "document"
+	case TypeArray:
+		return "array"
+	default:
+		return fmt.Sprintf("AttrType(%d)", uint8(t))
+	}
+}
+
+// AttrTypeOf maps a JSON value to its attribute type; ok is false for null
+// (null-valued keys are simply absent from the serialized record).
+func AttrTypeOf(v jsonx.Value) (AttrType, bool) {
+	switch v.Kind {
+	case jsonx.String:
+		return TypeString, true
+	case jsonx.Int:
+		return TypeInt, true
+	case jsonx.Float:
+		return TypeFloat, true
+	case jsonx.Bool:
+		return TypeBool, true
+	case jsonx.Object:
+		return TypeObject, true
+	case jsonx.Array:
+		return TypeArray, true
+	default:
+		return 0, false
+	}
+}
+
+// Attr is one dictionary entry.
+type Attr struct {
+	ID   uint32
+	Key  string
+	Type AttrType
+}
+
+// Dict resolves attributes to IDs and back. Implementations must be safe
+// for concurrent use (the loader and extraction UDFs share it).
+type Dict interface {
+	// IDFor returns the attribute's ID, allocating a new one if the
+	// attribute has never been seen (the invisible schema-evolution cost
+	// of §3.2.1).
+	IDFor(key string, typ AttrType) uint32
+	// IDOf returns the ID without allocating; ok is false if absent.
+	IDOf(key string, typ AttrType) (id uint32, ok bool)
+	// Lookup resolves an ID.
+	Lookup(id uint32) (Attr, bool)
+	// All returns every attribute sorted by ID (Avro-style formats need
+	// the full closed schema).
+	All() []Attr
+}
+
+// Dictionary is the standard in-memory Dict.
+type Dictionary struct {
+	mu    sync.RWMutex
+	byKey map[dictKey]uint32
+	byID  []Attr // index == ID
+}
+
+type dictKey struct {
+	key string
+	typ AttrType
+}
+
+// NewDictionary returns an empty dictionary; IDs start at 0.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byKey: make(map[dictKey]uint32)}
+}
+
+// IDFor implements Dict.
+func (d *Dictionary) IDFor(key string, typ AttrType) uint32 {
+	k := dictKey{key, typ}
+	d.mu.RLock()
+	id, ok := d.byKey[k]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byKey[k]; ok {
+		return id
+	}
+	id = uint32(len(d.byID))
+	d.byKey[k] = id
+	d.byID = append(d.byID, Attr{ID: id, Key: key, Type: typ})
+	return id
+}
+
+// IDOf implements Dict.
+func (d *Dictionary) IDOf(key string, typ AttrType) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[dictKey{key, typ}]
+	return id, ok
+}
+
+// Lookup implements Dict.
+func (d *Dictionary) Lookup(id uint32) (Attr, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.byID) {
+		return Attr{}, false
+	}
+	return d.byID[id], true
+}
+
+// All implements Dict.
+func (d *Dictionary) All() []Attr {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Attr, len(d.byID))
+	copy(out, d.byID)
+	return out
+}
+
+// Len returns the number of attributes.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}
+
+// IDsOfKey returns all attribute IDs sharing a key (one per observed type),
+// sorted; extraction with an unknown desired type probes each.
+func (d *Dictionary) IDsOfKey(key string) []Attr {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []Attr
+	for _, a := range d.byID {
+		if a.Key == key {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

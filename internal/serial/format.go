@@ -1,0 +1,440 @@
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// Record layout (all integers little-endian uint32, Figure 5):
+//
+//	[n][aid_0 .. aid_{n-1}][off_0 .. off_{n-1}][bodyLen][body]
+//
+// aids are sorted ascending; off_i is the byte offset of attribute i's
+// value within the body; a value's length is off_{i+1}-off_i (or
+// bodyLen-off_i for the last). Values are binary: bool 1 byte, int/float 8
+// bytes, strings raw UTF-8, nested objects a nested record, arrays a
+// count-prefixed sequence of tagged elements.
+
+const u32 = 4
+
+// Serialize encodes a document. Top-level keys become attributes; nested
+// objects are serialized recursively as sub-records under their parent key
+// (their dotted sub-attributes are cataloged by the loader, not stored
+// separately). Null-valued keys are omitted: absence is NULL.
+func Serialize(doc *jsonx.Doc, dict Dict) ([]byte, error) {
+	type entry struct {
+		id  uint32
+		val jsonx.Value
+	}
+	entries := make([]entry, 0, doc.Len())
+	for _, m := range doc.Members() {
+		at, ok := AttrTypeOf(m.Val)
+		if !ok {
+			continue // JSON null: absent
+		}
+		entries = append(entries, entry{id: dict.IDFor(m.Key, at), val: m.Val})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+
+	// Body first, recording offsets.
+	var body []byte
+	offsets := make([]uint32, len(entries))
+	for i, e := range entries {
+		offsets[i] = uint32(len(body))
+		var err error
+		body, err = appendValue(body, e.val, dict)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]byte, 0, u32*(2+2*len(entries))+len(body))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = binary.LittleEndian.AppendUint32(out, e.id)
+	}
+	for _, off := range offsets {
+		out = binary.LittleEndian.AppendUint32(out, off)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	return out, nil
+}
+
+// appendValue encodes one value into the body.
+func appendValue(body []byte, v jsonx.Value, dict Dict) ([]byte, error) {
+	switch v.Kind {
+	case jsonx.Bool:
+		if v.B {
+			return append(body, 1), nil
+		}
+		return append(body, 0), nil
+	case jsonx.Int:
+		return binary.LittleEndian.AppendUint64(body, uint64(v.I)), nil
+	case jsonx.Float:
+		return binary.LittleEndian.AppendUint64(body, math.Float64bits(v.F)), nil
+	case jsonx.String:
+		return append(body, v.S...), nil
+	case jsonx.Object:
+		sub, err := Serialize(v.Obj, dict)
+		if err != nil {
+			return nil, err
+		}
+		return append(body, sub...), nil
+	case jsonx.Array:
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(v.A)))
+		for _, e := range v.A {
+			at, ok := AttrTypeOf(e)
+			if !ok {
+				// Array-nested null keeps its position with a sentinel tag.
+				body = append(body, 0xff)
+				body = binary.LittleEndian.AppendUint32(body, 0)
+				continue
+			}
+			elem, err := appendValue(nil, e, dict)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, byte(at))
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(elem)))
+			body = append(body, elem...)
+		}
+		return body, nil
+	default:
+		return nil, fmt.Errorf("serial: cannot serialize %v value", v.Kind)
+	}
+}
+
+// header gives parsed access to a record's structure without copying.
+type header struct {
+	n       int
+	aids    []byte // n*4 bytes
+	offs    []byte // n*4 bytes
+	body    []byte
+	bodyLen uint32
+}
+
+func parseHeader(data []byte) (header, error) {
+	if len(data) < u32 {
+		return header{}, fmt.Errorf("serial: record too short (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	need := u32 * (2 + 2*n)
+	if len(data) < need {
+		return header{}, fmt.Errorf("serial: truncated header (n=%d, %d bytes)", n, len(data))
+	}
+	h := header{
+		n:    n,
+		aids: data[u32 : u32+u32*n],
+		offs: data[u32+u32*n : u32+2*u32*n],
+	}
+	h.bodyLen = binary.LittleEndian.Uint32(data[u32+2*u32*n:])
+	bodyStart := need
+	if len(data) < bodyStart+int(h.bodyLen) {
+		return header{}, fmt.Errorf("serial: truncated body (want %d bytes)", h.bodyLen)
+	}
+	h.body = data[bodyStart : bodyStart+int(h.bodyLen)]
+	return h, nil
+}
+
+func (h header) aid(i int) uint32 {
+	return binary.LittleEndian.Uint32(h.aids[i*u32:])
+}
+
+func (h header) off(i int) uint32 {
+	return binary.LittleEndian.Uint32(h.offs[i*u32:])
+}
+
+// valueBytes returns the body slice of attribute index i.
+func (h header) valueBytes(i int) []byte {
+	start := h.off(i)
+	end := h.bodyLen
+	if i+1 < h.n {
+		end = h.off(i + 1)
+	}
+	return h.body[start:end]
+}
+
+// find binary-searches the sorted attribute ID list.
+func (h header) find(id uint32) (int, bool) {
+	lo, hi := 0, h.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v := h.aid(mid)
+		switch {
+		case v < id:
+			lo = mid + 1
+		case v > id:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return 0, false
+}
+
+// Has reports whether the record contains attribute id — the cheap
+// existence check (the paper notes existence checks are much cheaper than
+// extraction).
+func Has(data []byte, id uint32) (bool, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return false, err
+	}
+	_, ok := h.find(id)
+	return ok, nil
+}
+
+// ExtractByID returns the value of attribute id; ok=false when absent.
+func ExtractByID(data []byte, id uint32, dict Dict) (jsonx.Value, bool, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return jsonx.Value{}, false, err
+	}
+	i, ok := h.find(id)
+	if !ok {
+		return jsonx.Value{}, false, nil
+	}
+	attr, ok := dict.Lookup(id)
+	if !ok {
+		return jsonx.Value{}, false, fmt.Errorf("serial: attribute %d not in dictionary", id)
+	}
+	v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+	if err != nil {
+		return jsonx.Value{}, false, err
+	}
+	return v, true, nil
+}
+
+// ExtractByIDLinear is ExtractByID with a linear header scan instead of
+// binary search — the ablation baseline isolating the sorted-ID design of
+// §4.1 (kept out of production paths).
+func ExtractByIDLinear(data []byte, id uint32, dict Dict) (jsonx.Value, bool, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return jsonx.Value{}, false, err
+	}
+	for i := 0; i < h.n; i++ {
+		if h.aid(i) != id {
+			continue
+		}
+		attr, ok := dict.Lookup(id)
+		if !ok {
+			return jsonx.Value{}, false, fmt.Errorf("serial: attribute %d not in dictionary", id)
+		}
+		v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+		if err != nil {
+			return jsonx.Value{}, false, err
+		}
+		return v, true, nil
+	}
+	return jsonx.Value{}, false, nil
+}
+
+// ExtractPath resolves a possibly dot-delimited key path of a given type:
+// it first tries the literal key, then descends through nested object
+// attributes ("user.id" → object "user", then "id" inside it). ok=false
+// when the path or type does not match — never an error for a absent or
+// differently-typed key (§3.2.2's graceful multi-type handling).
+func ExtractPath(data []byte, path string, want AttrType, dict Dict) (jsonx.Value, bool, error) {
+	if id, ok := dict.IDOf(path, want); ok {
+		if v, found, err := ExtractByID(data, id, dict); err != nil || found {
+			return v, found, err
+		}
+	}
+	// Descend through nested objects (and, for numeric tail segments,
+	// array positions — §4.2 positional addressing) at each dot boundary.
+	for i := 0; i < len(path); i++ {
+		if path[i] != '.' {
+			continue
+		}
+		head, rest := path[:i], path[i+1:]
+		if oid, ok := dict.IDOf(head, TypeObject); ok {
+			h, err := parseHeader(data)
+			if err != nil {
+				return jsonx.Value{}, false, err
+			}
+			if idx, found := h.find(oid); found {
+				if v, found, err := ExtractPath(h.valueBytes(idx), rest, want, dict); err != nil || found {
+					return v, found, err
+				}
+			}
+		}
+		if aid, ok := dict.IDOf(head, TypeArray); ok {
+			h, err := parseHeader(data)
+			if err != nil {
+				return jsonx.Value{}, false, err
+			}
+			if idx, found := h.find(aid); found {
+				arr, err := decodeValue(h.valueBytes(idx), TypeArray, dict)
+				if err != nil {
+					return jsonx.Value{}, false, err
+				}
+				if v, ok := jsonx.ValuePathGet(arr, rest); ok {
+					if at, typed := AttrTypeOf(v); typed && at == want {
+						return v, true, nil
+					}
+				}
+			}
+		}
+	}
+	return jsonx.Value{}, false, nil
+}
+
+// decodeValue decodes a body slice of a known attribute type.
+func decodeValue(b []byte, t AttrType, dict Dict) (jsonx.Value, error) {
+	switch t {
+	case TypeBool:
+		if len(b) != 1 {
+			return jsonx.Value{}, fmt.Errorf("serial: bad bool length %d", len(b))
+		}
+		return jsonx.BoolValue(b[0] != 0), nil
+	case TypeInt:
+		if len(b) != 8 {
+			return jsonx.Value{}, fmt.Errorf("serial: bad int length %d", len(b))
+		}
+		return jsonx.IntValue(int64(binary.LittleEndian.Uint64(b))), nil
+	case TypeFloat:
+		if len(b) != 8 {
+			return jsonx.Value{}, fmt.Errorf("serial: bad float length %d", len(b))
+		}
+		return jsonx.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case TypeString:
+		return jsonx.StringValue(string(b)), nil
+	case TypeObject:
+		doc, err := Deserialize(b, dict)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.ObjectValue(doc), nil
+	case TypeArray:
+		return decodeArray(b, dict)
+	default:
+		return jsonx.Value{}, fmt.Errorf("serial: unknown attribute type %d", t)
+	}
+}
+
+func decodeArray(b []byte, dict Dict) (jsonx.Value, error) {
+	if len(b) < u32 {
+		return jsonx.Value{}, fmt.Errorf("serial: truncated array")
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	b = b[u32:]
+	elems := make([]jsonx.Value, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 1+u32 {
+			return jsonx.Value{}, fmt.Errorf("serial: truncated array element %d", i)
+		}
+		tag := b[0]
+		n := int(binary.LittleEndian.Uint32(b[1:]))
+		b = b[1+u32:]
+		if len(b) < n {
+			return jsonx.Value{}, fmt.Errorf("serial: truncated array element payload")
+		}
+		if tag == 0xff {
+			elems = append(elems, jsonx.NullValue())
+		} else {
+			v, err := decodeValue(b[:n], AttrType(tag), dict)
+			if err != nil {
+				return jsonx.Value{}, err
+			}
+			elems = append(elems, v)
+		}
+		b = b[n:]
+	}
+	return jsonx.ArrayValue(elems...), nil
+}
+
+// Deserialize reconstructs the full document (attribute-ID order; original
+// member order is not preserved, matching the paper's benchmark which only
+// requires reassembling the logical content).
+func Deserialize(data []byte, dict Dict) (*jsonx.Doc, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	doc := jsonx.NewDoc()
+	for i := 0; i < h.n; i++ {
+		attr, ok := dict.Lookup(h.aid(i))
+		if !ok {
+			return nil, fmt.Errorf("serial: attribute %d not in dictionary", h.aid(i))
+		}
+		v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+		if err != nil {
+			return nil, err
+		}
+		doc.Set(attr.Key, v)
+	}
+	return doc, nil
+}
+
+// AttrIDs lists the attribute IDs present in the record (catalog and
+// materializer use it to avoid full decodes).
+func AttrIDs(data []byte) ([]uint32, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, h.n)
+	for i := range out {
+		out[i] = h.aid(i)
+	}
+	return out, nil
+}
+
+// Remove returns a copy of the record without attribute id (the
+// materializer moves a value out of the reservoir into a physical column).
+// The second result reports whether the attribute was present.
+func Remove(data []byte, id uint32) ([]byte, bool, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, false, err
+	}
+	idx, ok := h.find(id)
+	if !ok {
+		return data, false, nil
+	}
+	vb := h.valueBytes(idx)
+	out := make([]byte, 0, len(data)-len(vb)-2*u32)
+	out = binary.LittleEndian.AppendUint32(out, uint32(h.n-1))
+	for i := 0; i < h.n; i++ {
+		if i != idx {
+			out = binary.LittleEndian.AppendUint32(out, h.aid(i))
+		}
+	}
+	removedOff := h.off(idx)
+	for i := 0; i < h.n; i++ {
+		if i == idx {
+			continue
+		}
+		off := h.off(i)
+		if off > removedOff {
+			off -= uint32(len(vb))
+		}
+		out = binary.LittleEndian.AppendUint32(out, off)
+	}
+	out = binary.LittleEndian.AppendUint32(out, h.bodyLen-uint32(len(vb)))
+	out = append(out, h.body[:removedOff]...)
+	out = append(out, h.body[removedOff+uint32(len(vb)):]...)
+	return out, true, nil
+}
+
+// Insert returns a copy of the record with attribute id set to v (the
+// materializer moves a value back into the reservoir on dematerialization).
+// An existing value for id is replaced.
+func Insert(data []byte, id uint32, v jsonx.Value, dict Dict) ([]byte, error) {
+	doc, err := Deserialize(data, dict)
+	if err != nil {
+		return nil, err
+	}
+	attr, ok := dict.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("serial: attribute %d not in dictionary", id)
+	}
+	doc.Set(attr.Key, v)
+	return Serialize(doc, dict)
+}

@@ -1,0 +1,391 @@
+// Package pblike implements a Protocol-Buffers-style serialization used as
+// the Appendix A baseline: tag/value pairs with varint field numbers (the
+// dictionary attribute IDs), optional fields simply absent, fields written
+// in ascending field-number order. Like real protobuf, records are
+// sequential: extraction walks tags from the start and can only
+// short-circuit once the scanned field number exceeds the target — there is
+// no random access, which is why single-key extraction costs almost as much
+// as ten-key extraction in Table 4.
+package pblike
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/serial"
+)
+
+// Wire types (mirroring protobuf).
+const (
+	wireVarint  = 0 // int, bool
+	wireFixed64 = 1 // float
+	wireBytes   = 2 // string, nested object, array
+)
+
+// Serialize encodes doc as tag/value pairs sorted by field number.
+func Serialize(doc *jsonx.Doc, dict serial.Dict) ([]byte, error) {
+	type field struct {
+		id  uint32
+		val jsonx.Value
+	}
+	fields := make([]field, 0, doc.Len())
+	for _, m := range doc.Members() {
+		at, ok := serial.AttrTypeOf(m.Val)
+		if !ok {
+			continue // null: absent, like proto3 optional
+		}
+		fields = append(fields, field{id: dict.IDFor(m.Key, at), val: m.Val})
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].id < fields[j].id })
+	var out []byte
+	for _, f := range fields {
+		var err error
+		out, err = appendField(out, f.id, f.val, dict)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func appendField(out []byte, id uint32, v jsonx.Value, dict serial.Dict) ([]byte, error) {
+	switch v.Kind {
+	case jsonx.Bool:
+		out = binary.AppendUvarint(out, uint64(id)<<3|wireVarint)
+		if v.B {
+			return append(out, 1), nil
+		}
+		return append(out, 0), nil
+	case jsonx.Int:
+		out = binary.AppendUvarint(out, uint64(id)<<3|wireVarint)
+		return binary.AppendUvarint(out, zigzag(v.I)), nil
+	case jsonx.Float:
+		out = binary.AppendUvarint(out, uint64(id)<<3|wireFixed64)
+		return binary.LittleEndian.AppendUint64(out, math.Float64bits(v.F)), nil
+	case jsonx.String:
+		out = binary.AppendUvarint(out, uint64(id)<<3|wireBytes)
+		out = binary.AppendUvarint(out, uint64(len(v.S)))
+		return append(out, v.S...), nil
+	case jsonx.Object:
+		sub, err := Serialize(v.Obj, dict)
+		if err != nil {
+			return nil, err
+		}
+		out = binary.AppendUvarint(out, uint64(id)<<3|wireBytes)
+		out = binary.AppendUvarint(out, uint64(len(sub)))
+		return append(out, sub...), nil
+	case jsonx.Array:
+		var body []byte
+		for _, e := range v.A {
+			at, ok := serial.AttrTypeOf(e)
+			if !ok {
+				body = append(body, 0xff)
+				continue
+			}
+			elem, err := appendScalar(nil, e, dict)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, byte(at))
+			body = binary.AppendUvarint(body, uint64(len(elem)))
+			body = append(body, elem...)
+		}
+		out = binary.AppendUvarint(out, uint64(id)<<3|wireBytes)
+		out = binary.AppendUvarint(out, uint64(len(body)))
+		return append(out, body...), nil
+	default:
+		return nil, fmt.Errorf("pblike: cannot serialize %v", v.Kind)
+	}
+}
+
+// appendScalar encodes a bare value (array element payload).
+func appendScalar(out []byte, v jsonx.Value, dict serial.Dict) ([]byte, error) {
+	switch v.Kind {
+	case jsonx.Bool:
+		if v.B {
+			return append(out, 1), nil
+		}
+		return append(out, 0), nil
+	case jsonx.Int:
+		return binary.AppendUvarint(out, zigzag(v.I)), nil
+	case jsonx.Float:
+		return binary.LittleEndian.AppendUint64(out, math.Float64bits(v.F)), nil
+	case jsonx.String:
+		return append(out, v.S...), nil
+	case jsonx.Object:
+		sub, err := Serialize(v.Obj, dict)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, sub...), nil
+	case jsonx.Array:
+		for _, e := range v.A {
+			at, ok := serial.AttrTypeOf(e)
+			if !ok {
+				out = append(out, 0xff)
+				continue
+			}
+			elem, err := appendScalar(nil, e, dict)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(at))
+			out = binary.AppendUvarint(out, uint64(len(elem)))
+			out = append(out, elem...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pblike: cannot serialize %v", v.Kind)
+	}
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) done() bool { return r.pos >= len(r.b) }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("pblike: bad varint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.pos+n > len(r.b) {
+		return nil, fmt.Errorf("pblike: truncated record")
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// skip advances past a value of the given wire type.
+func (r *reader) skip(wire uint64) error {
+	switch wire {
+	case wireVarint:
+		_, err := r.uvarint()
+		return err
+	case wireFixed64:
+		_, err := r.take(8)
+		return err
+	case wireBytes:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		_, err = r.take(int(n))
+		return err
+	default:
+		return fmt.Errorf("pblike: unknown wire type %d", wire)
+	}
+}
+
+// decode reads the value for a known attribute type.
+func (r *reader) decode(t serial.AttrType, wire uint64, dict serial.Dict) (jsonx.Value, error) {
+	switch t {
+	case serial.TypeBool:
+		u, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.BoolValue(u != 0), nil
+	case serial.TypeInt:
+		u, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.IntValue(unzigzag(u)), nil
+	case serial.TypeFloat:
+		b, err := r.take(8)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case serial.TypeString:
+		n, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.StringValue(string(b)), nil
+	case serial.TypeObject:
+		n, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		doc, err := Deserialize(b, dict)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.ObjectValue(doc), nil
+	case serial.TypeArray:
+		n, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return decodeArrayBody(b, dict)
+	default:
+		return jsonx.Value{}, fmt.Errorf("pblike: unknown attribute type %d", t)
+	}
+}
+
+func decodeArrayBody(b []byte, dict serial.Dict) (jsonx.Value, error) {
+	r := &reader{b: b}
+	var elems []jsonx.Value
+	for !r.done() {
+		tag, err := r.take(1)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		if tag[0] == 0xff {
+			elems = append(elems, jsonx.NullValue())
+			continue
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		payload, err := r.take(int(n))
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		v, err := decodeScalar(payload, serial.AttrType(tag[0]), dict)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		elems = append(elems, v)
+	}
+	return jsonx.ArrayValue(elems...), nil
+}
+
+func decodeScalar(b []byte, t serial.AttrType, dict serial.Dict) (jsonx.Value, error) {
+	switch t {
+	case serial.TypeBool:
+		if len(b) != 1 {
+			return jsonx.Value{}, fmt.Errorf("pblike: bad bool")
+		}
+		return jsonx.BoolValue(b[0] != 0), nil
+	case serial.TypeInt:
+		u, n := binary.Uvarint(b)
+		if n <= 0 {
+			return jsonx.Value{}, fmt.Errorf("pblike: bad int")
+		}
+		return jsonx.IntValue(unzigzag(u)), nil
+	case serial.TypeFloat:
+		if len(b) != 8 {
+			return jsonx.Value{}, fmt.Errorf("pblike: bad float")
+		}
+		return jsonx.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case serial.TypeString:
+		return jsonx.StringValue(string(b)), nil
+	case serial.TypeObject:
+		doc, err := Deserialize(b, dict)
+		if err != nil {
+			return jsonx.Value{}, err
+		}
+		return jsonx.ObjectValue(doc), nil
+	case serial.TypeArray:
+		return decodeArrayBody(b, dict)
+	default:
+		return jsonx.Value{}, fmt.Errorf("pblike: unknown type %d", t)
+	}
+}
+
+// decodedField is the intermediate message representation: protobuf
+// unmarshals the wire format into a message object first, and the
+// application then maps that object into its own model. Deserialize
+// mirrors the two steps (the paper attributes PB's deserialization deficit
+// to exactly this intermediate logical representation, Appendix A).
+type decodedField struct {
+	id  uint32
+	val jsonx.Value
+}
+
+// Deserialize reconstructs the document by walking every field.
+func Deserialize(data []byte, dict serial.Dict) (*jsonx.Doc, error) {
+	// Step 1: wire format → intermediate message fields.
+	r := &reader{b: data}
+	var fields []decodedField
+	for !r.done() {
+		key, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		id := uint32(key >> 3)
+		wire := key & 7
+		attr, ok := dict.Lookup(id)
+		if !ok {
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		v, err := r.decode(attr.Type, wire, dict)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, decodedField{id: id, val: v})
+	}
+	// Step 2: message fields → application document.
+	doc := jsonx.NewDoc()
+	for _, f := range fields {
+		attr, _ := dict.Lookup(f.id)
+		doc.Set(attr.Key, f.val)
+	}
+	return doc, nil
+}
+
+// Extract scans tags from the start, short-circuiting once the field
+// numbers pass the target (fields are sorted), and decodes only the match.
+func Extract(data []byte, key string, want serial.AttrType, dict serial.Dict) (jsonx.Value, bool, error) {
+	id, ok := dict.IDOf(key, want)
+	if !ok {
+		return jsonx.Value{}, false, nil
+	}
+	r := &reader{b: data}
+	for !r.done() {
+		tagKey, err := r.uvarint()
+		if err != nil {
+			return jsonx.Value{}, false, err
+		}
+		fid := uint32(tagKey >> 3)
+		wire := tagKey & 7
+		if fid == id {
+			attr, _ := dict.Lookup(id)
+			v, err := r.decode(attr.Type, wire, dict)
+			if err != nil {
+				return jsonx.Value{}, false, err
+			}
+			return v, true, nil
+		}
+		if fid > id {
+			return jsonx.Value{}, false, nil // sorted: target absent
+		}
+		if err := r.skip(wire); err != nil {
+			return jsonx.Value{}, false, err
+		}
+	}
+	return jsonx.Value{}, false, nil
+}

@@ -1,0 +1,121 @@
+package pblike
+
+import (
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+	"github.com/sinewdata/sinew/internal/serial"
+)
+
+func parse(t *testing.T, s string) *jsonx.Doc {
+	t.Helper()
+	d, err := jsonx.ParseDocument([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	dict := serial.NewDictionary()
+	cases := []string{
+		`{"a":1,"b":"text","c":2.5,"d":true}`,
+		`{"neg":-42,"big":9007199254740993}`,
+		`{"nested":{"x":{"y":1}},"arr":[1,"two",null,false]}`,
+		`{}`,
+	}
+	for _, s := range cases {
+		in := parse(t, s)
+		data, err := Serialize(in, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Deserialize(data, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := jsonx.NewDoc()
+		for _, m := range in.Members() {
+			if _, typed := serial.AttrTypeOf(m.Val); typed {
+				want.Set(m.Key, m.Val)
+			}
+		}
+		if !jsonx.ObjectValue(want).Equal(jsonx.ObjectValue(out)) {
+			t.Errorf("%s: got %v", s, jsonx.ObjectValue(out))
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<62 - 1, -(1 << 62)} {
+		if unzigzag(zigzag(v)) != v {
+			t.Errorf("zigzag round trip failed for %d", v)
+		}
+	}
+}
+
+func TestExtractShortCircuit(t *testing.T) {
+	dict := serial.NewDictionary()
+	// Allocate IDs in order: early, middle, late.
+	data, err := Serialize(parse(t, `{"early":1,"middle":"m","late":2.5}`), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := Extract(data, "middle", serial.TypeString, dict)
+	if !ok || v.S != "m" {
+		t.Fatalf("middle = %v %v", v, ok)
+	}
+	// Key known to the dict but absent from this record: the scan
+	// short-circuits once field numbers pass it.
+	dict.IDFor("absent_mid", serial.TypeInt)
+	if _, ok, _ := Extract(data, "absent_mid", serial.TypeInt, dict); ok {
+		t.Error("absent key found")
+	}
+	// Key not in the dictionary at all.
+	if _, ok, _ := Extract(data, "never_seen", serial.TypeInt, dict); ok {
+		t.Error("unknown key found")
+	}
+}
+
+func TestFieldsSortedByID(t *testing.T) {
+	dict := serial.NewDictionary()
+	// Allocate zig-zag ordered attribute IDs across two docs.
+	Serialize(parse(t, `{"z":1,"a":2}`), dict)
+	data, _ := Serialize(parse(t, `{"a":2,"z":1}`), dict)
+	r := &reader{b: data}
+	var prev uint32
+	first := true
+	for !r.done() {
+		key, err := r.uvarint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := uint32(key >> 3)
+		if !first && id <= prev {
+			t.Fatalf("fields not sorted: %d after %d", id, prev)
+		}
+		prev, first = id, false
+		if err := r.skip(key & 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnknownFieldsSkipped(t *testing.T) {
+	dictA := serial.NewDictionary()
+	data, _ := Serialize(parse(t, `{"a":1,"b":"x"}`), dictA)
+	// A reader with an empty dictionary skips all fields gracefully.
+	dictB := serial.NewDictionary()
+	out, err := Deserialize(data, dictB)
+	if err != nil || out.Len() != 0 {
+		t.Errorf("out = %v err = %v", out, err)
+	}
+}
+
+func TestTruncatedRecords(t *testing.T) {
+	dict := serial.NewDictionary()
+	data, _ := Serialize(parse(t, `{"a":1,"s":"hello","o":{"x":1}}`), dict)
+	for cut := 0; cut < len(data); cut++ {
+		_, _ = Deserialize(data[:cut], dict) // must not panic
+	}
+}

@@ -1,0 +1,18 @@
+// Package sqlutil holds small SQL text helpers shared by the layers that
+// generate SQL (Sinew's materializer and rewriter, the EAV and pgjson
+// baselines).
+package sqlutil
+
+import "strings"
+
+// QuoteIdent always quotes the identifier, which keeps generated SQL
+// correct for names containing dots (flattened attributes), uppercase, or
+// keyword collisions. Embedded quotes are doubled.
+func QuoteIdent(name string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// QuoteString renders a SQL string literal.
+func QuoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

@@ -1,0 +1,32 @@
+package sqlutil
+
+import "testing"
+
+func TestQuoteIdent(t *testing.T) {
+	cases := map[string]string{
+		"plain":      `"plain"`,
+		"user.id":    `"user.id"`,
+		`with"quote`: `"with""quote"`,
+		"":           `""`,
+		"MixedCase":  `"MixedCase"`,
+	}
+	for in, want := range cases {
+		if got := QuoteIdent(in); got != want {
+			t.Errorf("QuoteIdent(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestQuoteString(t *testing.T) {
+	cases := map[string]string{
+		"plain": `'plain'`,
+		"it's":  `'it''s'`,
+		"":      `''`,
+		"a''b":  `'a''''b'`,
+	}
+	for in, want := range cases {
+		if got := QuoteString(in); got != want {
+			t.Errorf("QuoteString(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package textindex
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchIndex(nDocs int) *Index {
+	ix := New()
+	for i := 0; i < nDocs; i++ {
+		ix.Add(DocID(i), "body", fmt.Sprintf("document %d mentions term%d and term%d plus shared words", i, i%50, i%7))
+	}
+	return ix
+}
+
+func BenchmarkAdd(b *testing.B) {
+	ix := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Add(DocID(i), "body", "a handful of tokens to index per call")
+	}
+}
+
+func BenchmarkSearchTerm(b *testing.B) {
+	ix := benchIndex(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ix.SearchTerm("body", "term3"); len(got) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkQueryConjunction(b *testing.B) {
+	ix := benchIndex(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query("body", "shared term3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Package textindex is an embedded inverted text index standing in for the
+// Apache Solr deployment of §4.3: documents are tokenized into per-field
+// postings lists; queries (term, phrase, prefix, regex, boolean) return
+// sorted record-ID sets that the caller applies as a filter over the
+// original relation. Fields are faceted by attribute, so predicates over
+// virtual columns can be pushed down to the index.
+package textindex
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// DocID identifies an indexed record; Sinew uses the RDBMS row identity.
+type DocID int64
+
+// Index is a thread-safe inverted index over (field, term).
+type Index struct {
+	mu sync.RWMutex
+	// fields[field][term] = sorted posting list
+	fields map[string]map[string][]DocID
+	// docTerms tracks per-document term positions for phrase queries:
+	// positions[field][docID] = ordered token list.
+	positions map[string]map[DocID][]string
+	docCount  int
+	docs      map[DocID]bool
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		fields:    make(map[string]map[string][]DocID),
+		positions: make(map[string]map[DocID][]string),
+		docs:      make(map[DocID]bool),
+	}
+}
+
+// Tokenize lowercases and splits text on non-alphanumeric boundaries.
+func Tokenize(text string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Add indexes text under (doc, field). Repeated calls for the same pair
+// append tokens.
+func (ix *Index) Add(doc DocID, field, text string) {
+	toks := Tokenize(text)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.docs[doc] {
+		ix.docs[doc] = true
+		ix.docCount++
+	}
+	fm, ok := ix.fields[field]
+	if !ok {
+		fm = make(map[string][]DocID)
+		ix.fields[field] = fm
+	}
+	pm, ok := ix.positions[field]
+	if !ok {
+		pm = make(map[DocID][]string)
+		ix.positions[field] = pm
+	}
+	pm[doc] = append(pm[doc], toks...)
+	for _, t := range toks {
+		fm[t] = insertID(fm[t], doc)
+	}
+}
+
+// insertID keeps the posting list sorted and deduplicated regardless of
+// the order documents are added in.
+func insertID(lst []DocID, doc DocID) []DocID {
+	if n := len(lst); n == 0 || lst[n-1] < doc {
+		return append(lst, doc) // common case: ascending inserts
+	}
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= doc })
+	if i < len(lst) && lst[i] == doc {
+		return lst
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = doc
+	return lst
+}
+
+// Remove drops a document from the index entirely (used on delete /
+// reindex). It is O(total postings of the doc's fields).
+func (ix *Index) Remove(doc DocID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.docs[doc] {
+		return
+	}
+	delete(ix.docs, doc)
+	ix.docCount--
+	for field, pm := range ix.positions {
+		toks, ok := pm[doc]
+		if !ok {
+			continue
+		}
+		delete(pm, doc)
+		fm := ix.fields[field]
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			fm[t] = removeID(fm[t], doc)
+			if len(fm[t]) == 0 {
+				delete(fm, t)
+			}
+		}
+	}
+}
+
+func removeID(lst []DocID, doc DocID) []DocID {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= doc })
+	if i < len(lst) && lst[i] == doc {
+		return append(lst[:i], lst[i+1:]...)
+	}
+	return lst
+}
+
+// DocCount returns the number of indexed documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docCount
+}
+
+// Fields lists indexed field names, sorted.
+func (ix *Index) Fields() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.fields))
+	for f := range ix.fields {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------- Queries ----------
+
+// SearchTerm returns documents whose field contains the term.
+// field "*" searches every field.
+func (ix *Index) SearchTerm(field, term string) []DocID {
+	term = strings.ToLower(term)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if field != "*" {
+		fm, ok := ix.fields[field]
+		if !ok {
+			return nil
+		}
+		return cloneIDs(fm[term])
+	}
+	var acc []DocID
+	for _, fm := range ix.fields {
+		acc = unionIDs(acc, fm[term])
+	}
+	return acc
+}
+
+// SearchPrefix returns documents whose field has a term with the prefix.
+func (ix *Index) SearchPrefix(field, prefix string) []DocID {
+	prefix = strings.ToLower(prefix)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var acc []DocID
+	scan := func(fm map[string][]DocID) {
+		for term, lst := range fm {
+			if strings.HasPrefix(term, prefix) {
+				acc = unionIDs(acc, lst)
+			}
+		}
+	}
+	if field != "*" {
+		if fm, ok := ix.fields[field]; ok {
+			scan(fm)
+		}
+		return acc
+	}
+	for _, fm := range ix.fields {
+		scan(fm)
+	}
+	return acc
+}
+
+// SearchRegexp returns documents whose field has a term matching rx (full
+// match).
+func (ix *Index) SearchRegexp(field string, rx *regexp.Regexp) []DocID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var acc []DocID
+	scan := func(fm map[string][]DocID) {
+		for term, lst := range fm {
+			if m := rx.FindString(term); m == term && m != "" {
+				acc = unionIDs(acc, lst)
+			}
+		}
+	}
+	if field != "*" {
+		if fm, ok := ix.fields[field]; ok {
+			scan(fm)
+		}
+		return acc
+	}
+	for _, fm := range ix.fields {
+		scan(fm)
+	}
+	return acc
+}
+
+// SearchPhrase returns documents whose field contains the tokens of phrase
+// consecutively.
+func (ix *Index) SearchPhrase(field, phrase string) []DocID {
+	toks := Tokenize(phrase)
+	if len(toks) == 0 {
+		return nil
+	}
+	if len(toks) == 1 {
+		return ix.SearchTerm(field, toks[0])
+	}
+	candidates := ix.SearchTerm(field, toks[0])
+	for _, t := range toks[1:] {
+		candidates = intersectIDs(candidates, ix.SearchTerm(field, t))
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	check := func(field string, doc DocID) bool {
+		pm, ok := ix.positions[field]
+		if !ok {
+			return false
+		}
+		seq := pm[doc]
+		for i := 0; i+len(toks) <= len(seq); i++ {
+			match := true
+			for j, t := range toks {
+				if seq[i+j] != t {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	}
+	var out []DocID
+	for _, doc := range candidates {
+		if field != "*" {
+			if check(field, doc) {
+				out = append(out, doc)
+			}
+			continue
+		}
+		for f := range ix.positions {
+			if check(f, doc) {
+				out = append(out, doc)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Query is a parsed search expression: whitespace-separated terms are
+// AND-ed; "a OR b" unions; quoted phrases match consecutively; trailing '*'
+// is a prefix; /re/ is a regular expression term.
+func (ix *Index) Query(field, query string) ([]DocID, error) {
+	groups := splitTopLevel(query, " OR ")
+	var result []DocID
+	for _, g := range groups {
+		ids, err := ix.queryConjunction(field, strings.TrimSpace(g))
+		if err != nil {
+			return nil, err
+		}
+		result = unionIDs(result, ids)
+	}
+	return result, nil
+}
+
+func (ix *Index) queryConjunction(field, q string) ([]DocID, error) {
+	parts := tokenizeQuery(q)
+	var acc []DocID
+	first := true
+	for _, p := range parts {
+		var ids []DocID
+		switch {
+		case strings.HasPrefix(p, `"`) && strings.HasSuffix(p, `"`) && len(p) >= 2:
+			ids = ix.SearchPhrase(field, p[1:len(p)-1])
+		case strings.HasPrefix(p, "/") && strings.HasSuffix(p, "/") && len(p) >= 2:
+			rx, err := regexp.Compile(p[1 : len(p)-1])
+			if err != nil {
+				return nil, err
+			}
+			ids = ix.SearchRegexp(field, rx)
+		case strings.HasSuffix(p, "*"):
+			ids = ix.SearchPrefix(field, p[:len(p)-1])
+		default:
+			ids = ix.SearchTerm(field, p)
+		}
+		if first {
+			acc = ids
+			first = false
+		} else {
+			acc = intersectIDs(acc, ids)
+		}
+		if len(acc) == 0 {
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// tokenizeQuery splits on spaces, keeping quoted phrases and /regexes/
+// intact.
+func tokenizeQuery(q string) []string {
+	var out []string
+	i := 0
+	for i < len(q) {
+		switch {
+		case q[i] == ' ':
+			i++
+		case q[i] == '"':
+			j := strings.IndexByte(q[i+1:], '"')
+			if j < 0 {
+				out = append(out, q[i:])
+				return out
+			}
+			out = append(out, q[i:i+j+2])
+			i += j + 2
+		case q[i] == '/':
+			j := strings.IndexByte(q[i+1:], '/')
+			if j < 0 {
+				out = append(out, q[i:])
+				return out
+			}
+			out = append(out, q[i:i+j+2])
+			i += j + 2
+		default:
+			j := strings.IndexByte(q[i:], ' ')
+			if j < 0 {
+				out = append(out, q[i:])
+				return out
+			}
+			out = append(out, q[i:i+j])
+			i += j
+		}
+	}
+	return out
+}
+
+func splitTopLevel(q, sep string) []string {
+	// OR only binds outside quotes; queries are simple enough that a guard
+	// against quoted "OR" suffices.
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i+len(sep) <= len(q); i++ {
+		if q[i] == '"' {
+			depth = !depth
+		}
+		if !depth && q[i:i+len(sep)] == sep {
+			out = append(out, q[start:i])
+			start = i + len(sep)
+			i += len(sep) - 1
+		}
+	}
+	out = append(out, q[start:])
+	return out
+}
+
+// ---------- sorted ID set helpers ----------
+
+func cloneIDs(a []DocID) []DocID {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make([]DocID, len(a))
+	copy(out, a)
+	return out
+}
+
+func unionIDs(a, b []DocID) []DocID {
+	if len(a) == 0 {
+		return cloneIDs(b)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]DocID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func intersectIDs(a, b []DocID) []DocID {
+	var out []DocID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

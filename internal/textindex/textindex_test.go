@@ -1,0 +1,153 @@
+package textindex
+
+import (
+	"reflect"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+func buildIndex() *Index {
+	ix := New()
+	ix.Add(1, "title", "Sinew a SQL system")
+	ix.Add(1, "body", "stores multi-structured data")
+	ix.Add(2, "title", "NoSQL at scale")
+	ix.Add(2, "body", "document stores trade schema for speed")
+	ix.Add(3, "body", "the quick brown fox; the lazy dog")
+	return ix
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! foo_bar x123 日本")
+	want := []string{"hello", "world", "foo_bar", "x123", "日本"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+	if Tokenize("") != nil {
+		t.Error("empty text yields no tokens")
+	}
+}
+
+func TestSearchTerm(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.SearchTerm("body", "stores"); !reflect.DeepEqual(got, []DocID{1, 2}) {
+		t.Errorf("stores = %v", got)
+	}
+	if got := ix.SearchTerm("title", "stores"); got != nil {
+		t.Errorf("field scoping failed: %v", got)
+	}
+	if got := ix.SearchTerm("*", "sql"); !reflect.DeepEqual(got, []DocID{1}) {
+		t.Errorf("wildcard field = %v", got)
+	}
+	// Case-insensitive query.
+	if got := ix.SearchTerm("title", "SINEW"); !reflect.DeepEqual(got, []DocID{1}) {
+		t.Errorf("case = %v", got)
+	}
+	if got := ix.SearchTerm("body", "absent"); got != nil {
+		t.Errorf("absent term = %v", got)
+	}
+}
+
+func TestSearchPrefixAndRegexp(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.SearchPrefix("*", "sto"); !reflect.DeepEqual(got, []DocID{1, 2}) {
+		t.Errorf("prefix = %v", got)
+	}
+	rx := regexp.MustCompile("qu.ck")
+	if got := ix.SearchRegexp("body", rx); !reflect.DeepEqual(got, []DocID{3}) {
+		t.Errorf("regexp = %v", got)
+	}
+}
+
+func TestSearchPhrase(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.SearchPhrase("body", "quick brown fox"); !reflect.DeepEqual(got, []DocID{3}) {
+		t.Errorf("phrase = %v", got)
+	}
+	if got := ix.SearchPhrase("body", "brown quick"); got != nil {
+		t.Errorf("out-of-order phrase matched: %v", got)
+	}
+	if got := ix.SearchPhrase("*", "multi structured"); !reflect.DeepEqual(got, []DocID{1}) {
+		t.Errorf("wildcard phrase = %v", got)
+	}
+}
+
+func TestQueryLanguage(t *testing.T) {
+	ix := buildIndex()
+	cases := map[string][]DocID{
+		"stores":                {1, 2},
+		"stores schema":         {2},    // AND
+		"sql OR lazy":           {1, 3}, // OR
+		`"document stores"`:     {2},    // phrase
+		"sto*":                  {1, 2}, // prefix
+		"/d.g/":                 {3},    // regexp
+		"stores absent":         nil,    // AND with no match
+		"multi OR quick OR sql": {1, 3}, // chained OR
+	}
+	for q, want := range cases {
+		got, err := ix.Query("*", q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("query %q = %v, want %v", q, got, want)
+		}
+	}
+	if _, err := ix.Query("*", "/bad[/"); err == nil {
+		t.Error("invalid regexp should error")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := buildIndex()
+	ix.Remove(1)
+	if got := ix.SearchTerm("body", "stores"); !reflect.DeepEqual(got, []DocID{2}) {
+		t.Errorf("after remove = %v", got)
+	}
+	if ix.DocCount() != 2 {
+		t.Errorf("doc count = %d", ix.DocCount())
+	}
+	ix.Remove(1) // idempotent
+	if ix.DocCount() != 2 {
+		t.Error("double remove changed count")
+	}
+}
+
+func TestPostingsStaySorted(t *testing.T) {
+	ix := New()
+	for _, id := range []DocID{5, 1, 9, 3, 7} {
+		ix.Add(id, "f", "term")
+	}
+	got := ix.SearchTerm("f", "term")
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("postings unsorted: %v", got)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ix.Add(DocID(g*100+i), "f", "shared term text")
+				ix.SearchTerm("f", "shared")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(ix.SearchTerm("f", "term")); got != 800 {
+		t.Errorf("postings = %d", got)
+	}
+}
+
+func TestFieldsListing(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.Fields(); !reflect.DeepEqual(got, []string{"body", "title"}) {
+		t.Errorf("fields = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package twittergen
+
+import (
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig(100)
+	a := GenerateTweets(100, 5, cfg)
+	b := GenerateTweets(100, 5, cfg)
+	for i := range a {
+		if !jsonx.ObjectValue(a[i]).Equal(jsonx.ObjectValue(b[i])) {
+			t.Fatalf("tweet %d differs with the same seed", i)
+		}
+	}
+}
+
+func TestTweetShape(t *testing.T) {
+	cfg := DefaultConfig(500)
+	tweets := GenerateTweets(500, 7, cfg)
+	for i, tw := range tweets {
+		for _, key := range []string{"id", "id_str", "text", "created_at", "user", "lang", "retweet_count"} {
+			if !tw.Has(key) {
+				t.Fatalf("tweet %d missing %s", i, key)
+			}
+		}
+		user, _ := tw.Get("user")
+		if user.Kind != jsonx.Object {
+			t.Fatalf("user = %v", user)
+		}
+		for _, key := range []string{"id", "screen_name", "lang", "friends_count"} {
+			if !user.Obj.Has(key) {
+				t.Fatalf("tweet %d user missing %s", i, key)
+			}
+		}
+	}
+}
+
+func TestSparsityProportions(t *testing.T) {
+	n := 4000
+	cfg := DefaultConfig(n)
+	tweets := GenerateTweets(n, 11, cfg)
+	var replies, media, msa, geo int
+	for _, tw := range tweets {
+		if tw.Has("in_reply_to_screen_name") {
+			replies++
+		}
+		if tw.Has("media") {
+			media++
+		}
+		if v, ok := jsonx.PathGet(tw, "user.lang"); ok && v.S == "msa" {
+			msa++
+		}
+		if _, ok := jsonx.PathGet(tw, "user.geo"); ok {
+			geo++
+		}
+	}
+	within := func(name string, got int, frac float64) {
+		want := frac * float64(n)
+		if float64(got) < want*0.5 || float64(got) > want*2+10 {
+			t.Errorf("%s = %d, expected ~%.0f", name, got, want)
+		}
+	}
+	within("replies", replies, cfg.ReplyFrac)
+	within("media", media, cfg.MediaFrac)
+	within("msa", msa, cfg.LangMsaFrac)
+	within("geo", geo, cfg.GeoFrac)
+}
+
+func TestUserCardinality(t *testing.T) {
+	n := 2000
+	cfg := DefaultConfig(n)
+	tweets := GenerateTweets(n, 3, cfg)
+	users := map[int64]bool{}
+	for _, tw := range tweets {
+		v, _ := jsonx.PathGet(tw, "user.id")
+		users[v.I] = true
+	}
+	// Users is n/2: distinct user count must be large (Table 2 depends on
+	// high cardinality).
+	if len(users) < n/4 {
+		t.Errorf("distinct users = %d", len(users))
+	}
+}
+
+func TestDeletesReferenceStream(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	dels := GenerateDeletes(1000, 3, 0.2, cfg)
+	if len(dels) < 100 || len(dels) > 320 {
+		t.Fatalf("deletes = %d, expected ~200", len(dels))
+	}
+	for _, d := range dels {
+		if _, ok := jsonx.PathGet(d, "delete.status.id_str"); !ok {
+			t.Fatal("delete notice missing delete.status.id_str")
+		}
+		if _, ok := jsonx.PathGet(d, "delete.status.user_id"); !ok {
+			t.Fatal("delete notice missing delete.status.user_id")
+		}
+	}
+}
