@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate CI runs: static analysis plus the full test suite
+# under the race detector (the parallel partitioned scan is the main
+# concurrency surface).
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/
+
+fmt:
+	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -62,6 +62,42 @@ func (db *DB) registerUDFs() {
 				}
 				return datumFromJSON(v, db.dict())
 			},
+			// Batch entry point: the serialization header of each distinct
+			// reservoir value is parsed once per batch and shared across
+			// every extract expression via the per-batch record cache,
+			// instead of once per expression node per row.
+			EvalBatch: func(ctx *exec.UDFBatchCtx, args [][]types.Datum, out []types.Datum) error {
+				recs := batchRecords(ctx, args[0])
+				rowArgs := make([]types.Datum, 2)
+				for i := range out {
+					rowArgs[0], rowArgs[1] = args[0][i], args[1][i]
+					data, key, err := extractArgs(rowArgs)
+					if err != nil {
+						return err
+					}
+					if data == nil {
+						out[i] = types.NewNull(d.ret)
+						continue
+					}
+					rec, err := rowRecord(recs, i, data)
+					if err != nil {
+						return err
+					}
+					v, found, err := rec.ExtractPath(key, d.want, db.dict())
+					if err != nil {
+						return err
+					}
+					if !found {
+						out[i] = types.NewNull(d.ret)
+						continue
+					}
+					out[i], err = datumFromJSON(v, db.dict())
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			},
 		})
 	}
 
@@ -94,6 +130,40 @@ func (db *DB) registerUDFs() {
 				}
 			}
 			return types.NewNull(types.Text), nil
+		},
+		EvalBatch: func(ctx *exec.UDFBatchCtx, args [][]types.Datum, out []types.Datum) error {
+			recs := batchRecords(ctx, args[0])
+			rowArgs := make([]types.Datum, 2)
+			for i := range out {
+				rowArgs[0], rowArgs[1] = args[0][i], args[1][i]
+				data, key, err := extractArgs(rowArgs)
+				if err != nil {
+					return err
+				}
+				if data == nil {
+					out[i] = types.NewNull(types.Text)
+					continue
+				}
+				rec, err := rowRecord(recs, i, data)
+				if err != nil {
+					return err
+				}
+				out[i] = types.NewNull(types.Text)
+				for _, want := range []serial.AttrType{
+					serial.TypeString, serial.TypeInt, serial.TypeFloat,
+					serial.TypeBool, serial.TypeArray, serial.TypeObject,
+				} {
+					v, found, err := rec.ExtractPath(key, want, db.dict())
+					if err != nil {
+						return err
+					}
+					if found {
+						out[i] = types.NewText(v.String())
+						break
+					}
+				}
+			}
+			return nil
 		},
 	})
 
@@ -207,6 +277,41 @@ func (db *DB) registerUDFs() {
 			return types.NewBool(hit), nil
 		},
 	})
+}
+
+// batchRecords returns the per-batch parsed-record slots for the reservoir
+// column col: one slot per row, shared by every extract expression reading
+// the same column in this batch. The slice is keyed by the column's first
+// element address (batch columns are aliased, not copied, between extract
+// expressions) and cleared by BeginBatch. A single map lookup per batch
+// replaces a per-row parse in every extract expression after the first.
+func batchRecords(ctx *exec.UDFBatchCtx, col []types.Datum) []*serial.Record {
+	if len(col) == 0 {
+		return nil
+	}
+	if ctx.Cache == nil {
+		ctx.Cache = make(map[any]any)
+	}
+	key := &col[0]
+	if v, ok := ctx.Cache[key].([]*serial.Record); ok && len(v) >= len(col) {
+		return v
+	}
+	recs := make([]*serial.Record, len(col))
+	ctx.Cache[key] = recs
+	return recs
+}
+
+// rowRecord parses the record for row i, memoizing it in recs.
+func rowRecord(recs []*serial.Record, i int, data []byte) (*serial.Record, error) {
+	if rec := recs[i]; rec != nil {
+		return rec, nil
+	}
+	rec, err := serial.ParseRecord(data)
+	if err != nil {
+		return nil, err
+	}
+	recs[i] = rec
+	return rec, nil
 }
 
 // extractArgs validates the common (data bytea, key text, ...) prefix;

@@ -130,6 +130,8 @@ func (db *DB) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 			return nil, err
 		}
 		return &Result{}, nil
+	case *sqlparse.SetStmt:
+		return db.execSet(st)
 	case *sqlparse.ExplainStmt:
 		sel, ok := st.Stmt.(*sqlparse.SelectStmt)
 		if !ok {
@@ -143,6 +145,50 @@ func (db *DB) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("rdbms: unsupported statement %T", stmt)
 	}
+}
+
+// execSet applies SET name = value to the session/planner configuration.
+func (db *DB) execSet(st *sqlparse.SetStmt) (*Result, error) {
+	switch st.Name {
+	case "batch_size":
+		n, err := setIntValue(st, 1, 1<<16)
+		if err != nil {
+			return nil, err
+		}
+		db.cfg.BatchSize = int(n)
+	case "enable_batch":
+		b, err := setBoolValue(st)
+		if err != nil {
+			return nil, err
+		}
+		db.cfg.EnableBatch = b
+	case "parallel_scan_min_pages":
+		n, err := setIntValue(st, 0, 1<<30)
+		if err != nil {
+			return nil, err
+		}
+		db.cfg.ParallelScanMinPages = int(n)
+	default:
+		return nil, fmt.Errorf("rdbms: unrecognized configuration parameter %q", st.Name)
+	}
+	return &Result{}, nil
+}
+
+func setIntValue(st *sqlparse.SetStmt, lo, hi int64) (int64, error) {
+	if st.Value.Typ != types.Int || st.Value.IsNull() {
+		return 0, fmt.Errorf("rdbms: SET %s requires an integer value", st.Name)
+	}
+	if st.Value.I < lo || st.Value.I > hi {
+		return 0, fmt.Errorf("rdbms: SET %s: %d is outside the valid range [%d, %d]", st.Name, st.Value.I, lo, hi)
+	}
+	return st.Value.I, nil
+}
+
+func setBoolValue(st *sqlparse.SetStmt) (bool, error) {
+	if st.Value.Typ != types.Bool || st.Value.IsNull() {
+		return false, fmt.Errorf("rdbms: SET %s requires a boolean value (on/off)", st.Name)
+	}
+	return st.Value.B, nil
 }
 
 // lockTables read- or write-locks the named tables in a canonical order
@@ -195,11 +241,24 @@ func (db *DB) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Collect(sp.Open())
+	rows, err := sp.Collect()
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Columns: sp.ColumnNames, Types: sp.ColumnTypes, Rows: rows}, nil
+}
+
+// PlanSelect plans (but does not run) a SELECT — benchmarks and tools use
+// it to drive the executor directly. The caller must not run DDL/DML
+// concurrently with executing the returned plan.
+func (db *DB) PlanSelect(st *sqlparse.SelectStmt) (*plan.SelectPlan, error) {
+	unlock, err := db.lockTables(fromTables(st), false)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	p := plan.NewPlanner(db, db.funcs, db.cfg)
+	return p.PlanSelect(st)
 }
 
 // ExplainSelect plans (but does not run) a SELECT and renders the plan.
@@ -371,6 +430,7 @@ func (db *DB) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 
 	// Phase 1: find matches and compute new rows (Halloween-safe).
 	scan := exec.NewRowIDScan(t.heap, filter)
+	defer scan.Close()
 	type change struct {
 		id  storage.RowID
 		row storage.Row
@@ -438,6 +498,7 @@ func (db *DB) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 		}
 	}
 	scan := exec.NewRowIDScan(t.heap, filter)
+	defer scan.Close()
 	var ids []storage.RowID
 	for {
 		id, _, ok, err := scan.NextWithID()

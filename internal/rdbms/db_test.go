@@ -343,3 +343,43 @@ func TestOrderByOrdinal(t *testing.T) {
 		t.Error("out-of-range ordinal should error")
 	}
 }
+
+func TestSetSessionKnobs(t *testing.T) {
+	db := newTestDB(t)
+	// batch_size flows into EXPLAIN's batch annotation.
+	mustExec(t, db, `SET batch_size = 256`)
+	res := mustExec(t, db, `EXPLAIN SELECT name FROM users WHERE age > 20`)
+	if !strings.Contains(res.ExplainText, "(batch)") ||
+		!strings.Contains(res.ExplainText, "Batch Size: 256") {
+		t.Errorf("explain after SET batch_size:\n%s", res.ExplainText)
+	}
+	// enable_batch = off drops the batch pipeline; queries still run.
+	mustExec(t, db, `SET enable_batch = off`)
+	res = mustExec(t, db, `EXPLAIN SELECT name FROM users WHERE age > 20`)
+	if strings.Contains(res.ExplainText, "(batch)") {
+		t.Errorf("explain after SET enable_batch=off:\n%s", res.ExplainText)
+	}
+	rowMode := mustExec(t, db, `SELECT id FROM users ORDER BY id`)
+	mustExec(t, db, `SET enable_batch = on`)
+	batchMode := mustExec(t, db, `SELECT id FROM users ORDER BY id`)
+	if len(rowMode.Rows) != len(batchMode.Rows) {
+		t.Fatalf("row-mode %d rows, batch-mode %d", len(rowMode.Rows), len(batchMode.Rows))
+	}
+	for i := range rowMode.Rows {
+		if rowMode.Rows[i][0].I != batchMode.Rows[i][0].I {
+			t.Errorf("row %d: %v vs %v", i, rowMode.Rows[i], batchMode.Rows[i])
+		}
+	}
+	// Errors: unknown knob, wrong type, out of range.
+	for _, bad := range []string{
+		`SET nonsense = 1`,
+		`SET batch_size = 'huge'`,
+		`SET batch_size = 0`,
+		`SET batch_size = 100000000`,
+		`SET enable_batch = 3`,
+	} {
+		if _, err := db.Exec(bad); err == nil {
+			t.Errorf("Exec(%q) should error", bad)
+		}
+	}
+}

@@ -46,6 +46,16 @@ func (st *aggState) add(row storage.Row) error {
 	if err != nil {
 		return err
 	}
+	return st.addValue(v)
+}
+
+// addValue accumulates an already-evaluated argument — the entry point the
+// batch aggregate uses after materializing argument columns with EvalBatch.
+func (st *aggState) addValue(v types.Datum) error {
+	if st.spec.Kind == AggCountStar {
+		st.count++
+		return nil
+	}
 	if v.IsNull() {
 		return nil
 	}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"sort"
+
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// BatchHashAggIter is the batch-native hash aggregate: group keys and
+// aggregate arguments are evaluated once per input batch with EvalBatch,
+// then a tight per-row loop updates group states from the materialized
+// columns. Semantics (grouping, DISTINCT, NULL handling, deterministic
+// encKey output order unless SkipSort) match HashAggIter exactly.
+type BatchHashAggIter struct {
+	In       BatchIterator
+	GroupBy  []Expr
+	Aggs     []*AggSpec
+	SkipSort bool
+	Size     int // output batch size; DefaultBatchSize when <= 0
+
+	done   bool
+	err    error
+	groups []*aggGroup
+	pos    int
+	out    *RowBatch
+	ctx    *EvalCtx
+}
+
+// NextBatch implements BatchIterator.
+func (h *BatchHashAggIter) NextBatch() (*RowBatch, error) {
+	if !h.done {
+		h.run()
+	}
+	if h.err != nil {
+		return nil, h.err
+	}
+	if h.pos >= len(h.groups) {
+		return nil, nil
+	}
+	size := h.Size
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	width := len(h.GroupBy) + len(h.Aggs)
+	if h.out == nil {
+		h.out = NewRowBatch(width, size)
+	}
+	b := h.out
+	b.Reset()
+	row := make([]types.Datum, 0, width)
+	for b.Len() < size && h.pos < len(h.groups) {
+		g := h.groups[h.pos]
+		h.pos++
+		row = row[:0]
+		row = append(row, g.keyVals...)
+		for _, st := range g.states {
+			row = append(row, st.result())
+		}
+		b.AppendRow(row)
+	}
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (h *BatchHashAggIter) run() {
+	h.done = true
+	defer h.In.Close()
+	if h.ctx == nil {
+		h.ctx = NewEvalCtx()
+	}
+	groups := make(map[string]*aggGroup)
+	var keyBuf []byte
+	keyCols := make([][]types.Datum, len(h.GroupBy))
+	argCols := make([][]types.Datum, len(h.Aggs))
+	for {
+		in, err := h.In.NextBatch()
+		if err != nil {
+			h.err = err
+			return
+		}
+		if in == nil {
+			break
+		}
+		h.ctx.BeginBatch()
+		for i, g := range h.GroupBy {
+			if keyCols[i], err = EvalBatch(g, in, h.ctx); err != nil {
+				h.err = err
+				return
+			}
+		}
+		for k, spec := range h.Aggs {
+			if spec.Arg == nil || spec.Kind == AggCountStar {
+				argCols[k] = nil
+				continue
+			}
+			if argCols[k], err = EvalBatch(spec.Arg, in, h.ctx); err != nil {
+				h.err = err
+				return
+			}
+		}
+		n := in.Len()
+		for i := 0; i < n; i++ {
+			keyBuf = keyBuf[:0]
+			for _, col := range keyCols {
+				keyBuf = col[i].HashKey(keyBuf)
+			}
+			grp, ok := groups[string(keyBuf)]
+			if !ok {
+				keyVals := make([]types.Datum, len(h.GroupBy))
+				for j, col := range keyCols {
+					keyVals[j] = col[i]
+				}
+				grp = &aggGroup{keyVals: keyVals, encKey: string(keyBuf)}
+				for _, spec := range h.Aggs {
+					grp.states = append(grp.states, newAggState(spec))
+				}
+				groups[grp.encKey] = grp
+			}
+			for k, st := range grp.states {
+				var v types.Datum
+				if argCols[k] != nil {
+					v = argCols[k][i]
+				}
+				if err := st.addValue(v); err != nil {
+					h.err = err
+					return
+				}
+			}
+		}
+	}
+	if len(groups) == 0 && len(h.GroupBy) == 0 {
+		grp := &aggGroup{}
+		for _, spec := range h.Aggs {
+			grp.states = append(grp.states, newAggState(spec))
+		}
+		groups[""] = grp
+	}
+	h.groups = make([]*aggGroup, 0, len(groups))
+	for _, g := range groups {
+		h.groups = append(h.groups, g)
+	}
+	if !h.SkipSort {
+		sort.Slice(h.groups, func(a, b int) bool { return h.groups[a].encKey < h.groups[b].encKey })
+	}
+}
+
+// Close implements BatchIterator.
+func (h *BatchHashAggIter) Close() { h.In.Close() }

@@ -1,0 +1,683 @@
+package exec
+
+import (
+	"sync"
+
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// DefaultBatchSize is the executor's default rows-per-batch (the
+// plan.Config batch_size knob overrides it per session).
+const DefaultBatchSize = 1024
+
+// NullBitmap tracks NULLs of one batch column, one bit per row (bit set =
+// NULL). Kernels use AnyNull to skip per-row NULL checks on all-valid
+// columns.
+type NullBitmap []uint64
+
+// Set marks row i NULL.
+func (m NullBitmap) Set(i int) { m[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether row i is NULL.
+func (m NullBitmap) Get(i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// AnyNull reports whether any bit is set.
+func (m NullBitmap) AnyNull() bool {
+	for _, w := range m {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func bitmapWords(n int) int { return (n + 63) / 64 }
+
+// RowBatch is a column-major batch of rows: Cols[j][i] is column j of row
+// i, and Nulls[j] is column j's null bitmap. Batches returned by a
+// BatchIterator are owned by that iterator and valid only until its next
+// NextBatch or Close call; consumers that retain data must copy it.
+type RowBatch struct {
+	n     int
+	Cols  [][]types.Datum
+	Nulls []NullBitmap
+}
+
+// NewRowBatch returns an empty batch of the given width with capacity for
+// capHint rows per column.
+func NewRowBatch(width, capHint int) *RowBatch {
+	b := &RowBatch{
+		Cols:  make([][]types.Datum, width),
+		Nulls: make([]NullBitmap, width),
+	}
+	for j := range b.Cols {
+		b.Cols[j] = make([]types.Datum, 0, capHint)
+		b.Nulls[j] = make(NullBitmap, bitmapWords(capHint))
+	}
+	return b
+}
+
+// Len returns the number of rows in the batch.
+func (b *RowBatch) Len() int { return b.n }
+
+// Width returns the number of columns.
+func (b *RowBatch) Width() int { return len(b.Cols) }
+
+// Reset empties the batch, keeping column capacity.
+func (b *RowBatch) Reset() {
+	b.n = 0
+	for j := range b.Cols {
+		b.Cols[j] = b.Cols[j][:0]
+		for w := range b.Nulls[j] {
+			b.Nulls[j][w] = 0
+		}
+	}
+}
+
+// AppendRow transposes one row into the batch. The row width must match
+// the batch width.
+func (b *RowBatch) AppendRow(row storage.Row) {
+	i := b.n
+	for j, d := range row {
+		b.Cols[j] = append(b.Cols[j], d)
+		if d.IsNull() {
+			b.growNulls(j, i+1)
+			b.Nulls[j].Set(i)
+		}
+	}
+	b.n++
+}
+
+// growNulls makes sure column j's bitmap covers n rows.
+func (b *RowBatch) growNulls(j, n int) {
+	want := bitmapWords(n)
+	for len(b.Nulls[j]) < want {
+		b.Nulls[j] = append(b.Nulls[j], 0)
+	}
+}
+
+// SetCol installs a fully materialized column (len must equal the batch
+// length for every installed column) and recomputes its null bitmap.
+func (b *RowBatch) SetCol(j int, col []types.Datum) {
+	b.Cols[j] = col
+	b.growNulls(j, len(col))
+	m := b.Nulls[j][:bitmapWords(len(col))]
+	for w := range m {
+		m[w] = 0
+	}
+	for i := range col {
+		if col[i].IsNull() {
+			m.Set(i)
+		}
+	}
+	if len(col) > b.n {
+		b.n = len(col)
+	}
+}
+
+// SetLen declares the row count after columns were written directly.
+func (b *RowBatch) SetLen(n int) { b.n = n }
+
+// AliasCol makes column j share column srcIdx of src — data and null
+// bitmap — without copying or rescanning. The alias is valid as long as
+// src's current batch contents are.
+func (b *RowBatch) AliasCol(j int, src *RowBatch, srcIdx int) {
+	b.Cols[j] = src.Cols[srcIdx]
+	b.Nulls[j] = src.Nulls[srcIdx]
+	if n := len(b.Cols[j]); n > b.n {
+		b.n = n
+	}
+}
+
+// FillRows replaces the batch contents with a column-wise transpose of
+// rows, growing column and bitmap capacity as needed. It is the bulk
+// equivalent of calling AppendRow per row, without per-cell append and
+// bitmap-grow checks. When cols is non-nil only those column indices are
+// materialized; the rest stay empty (length 0) — the pruned-scan shape,
+// where unreferenced columns are never copied out of the heap.
+func (b *RowBatch) FillRows(rows []storage.Row, cols []int) {
+	words := bitmapWords(len(rows))
+	if cols == nil {
+		for j := range b.Cols {
+			b.fillCol(j, rows, words)
+		}
+	} else {
+		for j := range b.Cols {
+			b.Cols[j] = b.Cols[j][:0]
+			b.Nulls[j] = b.Nulls[j][:0]
+		}
+		for _, j := range cols {
+			b.fillCol(j, rows, words)
+		}
+	}
+	b.n = len(rows)
+}
+
+// fillCol transposes column j of rows into the batch.
+func (b *RowBatch) fillCol(j int, rows []storage.Row, words int) {
+	n := len(rows)
+	col := b.Cols[j]
+	if cap(col) < n {
+		col = make([]types.Datum, n)
+	}
+	col = col[:n]
+	m := b.Nulls[j]
+	if cap(m) < words {
+		m = make(NullBitmap, words)
+	}
+	m = m[:words]
+	for w := range m {
+		m[w] = 0
+	}
+	for i, r := range rows {
+		col[i] = r[j]
+		if col[i].IsNull() {
+			m.Set(i)
+		}
+	}
+	b.Cols[j], b.Nulls[j] = col, m
+}
+
+// Row copies row i into dst (reallocating when dst is too small) and
+// returns it — the row-major view batch/row adapters and per-row fallback
+// evaluation use. Columns a pruned scan left empty yield zero Datums; the
+// planner guarantees no consumer reads them.
+func (b *RowBatch) Row(i int, dst storage.Row) storage.Row {
+	if cap(dst) < len(b.Cols) {
+		dst = make(storage.Row, len(b.Cols))
+	}
+	dst = dst[:len(b.Cols)]
+	for j := range b.Cols {
+		if col := b.Cols[j]; i < len(col) {
+			dst[j] = col[i]
+		} else {
+			dst[j] = types.Datum{}
+		}
+	}
+	return dst
+}
+
+// batchPool recycles RowBatch shells between operators; capacity sizing
+// happens lazily in the operators themselves.
+var batchPool = sync.Pool{New: func() any { return &RowBatch{} }}
+
+// GetBatch fetches a pooled batch resized to the given width (column
+// contents are reset, capacity retained where possible).
+func GetBatch(width int) *RowBatch {
+	b := batchPool.Get().(*RowBatch)
+	for len(b.Cols) < width {
+		b.Cols = append(b.Cols, nil)
+		b.Nulls = append(b.Nulls, nil)
+	}
+	b.Cols = b.Cols[:width]
+	b.Nulls = b.Nulls[:width]
+	b.Reset()
+	return b
+}
+
+// PutBatch returns a batch to the pool. The caller must not use it again.
+func PutBatch(b *RowBatch) {
+	if b != nil {
+		batchPool.Put(b)
+	}
+}
+
+// BatchIterator is the batch-at-a-time operator interface. NextBatch
+// returns a non-empty batch, or (nil, nil) at end of stream; the batch is
+// valid until the next NextBatch or Close call on the same iterator.
+type BatchIterator interface {
+	NextBatch() (*RowBatch, error)
+	Close()
+}
+
+// ---------- Row/batch adapters ----------
+
+// RowToBatch adapts a row iterator to the batch interface by buffering
+// Size rows per batch — how Sort, joins, and other row-only operators feed
+// a batch pipeline stage above them.
+type RowToBatch struct {
+	In   Iterator
+	Size int
+
+	batch *RowBatch
+}
+
+// NextBatch implements BatchIterator.
+func (a *RowToBatch) NextBatch() (*RowBatch, error) {
+	size := a.Size
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	if a.batch == nil {
+		a.batch = GetBatch(0)
+	}
+	b := a.batch
+	b.Reset()
+	for b.Len() < size {
+		row, ok, err := a.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if b.Width() == 0 && len(row) > 0 {
+			// First row fixes the width.
+			*b = *NewRowBatch(len(row), size)
+		}
+		b.AppendRow(row)
+	}
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+// Close implements BatchIterator.
+func (a *RowToBatch) Close() {
+	a.In.Close()
+	if a.batch != nil {
+		PutBatch(a.batch)
+		a.batch = nil
+	}
+}
+
+// SizeHint implements SizeHinter by delegating to the wrapped iterator.
+func (a *RowToBatch) SizeHint() (int64, bool) {
+	if sh, ok := a.In.(SizeHinter); ok {
+		return sh.SizeHint()
+	}
+	return 0, false
+}
+
+// BatchToRow adapts a batch iterator back to the Volcano row interface at
+// the boundary to row-only consumers (Sort, joins, Collect). Emitted rows
+// are independent of the source batch: each batch's rows are carved out of
+// one shared arena allocation, so retaining them (Collect, Sort) is safe
+// and costs one allocation per batch rather than one per row.
+type BatchToRow struct {
+	In BatchIterator
+
+	batch  *RowBatch
+	pos    int
+	arena  []types.Datum
+	used   int
+	hinted bool
+	nohint bool
+}
+
+// Next implements Iterator.
+func (a *BatchToRow) Next() (storage.Row, bool, error) {
+	for a.batch == nil || a.pos >= a.batch.Len() {
+		b, err := a.In.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		a.batch = b
+		a.pos = 0
+		need := b.Len() * b.Width()
+		if !a.hinted && !a.nohint {
+			// With an exact source cardinality, one arena covers the whole
+			// result instead of one allocation per batch.
+			if sh, ok := a.In.(BatchSizeHinter); ok {
+				if n, exact := sh.SizeHint(); exact && n >= int64(b.Len()) && n <= collectCapHint {
+					a.arena = make([]types.Datum, int(n)*b.Width())
+					a.used = 0
+					a.hinted = true
+				}
+			}
+			if !a.hinted {
+				a.nohint = true
+			}
+		}
+		if len(a.arena)-a.used < need {
+			a.arena = make([]types.Datum, need)
+			a.used = 0
+		}
+	}
+	w := a.batch.Width()
+	row := storage.Row(a.arena[a.used : a.used+w : a.used+w])
+	a.used += w
+	for j := 0; j < w; j++ {
+		if col := a.batch.Cols[j]; a.pos < len(col) {
+			row[j] = col[a.pos]
+		} else {
+			row[j] = types.Datum{} // column pruned away by the scan
+		}
+	}
+	a.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (a *BatchToRow) Close() { a.In.Close() }
+
+// SizeHint implements SizeHinter by delegating to the wrapped iterator.
+func (a *BatchToRow) SizeHint() (int64, bool) {
+	if sh, ok := a.In.(BatchSizeHinter); ok {
+		return sh.SizeHint()
+	}
+	return 0, false
+}
+
+// BatchSizeHinter is SizeHinter for batch iterators.
+type BatchSizeHinter interface {
+	SizeHint() (int64, bool)
+}
+
+// ---------- Batch scan ----------
+
+// BatchScanIter reads a heap page range in chunks, transposes rows into
+// column-major batches, and applies an optional pushed-down filter with
+// batch expression evaluation. It is the leaf of every batch pipeline.
+type BatchScanIter struct {
+	Filter Expr
+	// NeedCols, when non-nil, lists the only column indices downstream
+	// operators read (ascending). The scan materializes just those columns
+	// into its batches; the rest stay empty. Set before the first
+	// NextBatch.
+	NeedCols []int
+
+	chunk  *storage.HeapChunkIter
+	width  int
+	size   int
+	nrows  int64 // heap row count at open (for SizeHint; no filter only)
+	reuse  bool
+	batch  *RowBatch
+	rowBuf []storage.Row
+	ctx    *EvalCtx
+	keep   []bool
+}
+
+// NewBatchScan returns a batch scan over all pages of h.
+func NewBatchScan(h *storage.Heap, filter Expr, size int) *BatchScanIter {
+	return NewBatchScanRange(h, filter, size, 0, h.NumPages())
+}
+
+// NewBatchScanRange returns a batch scan over pages [start, end) of h —
+// one partition of a parallel scan.
+func NewBatchScanRange(h *storage.Heap, filter Expr, size, start, end int) *BatchScanIter {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BatchScanIter{
+		Filter: filter,
+		chunk:  h.IterateRange(start, end),
+		width:  len(h.Schema().Cols),
+		size:   size,
+		nrows:  h.NumRows(),
+		reuse:  true,
+		ctx:    NewEvalCtx(),
+	}
+}
+
+// setNoReuse makes every NextBatch return a freshly allocated batch (the
+// parallel scan hands batches across goroutines, so they cannot be
+// recycled by the producer).
+func (s *BatchScanIter) setNoReuse() { s.reuse = false }
+
+// NextBatch implements BatchIterator.
+func (s *BatchScanIter) NextBatch() (*RowBatch, error) {
+	if s.rowBuf == nil {
+		s.rowBuf = make([]storage.Row, s.size)
+	}
+	for {
+		var b *RowBatch
+		if s.reuse {
+			if s.batch == nil {
+				s.batch = GetBatch(s.width)
+			}
+			b = s.batch
+		} else {
+			b = GetBatch(s.width)
+		}
+		n := s.chunk.ReadRows(s.rowBuf)
+		if n == 0 {
+			return nil, nil
+		}
+		b.FillRows(s.rowBuf[:n], s.NeedCols)
+		if s.Filter == nil {
+			return b, nil
+		}
+		s.ctx.BeginBatch()
+		keep, err := EvalPredBatch(s.Filter, b, s.ctx, s.keep)
+		if err != nil {
+			return nil, err
+		}
+		s.keep = keep
+		if kept := compactBatch(b, keep); kept > 0 {
+			return b, nil
+		}
+		// Whole batch filtered out: read the next chunk.
+	}
+}
+
+// Close implements BatchIterator.
+func (s *BatchScanIter) Close() {
+	s.chunk.Close()
+	if s.batch != nil {
+		PutBatch(s.batch)
+		s.batch = nil
+	}
+}
+
+// BytesRead reports this scan's (partition's) charged bytes.
+func (s *BatchScanIter) BytesRead() int64 { return s.chunk.BytesRead() }
+
+// SizeHint implements BatchSizeHinter: exact when unfiltered.
+func (s *BatchScanIter) SizeHint() (int64, bool) {
+	if s.Filter != nil {
+		return 0, false
+	}
+	return s.nrows, true
+}
+
+// compactBatch keeps only rows with keep[i] set, in order, and returns the
+// surviving count.
+func compactBatch(b *RowBatch, keep []bool) int {
+	n := b.Len()
+	k := 0
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			k++
+		}
+	}
+	if k == n {
+		return k
+	}
+	for j := range b.Cols {
+		col := b.Cols[j]
+		if len(col) == 0 {
+			continue // column pruned away by the scan
+		}
+		m := b.Nulls[j]
+		for w := range m {
+			m[w] = 0
+		}
+		out := 0
+		for i := 0; i < n; i++ {
+			if !keep[i] {
+				continue
+			}
+			col[out] = col[i]
+			if col[i].IsNull() {
+				b.growNulls(j, out+1)
+				b.Nulls[j].Set(out)
+			}
+			out++
+		}
+		b.Cols[j] = col[:out]
+	}
+	b.n = k
+	return k
+}
+
+// ---------- Batch filter / project / limit ----------
+
+// BatchFilterIter drops rows failing the predicate, evaluating it once per
+// batch. Output batches are compacted copies, never aliases of the input.
+type BatchFilterIter struct {
+	In   BatchIterator
+	Pred Expr
+
+	ctx  *EvalCtx
+	out  *RowBatch
+	keep []bool
+}
+
+// NextBatch implements BatchIterator.
+func (f *BatchFilterIter) NextBatch() (*RowBatch, error) {
+	if f.ctx == nil {
+		f.ctx = NewEvalCtx()
+	}
+	for {
+		in, err := f.In.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		f.ctx.BeginBatch()
+		keep, err := EvalPredBatch(f.Pred, in, f.ctx, f.keep)
+		if err != nil {
+			return nil, err
+		}
+		f.keep = keep
+		if f.out == nil {
+			f.out = NewRowBatch(in.Width(), in.Len())
+		}
+		out := f.out
+		out.Reset()
+		for len(out.Cols) < in.Width() {
+			out.Cols = append(out.Cols, nil)
+			out.Nulls = append(out.Nulls, nil)
+		}
+		n := in.Len()
+		for j := range in.Cols {
+			col := out.Cols[j][:0]
+			for i := 0; i < n; i++ {
+				if keep[i] {
+					col = append(col, in.Cols[j][i])
+				}
+			}
+			out.SetCol(j, col)
+			out.n = len(col)
+		}
+		if out.n > 0 {
+			return out, nil
+		}
+	}
+}
+
+// Close implements BatchIterator.
+func (f *BatchFilterIter) Close() { f.In.Close() }
+
+// BatchProjectIter evaluates output expressions once per batch. Output
+// columns may alias input columns (plain column projections are free).
+type BatchProjectIter struct {
+	In    BatchIterator
+	Exprs []Expr
+
+	ctx *EvalCtx
+	out *RowBatch
+}
+
+// NextBatch implements BatchIterator.
+func (p *BatchProjectIter) NextBatch() (*RowBatch, error) {
+	if p.ctx == nil {
+		p.ctx = NewEvalCtx()
+	}
+	in, err := p.In.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, nil
+	}
+	if p.out == nil {
+		p.out = &RowBatch{
+			Cols:  make([][]types.Datum, len(p.Exprs)),
+			Nulls: make([]NullBitmap, len(p.Exprs)),
+		}
+	}
+	out := p.out
+	out.n = 0
+	p.ctx.BeginBatch()
+	for j, e := range p.Exprs {
+		// Plain column projections alias the input column and its bitmap;
+		// no copy, no bitmap rescan.
+		if ce, ok := e.(*ColExpr); ok && ce.Idx >= 0 && ce.Idx < in.Width() {
+			out.AliasCol(j, in, ce.Idx)
+			continue
+		}
+		col, err := EvalBatch(e, in, p.ctx)
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, col)
+	}
+	out.n = in.Len()
+	return out, nil
+}
+
+// Close implements BatchIterator.
+func (p *BatchProjectIter) Close() { p.In.Close() }
+
+// SizeHint implements BatchSizeHinter (projection preserves cardinality).
+func (p *BatchProjectIter) SizeHint() (int64, bool) {
+	if sh, ok := p.In.(BatchSizeHinter); ok {
+		return sh.SizeHint()
+	}
+	return 0, false
+}
+
+// BatchLimitIter stops after N rows, truncating the final batch.
+type BatchLimitIter struct {
+	In BatchIterator
+	N  int64
+
+	seen int64
+}
+
+// NextBatch implements BatchIterator.
+func (l *BatchLimitIter) NextBatch() (*RowBatch, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	b, err := l.In.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, nil
+	}
+	if rem := l.N - l.seen; int64(b.Len()) > rem {
+		for j := range b.Cols {
+			b.Cols[j] = b.Cols[j][:rem]
+		}
+		b.n = int(rem)
+	}
+	l.seen += int64(b.Len())
+	return b, nil
+}
+
+// Close implements BatchIterator.
+func (l *BatchLimitIter) Close() { l.In.Close() }
+
+// SizeHint implements BatchSizeHinter.
+func (l *BatchLimitIter) SizeHint() (int64, bool) {
+	if sh, ok := l.In.(BatchSizeHinter); ok {
+		if n, exact := sh.SizeHint(); exact {
+			if n > l.N {
+				n = l.N
+			}
+			return n, true
+		}
+	}
+	return l.N, true
+}

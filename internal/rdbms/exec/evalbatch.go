@@ -1,0 +1,332 @@
+package exec
+
+import (
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// EvalCtx carries the reusable scratch state for batch expression
+// evaluation: a scratch row for the row-wise fallback, a shared per-batch
+// UDF cache, and an argument buffer for non-batch function calls. One
+// EvalCtx belongs to one operator; it is not safe for concurrent use.
+type EvalCtx struct {
+	udf     UDFBatchCtx
+	scratch storage.Row
+	argBuf  []types.Datum
+	// consts caches the broadcast column of each ConstExpr node across
+	// batches (its content never changes), so constant arguments cost one
+	// allocation per query instead of one per batch.
+	consts map[*ConstExpr][]types.Datum
+}
+
+// NewEvalCtx returns a fresh evaluation context.
+func NewEvalCtx() *EvalCtx {
+	return &EvalCtx{udf: UDFBatchCtx{Cache: make(map[any]any)}}
+}
+
+// BeginBatch resets per-batch state. Operators call it once before the
+// EvalBatch calls of each input batch, so UDF cache entries never outlive
+// the batch whose data they were derived from.
+func (c *EvalCtx) BeginBatch() {
+	clear(c.udf.Cache)
+}
+
+// EvalBatch evaluates e over every row of b and returns the result column.
+//
+// Nodes with eager evaluation semantics (comparisons, arithmetic, concat,
+// NOT, negation, IS NULL, BETWEEN, LIKE, CAST, function calls) are walked
+// once per batch: each child is materialized as a full column, then a tight
+// loop combines them. Nodes with lazy/short-circuit semantics (AND, OR,
+// COALESCE, IN-list, ANY) fall back to row-wise Eval inside the batch so
+// that skipped operands are truly not evaluated — same values, same errors,
+// same side-effect ordering as the Volcano path.
+//
+// The returned slice may alias a column of b (ColExpr is free); callers
+// must copy before mutating. On error the first failing row in row order —
+// of the first failing child, for eager nodes — is reported.
+func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
+	n := b.Len()
+	switch x := e.(type) {
+	case *ColExpr:
+		return b.Cols[x.Idx], nil
+
+	case *ConstExpr:
+		if ctx.consts == nil {
+			ctx.consts = make(map[*ConstExpr][]types.Datum)
+		}
+		col := ctx.consts[x]
+		if len(col) < n {
+			col = make([]types.Datum, n)
+			for i := range col {
+				col[i] = x.Val
+			}
+			ctx.consts[x] = col
+		}
+		return col[:n], nil
+
+	case *BinExpr:
+		if x.Op == "AND" || x.Op == "OR" {
+			return evalBatchFallback(e, b, ctx)
+		}
+		l, err := EvalBatch(x.L, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalBatch(x.R, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Datum, n)
+		switch x.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			for i := 0; i < n; i++ {
+				if out[i], err = evalComparison(x.Op, l[i], r[i]); err != nil {
+					return nil, err
+				}
+			}
+		case "||":
+			for i := 0; i < n; i++ {
+				if l[i].IsNull() || r[i].IsNull() {
+					out[i] = types.NewNull(types.Text)
+					continue
+				}
+				ls, err := types.Cast(l[i], types.Text)
+				if err != nil {
+					return nil, err
+				}
+				rs, err := types.Cast(r[i], types.Text)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = types.NewText(ls.S + rs.S)
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if out[i], err = evalArith(x.Op, l[i], r[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case *NotExpr:
+		in, err := EvalBatch(x.X, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Datum, n)
+		for i := 0; i < n; i++ {
+			t, isNull, err := truth(in[i])
+			if err != nil {
+				return nil, err
+			}
+			if isNull {
+				out[i] = types.NewNull(types.Bool)
+			} else {
+				out[i] = types.NewBool(!t)
+			}
+		}
+		return out, nil
+
+	case *NegExpr:
+		in, err := EvalBatch(x.X, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Datum, n)
+		for i := 0; i < n; i++ {
+			v := in[i]
+			switch {
+			case v.IsNull():
+				out[i] = v
+			case v.Typ == types.Int:
+				out[i] = types.NewInt(-v.I)
+			case v.Typ == types.Float:
+				out[i] = types.NewFloat(-v.F)
+			default:
+				// Rebuild the row-path error via single-row Eval.
+				_, err := e.Eval(b.Row(i, ctx.scratchRow()))
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case *IsNullExpr:
+		in, err := EvalBatch(x.X, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Datum, n)
+		for i := 0; i < n; i++ {
+			out[i] = types.NewBool(in[i].IsNull() != x.Not)
+		}
+		return out, nil
+
+	case *BetweenExpr:
+		xs, err := EvalBatch(x.X, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := EvalBatch(x.Lo, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := EvalBatch(x.Hi, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Datum, n)
+		for i := 0; i < n; i++ {
+			geLo, err := evalComparison(">=", xs[i], lo[i])
+			if err != nil {
+				return nil, err
+			}
+			leHi, err := evalComparison("<=", xs[i], hi[i])
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case geLo.IsNull() || leHi.IsNull():
+				if (!geLo.IsNull() && !geLo.B) || (!leHi.IsNull() && !leHi.B) {
+					out[i] = types.NewBool(x.Not)
+				} else {
+					out[i] = types.NewNull(types.Bool)
+				}
+			default:
+				out[i] = types.NewBool((geLo.B && leHi.B) != x.Not)
+			}
+		}
+		return out, nil
+
+	case *LikeExpr:
+		xs, err := EvalBatch(x.X, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := EvalBatch(x.Pattern, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Datum, n)
+		for i := 0; i < n; i++ {
+			if xs[i].IsNull() || ps[i].IsNull() {
+				out[i] = types.NewNull(types.Bool)
+				continue
+			}
+			xv, err := types.Cast(xs[i], types.Text)
+			if err != nil {
+				return nil, err
+			}
+			pv, err := types.Cast(ps[i], types.Text)
+			if err != nil {
+				return nil, err
+			}
+			rx, err := x.compiled(pv.S)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = types.NewBool(rx.MatchString(xv.S) != x.Not)
+		}
+		return out, nil
+
+	case *CastExpr:
+		in, err := EvalBatch(x.X, b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Datum, n)
+		for i := 0; i < n; i++ {
+			if out[i], err = types.Cast(in[i], x.To); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case *CallExpr:
+		cols := make([][]types.Datum, len(x.Args))
+		for k, a := range x.Args {
+			col, err := EvalBatch(a, b, ctx)
+			if err != nil {
+				return nil, err
+			}
+			cols[k] = col
+		}
+		out := make([]types.Datum, n)
+		if x.Def.EvalBatch != nil {
+			if err := x.Def.EvalBatch(&ctx.udf, cols, out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		args := ctx.args(len(x.Args))
+		for i := 0; i < n; i++ {
+			for k := range cols {
+				args[k] = cols[k][i]
+			}
+			v, err := x.Def.Eval(args)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+
+	default:
+		// AND/OR arrive here too (dispatched above): lazy semantics —
+		// evaluate row-wise so short-circuiting skips operands exactly as
+		// the row pipeline would. Likewise CoalesceExpr, InListExpr,
+		// AnyExpr, and any Expr this switch does not know.
+		return evalBatchFallback(e, b, ctx)
+	}
+}
+
+// evalBatchFallback evaluates e row by row against the batch — the lazy
+// path that preserves short-circuit semantics.
+func evalBatchFallback(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
+	n := b.Len()
+	out := make([]types.Datum, n)
+	row := ctx.scratchRow()
+	for i := 0; i < n; i++ {
+		row = b.Row(i, row)
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	ctx.scratch = row
+	return out, nil
+}
+
+// EvalPredBatch evaluates pred over the batch as a selection mask: keep[i]
+// is true when the predicate is TRUE for row i (NULL and FALSE both drop
+// the row, matching EvalBool). The keep buffer is reused when large
+// enough.
+func EvalPredBatch(pred Expr, b *RowBatch, ctx *EvalCtx, keep []bool) ([]bool, error) {
+	n := b.Len()
+	col, err := EvalBatch(pred, b, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if cap(keep) < n {
+		keep = make([]bool, n)
+	}
+	keep = keep[:n]
+	for i := 0; i < n; i++ {
+		t, isNull, err := truth(col[i])
+		if err != nil {
+			return nil, err
+		}
+		keep[i] = t && !isNull
+	}
+	return keep, nil
+}
+
+func (c *EvalCtx) scratchRow() storage.Row { return c.scratch }
+
+func (c *EvalCtx) args(n int) []types.Datum {
+	if cap(c.argBuf) < n {
+		c.argBuf = make([]types.Datum, n)
+	}
+	return c.argBuf[:n]
+}

@@ -15,10 +15,36 @@ type Iterator interface {
 	Close()
 }
 
-// Collect drains an iterator into a slice and closes it.
+// SizeHinter is optionally implemented by iterators that know (or can
+// bound) their cardinality up front; Collect uses it to pre-size its
+// output slice instead of growing it by repeated reallocation.
+type SizeHinter interface {
+	// SizeHint returns the expected row count; exact reports whether the
+	// count is precise rather than an upper bound.
+	SizeHint() (n int64, exact bool)
+}
+
+// collectCapHint caps how much memory a size hint may pre-allocate (an
+// inexact hint on a huge heap should not commit gigabytes up front).
+const collectCapHint = 1 << 20
+
+// Collect drains an iterator into a slice and closes it. A BatchToRow
+// root is unwrapped and drained batch-at-a-time, skipping the per-row
+// adapter call.
 func Collect(it Iterator) ([]storage.Row, error) {
+	if br, ok := it.(*BatchToRow); ok {
+		return CollectBatches(br.In)
+	}
 	defer it.Close()
 	var out []storage.Row
+	if sh, ok := it.(SizeHinter); ok {
+		if n, _ := sh.SizeHint(); n > 0 {
+			if n > collectCapHint {
+				n = collectCapHint
+			}
+			out = make([]storage.Row, 0, n)
+		}
+	}
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
@@ -31,6 +57,118 @@ func Collect(it Iterator) ([]storage.Row, error) {
 	}
 }
 
+// CollectProjectedScan is the fused fast path for the most common batch
+// plan shape — Project over plain columns of a filterless scan, optionally
+// under a LIMIT: each surviving heap row's projected cells are copied
+// straight into the result arena, one copy end-to-end instead of the
+// pipeline's transpose into batch columns plus re-transpose into result
+// rows. cols lists the projected source column indices in output order,
+// limit < 0 means no limit, and chunk is the scan batch size. The heap
+// iterator is closed (flushing pager accounting) even on an early LIMIT
+// stop.
+func CollectProjectedScan(h *storage.Heap, cols []int, limit int64, chunk int) ([]storage.Row, error) {
+	if chunk <= 0 {
+		chunk = DefaultBatchSize
+	}
+	it := h.IterateRange(0, h.NumPages())
+	defer it.Close()
+	total := h.NumRows()
+	if limit >= 0 && limit < total {
+		total = limit
+	}
+	w := len(cols)
+	capHint := total
+	if capHint > collectCapHint {
+		capHint = collectCapHint
+	}
+	out := make([]storage.Row, 0, capHint)
+	var arena []types.Datum
+	if total*int64(w) <= collectCapHint {
+		arena = make([]types.Datum, int(total)*w)
+	}
+	used := 0
+	buf := make([]storage.Row, chunk)
+	for int64(len(out)) < total {
+		n := it.ReadRows(buf)
+		if n == 0 {
+			break
+		}
+		if rem := total - int64(len(out)); int64(n) > rem {
+			n = int(rem)
+		}
+		if len(arena)-used < n*w {
+			arena = make([]types.Datum, n*w)
+			used = 0
+		}
+		for _, r := range buf[:n] {
+			row := storage.Row(arena[used : used+w : used+w])
+			used += w
+			for k, c := range cols {
+				row[k] = r[c]
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// CollectBatches drains a batch iterator into row-major rows and closes
+// it. Rows of each batch are carved out of one arena allocation (one for
+// the whole result when the source cardinality is exactly known), so the
+// per-row cost is the final transpose alone.
+func CollectBatches(it BatchIterator) ([]storage.Row, error) {
+	defer it.Close()
+	var out []storage.Row
+	var arena []types.Datum
+	used := 0
+	if sh, ok := it.(BatchSizeHinter); ok {
+		if n, _ := sh.SizeHint(); n > 0 {
+			if n > collectCapHint {
+				n = collectCapHint
+			}
+			out = make([]storage.Row, 0, n)
+		}
+	}
+	hinted := false
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		n, w := b.Len(), b.Width()
+		need := n * w
+		if !hinted {
+			hinted = true
+			if sh, ok := it.(BatchSizeHinter); ok {
+				if total, exact := sh.SizeHint(); exact && total >= int64(n) && total <= collectCapHint {
+					arena = make([]types.Datum, int(total)*w)
+				}
+			}
+		}
+		if len(arena)-used < need {
+			arena = make([]types.Datum, need)
+			used = 0
+		}
+		base := used
+		for i := 0; i < n; i++ {
+			out = append(out, storage.Row(arena[used:used+w:used+w]))
+			used += w
+		}
+		for j := 0; j < w; j++ {
+			col := b.Cols[j]
+			if len(col) < n {
+				continue // column pruned away by the scan: cells stay zero
+			}
+			for i := 0; i < n; i++ {
+				arena[base+i*w+j] = col[i]
+			}
+		}
+	}
+}
+
 // ---------- Scan ----------
 
 // ScanIter reads a heap sequentially, applying an optional pushed-down
@@ -39,11 +177,12 @@ func Collect(it Iterator) ([]storage.Row, error) {
 type ScanIter struct {
 	it     *storage.HeapIter
 	Filter Expr // may be nil
+	nrows  int64
 }
 
 // NewScan returns a scan over h with an optional filter.
 func NewScan(h *storage.Heap, filter Expr) *ScanIter {
-	return &ScanIter{it: h.Iterate(), Filter: filter}
+	return &ScanIter{it: h.Iterate(), Filter: filter, nrows: h.NumRows()}
 }
 
 // Next implements Iterator.
@@ -66,8 +205,17 @@ func (s *ScanIter) Next() (storage.Row, bool, error) {
 	}
 }
 
-// Close implements Iterator.
-func (s *ScanIter) Close() {}
+// Close implements Iterator: it finalizes the heap iterator so pager byte
+// accounting is recorded even when a LIMIT abandons the scan early.
+func (s *ScanIter) Close() { s.it.Close() }
+
+// SizeHint implements SizeHinter; exact only for unfiltered scans.
+func (s *ScanIter) SizeHint() (int64, bool) {
+	if s.Filter != nil {
+		return 0, false
+	}
+	return s.nrows, true
+}
 
 // RowIDScanIter scans a heap yielding (row, id) pairs for DML.
 type RowIDScanIter struct {
@@ -99,6 +247,10 @@ func (s *RowIDScanIter) NextWithID() (storage.RowID, storage.Row, bool, error) {
 		return id, row, true, nil
 	}
 }
+
+// Close finalizes the heap iterator's pager accounting; safe to call more
+// than once.
+func (s *RowIDScanIter) Close() { s.it.Close() }
 
 // ---------- Filter / Project / Limit ----------
 
@@ -154,6 +306,14 @@ func (p *ProjectIter) Next() (storage.Row, bool, error) {
 // Close implements Iterator.
 func (p *ProjectIter) Close() { p.In.Close() }
 
+// SizeHint implements SizeHinter (projection preserves cardinality).
+func (p *ProjectIter) SizeHint() (int64, bool) {
+	if sh, ok := p.In.(SizeHinter); ok {
+		return sh.SizeHint()
+	}
+	return 0, false
+}
+
 // LimitIter stops after N rows.
 type LimitIter struct {
 	In   Iterator
@@ -176,6 +336,19 @@ func (l *LimitIter) Next() (storage.Row, bool, error) {
 
 // Close implements Iterator.
 func (l *LimitIter) Close() { l.In.Close() }
+
+// SizeHint implements SizeHinter: LIMIT caps the child's hint.
+func (l *LimitIter) SizeHint() (int64, bool) {
+	if sh, ok := l.In.(SizeHinter); ok {
+		if n, exact := sh.SizeHint(); exact {
+			if n > l.N {
+				n = l.N
+			}
+			return n, true
+		}
+	}
+	return l.N, true
+}
 
 // ---------- Sort / Unique ----------
 
@@ -364,3 +537,6 @@ func (s *SliceIter) Next() (storage.Row, bool, error) {
 
 // Close implements Iterator.
 func (s *SliceIter) Close() {}
+
+// SizeHint implements SizeHinter.
+func (s *SliceIter) SizeHint() (int64, bool) { return int64(len(s.Rows)), true }

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"sync"
+
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+)
+
+// ParallelScanIter is a partitioned parallel SeqScan: the heap's page
+// space is split into one contiguous page range per worker, each worker
+// runs its own BatchScanIter (with its own partition-local byte
+// accounting) and the partition streams are merged IN PARTITION ORDER, so
+// the merged stream preserves heap order exactly like a serial scan. The
+// planner bounds workers by GOMAXPROCS; the executor accepts any count.
+type ParallelScanIter struct {
+	parts []chan parallelItem
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	scans []*BatchScanIter
+
+	cur    int
+	closed bool
+	nrows  int64
+	exact  bool
+}
+
+type parallelItem struct {
+	b   *RowBatch
+	err error
+}
+
+// NewParallelScan starts workers scanning h's partitions concurrently.
+// workers is clamped to [1, NumPages]; with one worker it degenerates to a
+// serial BatchScanIter wrapped in the merge loop.
+func NewParallelScan(h *storage.Heap, filter Expr, size, workers int) *ParallelScanIter {
+	return NewParallelScanCols(h, filter, size, workers, nil)
+}
+
+// NewParallelScanCols is NewParallelScan with scan column pruning: cols
+// (when non-nil) lists the only column indices the partition scans
+// materialize. It must be fixed at construction because workers start
+// reading immediately.
+func NewParallelScanCols(h *storage.Heap, filter Expr, size, workers int, cols []int) *ParallelScanIter {
+	ranges := h.Partitions(workers)
+	if len(ranges) == 0 {
+		ranges = []storage.PageRange{{Start: 0, End: 0}}
+	}
+	p := &ParallelScanIter{
+		parts: make([]chan parallelItem, len(ranges)),
+		stop:  make(chan struct{}),
+		scans: make([]*BatchScanIter, len(ranges)),
+		nrows: h.NumRows(),
+		exact: filter == nil,
+	}
+	for i, r := range ranges {
+		// Cap 2 keeps a worker one batch ahead of the merger without
+		// unbounded buffering.
+		p.parts[i] = make(chan parallelItem, 2)
+		s := NewBatchScanRange(h, filter, size, r.Start, r.End)
+		s.NeedCols = cols
+		// Batches cross the channel to another goroutine, so the producer
+		// must not recycle them.
+		s.setNoReuse()
+		p.scans[i] = s
+		p.wg.Add(1)
+		go p.worker(i, s)
+	}
+	return p
+}
+
+func (p *ParallelScanIter) worker(i int, s *BatchScanIter) {
+	defer p.wg.Done()
+	defer close(p.parts[i])
+	defer s.Close()
+	for {
+		b, err := s.NextBatch()
+		if err != nil {
+			select {
+			case p.parts[i] <- parallelItem{err: err}:
+			case <-p.stop:
+			}
+			return
+		}
+		if b == nil {
+			return
+		}
+		select {
+		case p.parts[i] <- parallelItem{b: b}:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// NextBatch implements BatchIterator, draining partitions in ascending
+// order.
+func (p *ParallelScanIter) NextBatch() (*RowBatch, error) {
+	for p.cur < len(p.parts) {
+		item, ok := <-p.parts[p.cur]
+		if !ok {
+			p.cur++
+			continue
+		}
+		if item.err != nil {
+			return nil, item.err
+		}
+		return item.b, nil
+	}
+	return nil, nil
+}
+
+// Close implements BatchIterator: signals every worker to stop, waits for
+// them, and finalizes per-partition pager accounting (each worker closes
+// its own scan).
+func (p *ParallelScanIter) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.stop)
+	// Drain so workers blocked on a full channel can observe stop/finish.
+	for _, ch := range p.parts {
+		for range ch { //nolint:revive // drained for effect
+		}
+	}
+	p.wg.Wait()
+}
+
+// BytesRead sums the bytes charged by every partition's scan. Only valid
+// after Close or end of stream.
+func (p *ParallelScanIter) BytesRead() int64 {
+	var total int64
+	for _, s := range p.scans {
+		total += s.BytesRead()
+	}
+	return total
+}
+
+// SizeHint implements BatchSizeHinter: exact when unfiltered.
+func (p *ParallelScanIter) SizeHint() (int64, bool) {
+	if !p.exact {
+		return 0, false
+	}
+	return p.nrows, true
+}

@@ -131,3 +131,196 @@ func canonical(rows []storage.Row) string {
 	}
 	return out
 }
+
+// ---------- Batch/row differential testing ----------
+
+// randBatchRows builds a random table over the given column types, with
+// NULLs sprinkled in every column.
+func randBatchRows(r *rand.Rand, colTypes []types.Type, n int) []storage.Row {
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		row := make(storage.Row, len(colTypes))
+		for j, tp := range colTypes {
+			if r.Intn(6) == 0 {
+				row[j] = types.NewNull(tp)
+				continue
+			}
+			switch tp {
+			case types.Int:
+				row[j] = types.NewInt(int64(r.Intn(21) - 10))
+			case types.Float:
+				row[j] = types.NewFloat(float64(r.Intn(41))/4 - 5)
+			case types.Text:
+				row[j] = types.NewText(string(rune('a' + r.Intn(5))))
+			default:
+				row[j] = types.NewBool(r.Intn(2) == 0)
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func colsOfType(colTypes []types.Type, want ...types.Type) []int {
+	var out []int
+	for i, tp := range colTypes {
+		for _, w := range want {
+			if tp == w {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// randNumExpr returns a numeric-valued expression; division and modulo are
+// included rarely so that genuine runtime errors (÷0) are exercised but do
+// not dominate.
+func randNumExpr(r *rand.Rand, colTypes []types.Type, depth int) Expr {
+	nums := colsOfType(colTypes, types.Int, types.Float)
+	if depth <= 0 || r.Intn(3) == 0 {
+		if len(nums) > 0 && r.Intn(3) != 0 {
+			i := nums[r.Intn(len(nums))]
+			return col(i, colTypes[i])
+		}
+		if r.Intn(2) == 0 {
+			return lit(types.NewInt(int64(r.Intn(9) - 4)))
+		}
+		return lit(types.NewFloat(float64(r.Intn(17))/4 - 2))
+	}
+	ops := []string{"+", "-", "*", "+", "-", "*", "/", "%"}
+	return &BinExpr{
+		Op: ops[r.Intn(len(ops))],
+		L:  randNumExpr(r, colTypes, depth-1),
+		R:  randNumExpr(r, colTypes, depth-1),
+	}
+}
+
+func randTextExpr(r *rand.Rand, colTypes []types.Type, depth int) Expr {
+	texts := colsOfType(colTypes, types.Text)
+	if depth <= 0 || r.Intn(2) == 0 {
+		if len(texts) > 0 && r.Intn(3) != 0 {
+			i := texts[r.Intn(len(texts))]
+			return col(i, colTypes[i])
+		}
+		return lit(types.NewText(string(rune('a' + r.Intn(5)))))
+	}
+	return &BinExpr{Op: "||",
+		L: randTextExpr(r, colTypes, depth-1),
+		R: randTextExpr(r, colTypes, depth-1)}
+}
+
+// randPred returns a random predicate mixing eager nodes (comparisons,
+// BETWEEN, IS NULL, LIKE, NOT) with lazy ones (AND, OR, IN, COALESCE) so
+// both batch evaluation paths are exercised.
+func randPred(r *rand.Rand, colTypes []types.Type, depth int) Expr {
+	if depth > 0 && r.Intn(2) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &BinExpr{Op: "AND",
+				L: randPred(r, colTypes, depth-1), R: randPred(r, colTypes, depth-1)}
+		case 1:
+			return &BinExpr{Op: "OR",
+				L: randPred(r, colTypes, depth-1), R: randPred(r, colTypes, depth-1)}
+		case 2:
+			return &NotExpr{X: randPred(r, colTypes, depth-1)}
+		default:
+			return &CoalesceExpr{Args: []Expr{
+				randPred(r, colTypes, depth-1), lit(types.NewBool(false))}}
+		}
+	}
+	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
+	switch r.Intn(6) {
+	case 0:
+		return &IsNullExpr{X: randNumExpr(r, colTypes, 1), Not: r.Intn(2) == 0}
+	case 1:
+		return &BetweenExpr{
+			X:   randNumExpr(r, colTypes, 1),
+			Lo:  randNumExpr(r, colTypes, 0),
+			Hi:  randNumExpr(r, colTypes, 0),
+			Not: r.Intn(2) == 0,
+		}
+	case 2:
+		return &LikeExpr{
+			X:       randTextExpr(r, colTypes, 1),
+			Pattern: lit(types.NewText([]string{"a%", "%b%", "_", "%", "c"}[r.Intn(5)])),
+			Not:     r.Intn(2) == 0,
+		}
+	case 3:
+		return &InListExpr{
+			X: randNumExpr(r, colTypes, 0),
+			List: []Expr{lit(types.NewInt(int64(r.Intn(5)))),
+				lit(types.NewInt(int64(r.Intn(5) - 5)))},
+			Not: r.Intn(2) == 0,
+		}
+	case 4:
+		return &BinExpr{Op: cmps[r.Intn(len(cmps))],
+			L: randTextExpr(r, colTypes, 1), R: randTextExpr(r, colTypes, 1)}
+	default:
+		return &BinExpr{Op: cmps[r.Intn(len(cmps))],
+			L: randNumExpr(r, colTypes, 2), R: randNumExpr(r, colTypes, 1)}
+	}
+}
+
+// TestPropertyBatchMatchesRow is the differential test backing the batch
+// executor: over random schemas, data (with NULLs), predicates, and
+// projections, the batch pipeline must produce exactly the row pipeline's
+// output — same rows, same order — and must error exactly when the row
+// pipeline errors (÷0, type mismatches). LIMIT is deliberately absent: a
+// limit can stop the row pipeline before a row whose evaluation fails,
+// while the batch pipeline may evaluate it eagerly (the one documented
+// divergence).
+func TestPropertyBatchMatchesRow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		colTypes := []types.Type{types.Int, types.Text}
+		for n := r.Intn(4); n > 0; n-- {
+			colTypes = append(colTypes,
+				[]types.Type{types.Int, types.Float, types.Text, types.Bool}[r.Intn(4)])
+		}
+		rows := randBatchRows(r, colTypes, r.Intn(60))
+		pred := randPred(r, colTypes, 3)
+		projs := make([]Expr, 1+r.Intn(3))
+		for i := range projs {
+			if r.Intn(3) == 0 {
+				projs[i] = randTextExpr(r, colTypes, 2)
+			} else {
+				projs[i] = randNumExpr(r, colTypes, 2)
+			}
+		}
+
+		want, wantErr := Collect(&ProjectIter{Exprs: projs,
+			In: &FilterIter{Pred: pred, In: sliceIter(rows...)}})
+
+		for _, size := range []int{1, 2, 3, 7} {
+			got, gotErr := Collect(&BatchToRow{In: &BatchProjectIter{Exprs: projs,
+				In: &BatchFilterIter{Pred: pred,
+					In: &RowToBatch{In: sliceIter(rows...), Size: size}}}})
+			if (wantErr != nil) != (gotErr != nil) {
+				t.Fatalf("seed %d size %d: row err %v, batch err %v",
+					seed, size, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d size %d: %d rows vs %d", seed, size, len(got), len(want))
+			}
+			for i := range want {
+				var wk, gk []byte
+				for j := range want[i] {
+					wk = want[i][j].HashKey(wk)
+					gk = got[i][j].HashKey(gk)
+				}
+				if string(wk) != string(gk) {
+					t.Fatalf("seed %d size %d row %d: batch %v vs row %v",
+						seed, size, i, got[i], want[i])
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -39,6 +39,31 @@ func (b *baseNode) Layout() *Layout { return b.layout }
 func (b *baseNode) Rows() float64   { return b.rows }
 func (b *baseNode) Cost() float64   { return b.cost }
 
+// batchNode is implemented by nodes that can run as a native batch
+// operator. OpenBatch reports ok=false when the node was not planned in
+// batch mode, in which case callers fall back to Open.
+type batchNode interface {
+	OpenBatch() (it exec.BatchIterator, ok bool)
+}
+
+// openBatch opens child as a batch stream: natively when the child was
+// planned in batch mode, otherwise through a RowToBatch adapter (the
+// boundary above Sort/joins).
+func openBatch(child Node, size int) exec.BatchIterator {
+	if bn, ok := child.(batchNode); ok {
+		if it, native := bn.OpenBatch(); native {
+			return it
+		}
+	}
+	return &exec.RowToBatch{In: child.Open(), Size: size}
+}
+
+// batchAnnotation is the EXPLAIN suffix for batch-mode operators; nodes
+// return "" when running row-at-a-time.
+type batchAnnotated interface {
+	batchAnnotation() string
+}
+
 // ---------- Scan ----------
 
 // ScanNode is a sequential scan with pushed-down filter conjuncts.
@@ -48,6 +73,15 @@ type ScanNode struct {
 	TableName string
 	AliasName string
 	Preds     []exec.Expr
+	// Batch selects the batch-at-a-time pipeline; BatchSize is rows per
+	// RowBatch and Workers > 1 selects the parallel partitioned scan.
+	Batch     bool
+	BatchSize int
+	Workers   int
+	// NeedCols, when non-nil, restricts the batch scan to materializing
+	// only these column indices (scan column pruning, see
+	// pruneScanColumns).
+	NeedCols []int
 }
 
 // Label implements Node.
@@ -60,10 +94,18 @@ func (s *ScanNode) Label() string {
 
 // Details implements Node.
 func (s *ScanNode) Details() []string {
-	if len(s.Preds) == 0 {
-		return nil
+	var d []string
+	if len(s.Preds) > 0 {
+		d = append(d, "Filter: "+predsDisplay(s.Preds))
 	}
-	return []string{"Filter: " + predsDisplay(s.Preds)}
+	if s.Batch {
+		line := fmt.Sprintf("Batch Size: %d", s.BatchSize)
+		if s.Workers > 1 {
+			line += fmt.Sprintf("  Workers: %d", s.Workers)
+		}
+		d = append(d, line)
+	}
+	return d
 }
 
 // Children implements Node.
@@ -71,7 +113,33 @@ func (s *ScanNode) Children() []Node { return nil }
 
 // Open implements Node.
 func (s *ScanNode) Open() exec.Iterator {
+	if it, ok := s.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
 	return exec.NewScan(s.Heap, conjoinExec(s.Preds))
+}
+
+// OpenBatch implements batchNode.
+func (s *ScanNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !s.Batch {
+		return nil, false
+	}
+	if s.Workers > 1 {
+		return exec.NewParallelScanCols(s.Heap, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols), true
+	}
+	it := exec.NewBatchScan(s.Heap, conjoinExec(s.Preds), s.BatchSize)
+	it.NeedCols = s.NeedCols
+	return it, true
+}
+
+func (s *ScanNode) batchAnnotation() string {
+	if !s.Batch {
+		return ""
+	}
+	if s.Workers > 1 {
+		return " (batch, parallel)"
+	}
+	return " (batch)"
 }
 
 // ---------- Filter ----------
@@ -79,8 +147,10 @@ func (s *ScanNode) Open() exec.Iterator {
 // FilterNode applies residual predicates above another node.
 type FilterNode struct {
 	baseNode
-	Child Node
-	Preds []exec.Expr
+	Child     Node
+	Preds     []exec.Expr
+	Batch     bool
+	BatchSize int
 }
 
 // Label implements Node.
@@ -94,7 +164,25 @@ func (f *FilterNode) Children() []Node { return []Node{f.Child} }
 
 // Open implements Node.
 func (f *FilterNode) Open() exec.Iterator {
+	if it, ok := f.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
 	return &exec.FilterIter{In: f.Child.Open(), Pred: conjoinExec(f.Preds)}
+}
+
+// OpenBatch implements batchNode.
+func (f *FilterNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !f.Batch {
+		return nil, false
+	}
+	return &exec.BatchFilterIter{In: openBatch(f.Child, f.BatchSize), Pred: conjoinExec(f.Preds)}, true
+}
+
+func (f *FilterNode) batchAnnotation() string {
+	if !f.Batch {
+		return ""
+	}
+	return " (batch)"
 }
 
 // ---------- Project ----------
@@ -102,8 +190,10 @@ func (f *FilterNode) Open() exec.Iterator {
 // ProjectNode computes output expressions.
 type ProjectNode struct {
 	baseNode
-	Child Node
-	Exprs []exec.Expr
+	Child     Node
+	Exprs     []exec.Expr
+	Batch     bool
+	BatchSize int
 }
 
 // Label implements Node.
@@ -123,7 +213,25 @@ func (p *ProjectNode) Children() []Node { return []Node{p.Child} }
 
 // Open implements Node.
 func (p *ProjectNode) Open() exec.Iterator {
+	if it, ok := p.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
 	return &exec.ProjectIter{In: p.Child.Open(), Exprs: p.Exprs}
+}
+
+// OpenBatch implements batchNode.
+func (p *ProjectNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !p.Batch {
+		return nil, false
+	}
+	return &exec.BatchProjectIter{In: openBatch(p.Child, p.BatchSize), Exprs: p.Exprs}, true
+}
+
+func (p *ProjectNode) batchAnnotation() string {
+	if !p.Batch {
+		return ""
+	}
+	return " (batch)"
 }
 
 // ---------- Sort / Unique ----------
@@ -182,10 +290,12 @@ func (u *UniqueNode) Open() exec.Iterator { return &exec.UniqueIter{In: u.Child.
 // HashAggNode groups via hash table (Table 2's "HashAggregate").
 type HashAggNode struct {
 	baseNode
-	Child    Node
-	GroupBy  []exec.Expr
-	Aggs     []*exec.AggSpec
-	AggNames []string
+	Child     Node
+	GroupBy   []exec.Expr
+	Aggs      []*exec.AggSpec
+	AggNames  []string
+	Batch     bool
+	BatchSize int
 }
 
 // Label implements Node.
@@ -208,7 +318,27 @@ func (h *HashAggNode) Children() []Node { return []Node{h.Child} }
 
 // Open implements Node.
 func (h *HashAggNode) Open() exec.Iterator {
+	if it, ok := h.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
 	return &exec.HashAggIter{In: h.Child.Open(), GroupBy: h.GroupBy, Aggs: h.Aggs}
+}
+
+// OpenBatch implements batchNode.
+func (h *HashAggNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !h.Batch {
+		return nil, false
+	}
+	return &exec.BatchHashAggIter{
+		In: openBatch(h.Child, h.BatchSize), GroupBy: h.GroupBy, Aggs: h.Aggs, Size: h.BatchSize,
+	}, true
+}
+
+func (h *HashAggNode) batchAnnotation() string {
+	if !h.Batch {
+		return ""
+	}
+	return " (batch)"
 }
 
 // GroupAggNode groups sorted input (Table 2's "GroupAggregate"); the
@@ -351,8 +481,10 @@ func (j *NestedLoopNode) Open() exec.Iterator {
 // LimitNode truncates output.
 type LimitNode struct {
 	baseNode
-	Child Node
-	N     int64
+	Child     Node
+	N         int64
+	Batch     bool
+	BatchSize int
 }
 
 // Label implements Node.
@@ -365,7 +497,27 @@ func (l *LimitNode) Details() []string { return nil }
 func (l *LimitNode) Children() []Node { return []Node{l.Child} }
 
 // Open implements Node.
-func (l *LimitNode) Open() exec.Iterator { return &exec.LimitIter{In: l.Child.Open(), N: l.N} }
+func (l *LimitNode) Open() exec.Iterator {
+	if it, ok := l.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
+	return &exec.LimitIter{In: l.Child.Open(), N: l.N}
+}
+
+// OpenBatch implements batchNode.
+func (l *LimitNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !l.Batch {
+		return nil, false
+	}
+	return &exec.BatchLimitIter{In: openBatch(l.Child, l.BatchSize), N: l.N}, true
+}
+
+func (l *LimitNode) batchAnnotation() string {
+	if !l.Batch {
+		return ""
+	}
+	return " (batch)"
+}
 
 // ---------- EXPLAIN rendering ----------
 
@@ -382,7 +534,11 @@ func explainNode(sb *strings.Builder, n Node, depth int, first bool) {
 	if !first {
 		arrow = "->  "
 	}
-	fmt.Fprintf(sb, "%s%s%s  (rows=%.0f cost=%.2f)\n", indent, arrow, n.Label(), math.Ceil(n.Rows()), n.Cost())
+	ann := ""
+	if ba, ok := n.(batchAnnotated); ok {
+		ann = ba.batchAnnotation()
+	}
+	fmt.Fprintf(sb, "%s%s%s%s  (rows=%.0f cost=%.2f)\n", indent, arrow, n.Label(), ann, math.Ceil(n.Rows()), n.Cost())
 	for _, d := range n.Details() {
 		fmt.Fprintf(sb, "%s      %s\n", indent, d)
 	}

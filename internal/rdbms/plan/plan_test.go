@@ -325,3 +325,84 @@ func TestSelectivityEstimatorDirect(t *testing.T) {
 		t.Errorf("is-null sel = %f", sel)
 	}
 }
+
+func TestExplainBatchAnnotation(t *testing.T) {
+	cat := buildCatalog(t, 100, true)
+	sp := planQuery(t, cat, `SELECT grp, COUNT(*) FROM t WHERE v > 10 GROUP BY grp`)
+	text := sp.Explain()
+	for _, want := range []string{"(batch)", "Batch Size: "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+	// Disabling batch execution removes the annotation.
+	stmt, err := sqlparse.Parse(`SELECT v FROM t WHERE v > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.EnableBatch = false
+	p := NewPlanner(cat, exec.NewRegistry(), cfg)
+	sp, err = p.PlanSelect(stmt.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sp.Explain(), "(batch)") {
+		t.Errorf("batch annotation with EnableBatch=false:\n%s", sp.Explain())
+	}
+}
+
+func TestRowAndBatchPlansAgree(t *testing.T) {
+	cat := buildCatalog(t, 500, true)
+	for _, sql := range []string{
+		`SELECT v, s FROM t WHERE v >= 250`,
+		`SELECT grp, COUNT(*), SUM(v) FROM t GROUP BY grp ORDER BY grp`,
+		`SELECT v * 2 FROM t WHERE grp = 3 LIMIT 7`,
+		`SELECT DISTINCT grp FROM t ORDER BY grp`,
+		// Scan column pruning: the filter and sort columns are not in the
+		// select list, so the pruned scan must still materialize them.
+		`SELECT s FROM t WHERE v % 7 = 0`,
+		`SELECT s FROM t ORDER BY v DESC LIMIT 20`,
+		// Fused projection-over-scan collector (with and without LIMIT).
+		`SELECT v, s FROM t`,
+		`SELECT s, v, s FROM t LIMIT 13`,
+		// Aggregate over a fully pruned scan (no columns referenced).
+		`SELECT COUNT(*) FROM t`,
+	} {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowCfg := DefaultConfig()
+		rowCfg.EnableBatch = false
+		plans := map[string]*Config{"row": rowCfg, "batch": DefaultConfig()}
+		var got map[string][]storage.Row
+		got = map[string][]storage.Row{}
+		for name, cfg := range plans {
+			p := NewPlanner(cat, exec.NewRegistry(), cfg)
+			sp, err := p.PlanSelect(stmt.(*sqlparse.SelectStmt))
+			if err != nil {
+				t.Fatalf("plan %q (%s): %v", sql, name, err)
+			}
+			rows, err := sp.Collect()
+			if err != nil {
+				t.Fatalf("run %q (%s): %v", sql, name, err)
+			}
+			got[name] = rows
+		}
+		r, b := got["row"], got["batch"]
+		if len(r) != len(b) {
+			t.Fatalf("%q: row %d rows, batch %d", sql, len(r), len(b))
+		}
+		for i := range r {
+			var rk, bk []byte
+			for j := range r[i] {
+				rk = r[i][j].HashKey(rk)
+				bk = b[i][j].HashKey(bk)
+			}
+			if string(rk) != string(bk) {
+				t.Fatalf("%q row %d: row-mode %v vs batch-mode %v", sql, i, r[i], b[i])
+			}
+		}
+	}
+}

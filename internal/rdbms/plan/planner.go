@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/sinewdata/sinew/internal/rdbms/exec"
 	"github.com/sinewdata/sinew/internal/rdbms/sqlparse"
@@ -37,6 +38,49 @@ func (sp *SelectPlan) Explain() string { return Explain(sp.Root) }
 
 // Open instantiates the executor.
 func (sp *SelectPlan) Open() exec.Iterator { return sp.Root.Open() }
+
+// Collect runs the plan to a fully materialized result. The common
+// projection-over-scan shape takes a fused collector that materializes
+// each result row in a single copy out of the heap; every other plan runs
+// through the operator pipeline.
+func (sp *SelectPlan) Collect() ([]storage.Row, error) {
+	if rows, ok, err := fusedCollect(sp.Root); ok {
+		return rows, err
+	}
+	return exec.Collect(sp.Open())
+}
+
+// fusedCollect recognizes [Limit →] Project(plain columns) → filterless
+// batch Scan and short-circuits the batch pipeline: the scan's transpose
+// into column-major batches and the collector's re-transpose into result
+// rows collapse into one heap-to-result copy. Any other shape (filters,
+// expressions, aggregates, joins, sorts) reports ok=false.
+func fusedCollect(n Node) (rows []storage.Row, ok bool, err error) {
+	limit := int64(-1)
+	if l, lok := n.(*LimitNode); lok {
+		limit = l.N
+		n = l.Child
+	}
+	p, pok := n.(*ProjectNode)
+	if !pok {
+		return nil, false, nil
+	}
+	s, sok := p.Child.(*ScanNode)
+	if !sok || !s.Batch || len(s.Preds) > 0 {
+		return nil, false, nil
+	}
+	width := len(s.Heap.Schema().Cols)
+	cols := make([]int, len(p.Exprs))
+	for i, e := range p.Exprs {
+		ce, cok := e.(*exec.ColExpr)
+		if !cok || ce.Idx < 0 || ce.Idx >= width {
+			return nil, false, nil
+		}
+		cols[i] = ce.Idx
+	}
+	rows, err = exec.CollectProjectedScan(s.Heap, cols, limit, s.BatchSize)
+	return rows, true, err
+}
 
 // conjunct is one WHERE predicate with its classification bookkeeping.
 type conjunct struct {
@@ -197,6 +241,7 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 			cost: float64(scan.Heap.SizeBytes())*p.Cfg.SeqPageCostPerByte +
 				inRows*(p.Cfg.CPUTupleCost+exprCostOf(preds)),
 		}
+		p.batchify(scan)
 	}
 
 	// ----- Greedy join ordering -----
@@ -222,11 +267,11 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 			}
 			sel *= es.selectivity(a)
 		}
-		cur = &FilterNode{
+		cur = p.batchify(&FilterNode{
 			baseNode: baseNode{layout: curLayout, rows: cur.Rows() * sel,
 				cost: cur.Cost() + cur.Rows()*(p.Cfg.CPUTupleCost+exprCostOf(preds))},
 			Child: cur, Preds: preds,
-		}
+		})
 	}
 
 	// ----- Aggregation -----
@@ -284,11 +329,11 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 		outLayout.Cols = append(outLayout.Cols, LayoutCol{Name: names[i], Typ: e.Type()})
 		distinctEst *= es.ndistinct(a)
 	}
-	cur = &ProjectNode{
+	cur = p.batchify(&ProjectNode{
 		baseNode: baseNode{layout: outLayout, rows: cur.Rows(),
 			cost: cur.Cost() + cur.Rows()*(p.Cfg.CPUTupleCost+exprCostOf(exprs))},
 		Child: cur, Exprs: exprs,
-	}
+	})
 
 	// ----- DISTINCT -----
 	if stmt.Distinct {
@@ -298,11 +343,11 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 			allCols[i] = &exec.ColExpr{Idx: i, Typ: c.Typ, Name: c.Name}
 		}
 		if nGroups <= p.Cfg.HashAggMaxGroups {
-			cur = &HashAggNode{
+			cur = p.batchify(&HashAggNode{
 				baseNode: baseNode{layout: outLayout, rows: nGroups,
 					cost: cur.Cost() + cur.Rows()*p.Cfg.CPUTupleCost*2},
 				Child: cur, GroupBy: allCols,
-			}
+			})
 		} else {
 			keys := make([]exec.SortKey, len(allCols))
 			for i, c := range allCols {
@@ -343,12 +388,13 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 
 	// ----- LIMIT -----
 	if stmt.Limit >= 0 {
-		cur = &LimitNode{
+		cur = p.batchify(&LimitNode{
 			baseNode: baseNode{layout: cur.Layout(), rows: math.Min(cur.Rows(), float64(stmt.Limit)), cost: cur.Cost()},
 			Child:    cur, N: stmt.Limit,
-		}
+		})
 	}
 
+	pruneScanColumns(cur)
 	return &SelectPlan{Root: cur, ColumnNames: names, ColumnTypes: outTypes}, nil
 }
 
@@ -451,6 +497,43 @@ func subsetOf(a, b map[string]bool) bool {
 		}
 	}
 	return true
+}
+
+// batchify marks a freshly built node as a batch operator when batch
+// execution is enabled; row-only children are bridged by a RowToBatch
+// adapter at Open time. A ScanNode over a large heap additionally gets a
+// parallel partitioned scan, one worker per ParallelScanMinPages pages,
+// bounded by GOMAXPROCS.
+func (p *Planner) batchify(n Node) Node {
+	if p.Cfg == nil || !p.Cfg.EnableBatch {
+		return n
+	}
+	size := p.Cfg.BatchSize
+	if size <= 0 {
+		size = exec.DefaultBatchSize
+	}
+	switch x := n.(type) {
+	case *ScanNode:
+		x.Batch, x.BatchSize = true, size
+		if p.Cfg.ParallelScanMinPages > 0 {
+			w := x.Heap.NumPages() / p.Cfg.ParallelScanMinPages
+			if maxW := runtime.GOMAXPROCS(0); w > maxW {
+				w = maxW
+			}
+			if w > 1 {
+				x.Workers = w
+			}
+		}
+	case *FilterNode:
+		x.Batch, x.BatchSize = true, size
+	case *ProjectNode:
+		x.Batch, x.BatchSize = true, size
+	case *HashAggNode:
+		x.Batch, x.BatchSize = true, size
+	case *LimitNode:
+		x.Batch, x.BatchSize = true, size
+	}
+	return n
 }
 
 // newSort wraps child in a SortNode with an n·log n cost term.

@@ -46,6 +46,18 @@ type Config struct {
 	// HashJoinMaxBuildRows caps the estimated build-side size for hash
 	// joins; beyond it the planner uses a merge join.
 	HashJoinMaxBuildRows float64
+	// EnableBatch selects batch-at-a-time (vectorized-lite) pipelines for
+	// scan/filter/project/limit/aggregate where available; row-at-a-time
+	// operators remain for Sort, joins, and DML behind adapters. Session
+	// knob: SET enable_batch = on|off.
+	EnableBatch bool
+	// BatchSize is the number of rows per RowBatch in batch pipelines.
+	// Session knob: SET batch_size = N.
+	BatchSize int
+	// ParallelScanMinPages is the minimum heap page count per extra scan
+	// worker: a scan gets min(GOMAXPROCS, pages/ParallelScanMinPages)
+	// workers. Session knob: SET parallel_scan_min_pages = N.
+	ParallelScanMinPages int
 }
 
 // DefaultConfig returns Postgres-flavoured defaults.
@@ -62,6 +74,9 @@ func DefaultConfig() *Config {
 		DefaultNullFrac:      0.005,
 		HashAggMaxGroups:     10000,
 		HashJoinMaxBuildRows: 1 << 20,
+		EnableBatch:          true,
+		BatchSize:            exec.DefaultBatchSize,
+		ParallelScanMinPages: 64,
 	}
 }
 

@@ -117,6 +117,13 @@ type ExplainStmt struct{ Stmt Statement }
 // AnalyzeStmt is ANALYZE t, which refreshes optimizer statistics.
 type AnalyzeStmt struct{ Table string }
 
+// SetStmt is SET name = value, adjusting a session-level knob (batch_size,
+// enable_batch, ...). Value is an Int, Bool, or Text datum.
+type SetStmt struct {
+	Name  string
+	Value types.Datum
+}
+
 func (*SelectStmt) stmt()      {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
@@ -127,6 +134,7 @@ func (*AlterTableStmt) stmt()  {}
 func (*TruncateStmt) stmt()    {}
 func (*ExplainStmt) stmt()     {}
 func (*AnalyzeStmt) stmt()     {}
+func (*SetStmt) stmt()         {}
 
 // ---------- Expressions ----------
 

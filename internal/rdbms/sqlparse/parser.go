@@ -139,6 +139,8 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &AnalyzeStmt{Table: name}, nil
+	case "SET":
+		return p.parseSet()
 	default:
 		return nil, p.errf("unsupported statement %q", t.text)
 	}
@@ -615,6 +617,60 @@ func (p *parser) parseTruncate() (*TruncateStmt, error) {
 		return nil, err
 	}
 	return &TruncateStmt{Table: name}, nil
+}
+
+// parseSet parses SET name = value (also accepting the Postgres spelling
+// SET name TO value). Values are an integer, a number, a string, TRUE/FALSE,
+// or a bare identifier (on/off map to booleans, anything else is text).
+func (p *parser) parseSet() (*SetStmt, error) {
+	p.advance() // SET
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eatOp("=") {
+		// TO is not a reserved word, so it arrives as a plain identifier.
+		if t := p.cur(); t.kind == tkIdent && strings.EqualFold(t.text, "to") {
+			p.advance()
+		} else {
+			return nil, p.errf("expected = or TO after SET %s", name)
+		}
+	}
+	t := p.cur()
+	var val types.Datum
+	switch {
+	case t.kind == tkNumber:
+		p.advance()
+		if n, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			val = types.NewInt(n)
+		} else if f, err := strconv.ParseFloat(t.text, 64); err == nil {
+			val = types.NewFloat(f)
+		} else {
+			return nil, p.errf("bad SET value %q", t.text)
+		}
+	case t.kind == tkString:
+		p.advance()
+		val = types.NewText(t.text)
+	case t.kind == tkKeyword && (t.text == "TRUE" || t.text == "ON"):
+		p.advance()
+		val = types.NewBool(true)
+	case t.kind == tkKeyword && t.text == "FALSE":
+		p.advance()
+		val = types.NewBool(false)
+	case t.kind == tkIdent || t.kind == tkQuotedIdent:
+		p.advance()
+		switch strings.ToLower(t.text) {
+		case "on":
+			val = types.NewBool(true)
+		case "off":
+			val = types.NewBool(false)
+		default:
+			val = types.NewText(t.text)
+		}
+	default:
+		return nil, p.errf("expected value after SET %s, found %q", name, t.text)
+	}
+	return &SetStmt{Name: strings.ToLower(name), Value: val}, nil
 }
 
 // ---------- Expressions ----------

@@ -193,6 +193,11 @@ func printStatement(sb *strings.Builder, s Statement) {
 	case *AnalyzeStmt:
 		sb.WriteString("ANALYZE ")
 		quoteIdent(sb, st.Table)
+	case *SetStmt:
+		sb.WriteString("SET ")
+		quoteIdent(sb, st.Name)
+		sb.WriteString(" = ")
+		printExpr(sb, &Literal{Val: st.Value})
 	default:
 		fmt.Fprintf(sb, "<unknown statement %T>", s)
 	}

@@ -379,3 +379,48 @@ func TestConcatOperator(t *testing.T) {
 		t.Errorf("op = %v", top.Op)
 	}
 }
+
+func TestParseSet(t *testing.T) {
+	cases := []struct {
+		sql  string
+		name string
+		val  types.Datum
+	}{
+		{`SET batch_size = 512`, "batch_size", types.NewInt(512)},
+		{`SET batch_size TO 64`, "batch_size", types.NewInt(64)},
+		{`SET ENABLE_BATCH = off`, "enable_batch", types.NewBool(false)},
+		{`SET enable_batch = on`, "enable_batch", types.NewBool(true)},
+		{`SET enable_batch = TRUE`, "enable_batch", types.NewBool(true)},
+		{`SET enable_batch = FALSE`, "enable_batch", types.NewBool(false)},
+		{`SET search_path = 'public'`, "search_path", types.NewText("public")},
+	}
+	for _, c := range cases {
+		st, ok := mustParse(t, c.sql).(*SetStmt)
+		if !ok {
+			t.Fatalf("Parse(%q) = %T", c.sql, mustParse(t, c.sql))
+		}
+		if st.Name != c.name {
+			t.Errorf("%q: name = %q, want %q", c.sql, st.Name, c.name)
+		}
+		if st.Value.Typ != c.val.Typ || st.Value.IsNull() != c.val.IsNull() {
+			t.Errorf("%q: value type = %v, want %v", c.sql, st.Value.Typ, c.val.Typ)
+		}
+		if string(st.Value.HashKey(nil)) != string(c.val.HashKey(nil)) {
+			t.Errorf("%q: value = %v, want %v", c.sql, st.Value, c.val)
+		}
+		// Print must round-trip through Parse.
+		st2, err := Parse(Print(st))
+		if err != nil {
+			t.Fatalf("round-trip Parse(%q): %v", Print(st), err)
+		}
+		if s2 := st2.(*SetStmt); s2.Name != st.Name ||
+			string(s2.Value.HashKey(nil)) != string(st.Value.HashKey(nil)) {
+			t.Errorf("%q: round-trip mismatch: %v", c.sql, s2)
+		}
+	}
+	for _, bad := range []string{`SET`, `SET batch_size`, `SET batch_size =`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should error", bad)
+		}
+	}
+}

@@ -205,12 +205,17 @@ func (h *Heap) Scan(fn func(id RowID, row Row) bool) {
 	}
 }
 
-// HeapIter is a pull-style cursor over live rows in heap order; it charges
-// each page to the pager when first touched.
+// HeapIter is a pull-style cursor over live rows in heap order. Page reads
+// accumulate locally and are flushed to the pager in one batch when the
+// scan reaches the end or the iterator is closed — callers that may stop
+// early (LIMIT) must Close the iterator or the bytes it touched are never
+// recorded.
 type HeapIter struct {
-	h    *Heap
-	page int
-	slot int
+	h       *Heap
+	page    int
+	slot    int
+	pending int64 // page bytes entered but not yet reported to the pager
+	read    int64 // total bytes this iterator has charged
 }
 
 // Iterate returns a cursor positioned before the first row.
@@ -220,8 +225,8 @@ func (h *Heap) Iterate() *HeapIter { return &HeapIter{h: h} }
 func (it *HeapIter) Next() (RowID, Row, bool) {
 	for it.page < len(it.h.pages) {
 		p := it.h.pages[it.page]
-		if it.slot == 0 && it.h.pager != nil {
-			it.h.pager.recordRead(p.bytes)
+		if it.slot == 0 {
+			it.pending += p.bytes
 		}
 		for it.slot < len(p.rows) {
 			s := it.slot
@@ -233,8 +238,131 @@ func (it *HeapIter) Next() (RowID, Row, bool) {
 		it.page++
 		it.slot = 0
 	}
+	it.flush()
 	return RowID{}, nil, false
 }
+
+// flush reports accumulated page bytes to the pager (idempotent).
+func (it *HeapIter) flush() {
+	if it.pending == 0 {
+		return
+	}
+	if it.h.pager != nil {
+		it.h.pager.recordRead(it.pending)
+	}
+	it.read += it.pending
+	it.pending = 0
+}
+
+// Close finalizes pager accounting for a scan abandoned before the end
+// (LIMIT, error); safe to call more than once and after exhaustion.
+func (it *HeapIter) Close() { it.flush() }
+
+// BytesRead reports the bytes this iterator has charged to the pager so
+// far (flushed bytes only).
+func (it *HeapIter) BytesRead() int64 { return it.read }
+
+// NumPages returns the current page count (the unit partitions divide).
+func (h *Heap) NumPages() int { return len(h.pages) }
+
+// PageRange is a half-open contiguous run of pages [Start, End) — the unit
+// of work of a partitioned parallel scan.
+type PageRange struct {
+	Start, End int
+}
+
+// Partitions splits the heap's pages into at most n near-equal contiguous
+// ranges (fewer when the heap has fewer pages than n). An empty heap
+// yields no partitions.
+func (h *Heap) Partitions(n int) []PageRange {
+	pages := len(h.pages)
+	if n < 1 {
+		n = 1
+	}
+	if n > pages {
+		n = pages
+	}
+	out := make([]PageRange, 0, n)
+	for i := 0; i < n; i++ {
+		start := pages * i / n
+		end := pages * (i + 1) / n
+		if start < end {
+			out = append(out, PageRange{Start: start, End: end})
+		}
+	}
+	return out
+}
+
+// HeapChunkIter reads live rows of a page range in bulk — the storage-side
+// feeder of the batch executor. Like HeapIter it accumulates page-read
+// bytes locally and flushes them to the pager at the end of the range or
+// on Close, and it tracks bytes per iterator so a partitioned scan can
+// report byte accounting per partition.
+type HeapChunkIter struct {
+	h       *Heap
+	page    int
+	end     int
+	slot    int
+	pending int64
+	read    int64
+}
+
+// IterateRange returns a chunk cursor over pages [start, end); end is
+// clamped to the page count.
+func (h *Heap) IterateRange(start, end int) *HeapChunkIter {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(h.pages) {
+		end = len(h.pages)
+	}
+	return &HeapChunkIter{h: h, page: start, end: end, slot: 0}
+}
+
+// ReadRows fills dst with the next live rows in heap order and returns the
+// count; 0 means the range is exhausted. Rows are shared with the heap and
+// must be treated as immutable.
+func (it *HeapChunkIter) ReadRows(dst []Row) int {
+	n := 0
+	for n < len(dst) && it.page < it.end {
+		p := it.h.pages[it.page]
+		if it.slot == 0 {
+			it.pending += p.bytes
+		}
+		for it.slot < len(p.rows) && n < len(dst) {
+			if r := p.rows[it.slot]; r != nil {
+				dst[n] = r
+				n++
+			}
+			it.slot++
+		}
+		if it.slot >= len(p.rows) {
+			it.page++
+			it.slot = 0
+		}
+	}
+	if n == 0 {
+		it.flush()
+	}
+	return n
+}
+
+func (it *HeapChunkIter) flush() {
+	if it.pending == 0 {
+		return
+	}
+	if it.h.pager != nil {
+		it.h.pager.recordRead(it.pending)
+	}
+	it.read += it.pending
+	it.pending = 0
+}
+
+// Close finalizes pager accounting for an abandoned range; idempotent.
+func (it *HeapChunkIter) Close() { it.flush() }
+
+// BytesRead reports the bytes this partition cursor has charged so far.
+func (it *HeapChunkIter) BytesRead() int64 { return it.read }
 
 // Get fetches a single row by ID, charging only that row's bytes (a point
 // read, as through an index).

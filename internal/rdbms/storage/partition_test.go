@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"testing"
+)
+
+func TestPartitionsCoverAllPages(t *testing.T) {
+	h := NewHeap(testSchema(t), nil)
+	for i := 0; i < 1000; i++ { // several pages at 128 rows/page
+		h.Insert(mkRow(int64(i), "x", 0))
+	}
+	pages := h.NumPages()
+	if pages < 2 {
+		t.Fatalf("want multi-page heap, got %d pages", pages)
+	}
+	for _, n := range []int{1, 2, 3, pages, pages + 5} {
+		parts := h.Partitions(n)
+		if len(parts) == 0 || len(parts) > n || len(parts) > pages {
+			t.Fatalf("Partitions(%d) = %v", n, parts)
+		}
+		// Contiguous, non-overlapping, full coverage.
+		next := 0
+		for _, pr := range parts {
+			if pr.Start != next || pr.End <= pr.Start {
+				t.Fatalf("Partitions(%d) = %v: bad range %v", n, parts, pr)
+			}
+			next = pr.End
+		}
+		if next != pages {
+			t.Fatalf("Partitions(%d) cover %d of %d pages", n, next, pages)
+		}
+	}
+	if got := h.Partitions(0); len(got) != 1 {
+		t.Errorf("Partitions(0) = %v", got)
+	}
+}
+
+func TestPartitionsEmptyHeap(t *testing.T) {
+	h := NewHeap(testSchema(t), nil)
+	if got := h.Partitions(4); len(got) != 0 {
+		t.Errorf("empty heap partitions = %v", got)
+	}
+}
+
+func TestChunkIterReadsAllRowsAcrossPartitions(t *testing.T) {
+	h := NewHeap(testSchema(t), nil)
+	const rows = 777
+	for i := 0; i < rows; i++ {
+		h.Insert(mkRow(int64(i), "x", 0))
+	}
+	// Deleted rows must be skipped, like HeapIter.
+	h.Delete(RowID{Page: 1, Slot: 5})
+	h.Delete(RowID{Page: 2, Slot: 0})
+
+	var got []int64
+	for _, pr := range h.Partitions(3) {
+		it := h.IterateRange(pr.Start, pr.End)
+		buf := make([]Row, 37) // deliberately not a divisor of the page size
+		for {
+			n := it.ReadRows(buf)
+			if n == 0 {
+				break
+			}
+			for _, r := range buf[:n] {
+				got = append(got, r[0].I)
+			}
+		}
+	}
+	if len(got) != rows-2 {
+		t.Fatalf("read %d rows, want %d", len(got), rows-2)
+	}
+	// Partitions are consumed in order, so ids must be ascending with the
+	// two deleted ids missing.
+	prev := int64(-1)
+	for _, id := range got {
+		if id <= prev {
+			t.Fatalf("rows out of order: %d after %d", id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestChunkIterPagerAccounting(t *testing.T) {
+	p := NewPager()
+	h := NewHeap(testSchema(t), p)
+	for i := 0; i < 1000; i++ {
+		h.Insert(mkRow(int64(i), "hello", 1))
+	}
+	p.Reset()
+	// A full range read charges the whole heap, split over partitions.
+	var sum int64
+	for _, pr := range h.Partitions(4) {
+		it := h.IterateRange(pr.Start, pr.End)
+		buf := make([]Row, 64)
+		for it.ReadRows(buf) > 0 {
+		}
+		it.Close()
+		sum += it.BytesRead()
+	}
+	r, _ := p.Stats()
+	if r != h.SizeBytes() || sum != h.SizeBytes() {
+		t.Errorf("chunk scan read %d (per-iter sum %d), heap size %d", r, sum, h.SizeBytes())
+	}
+}
+
+func TestIterCloseFlushesEarlyStop(t *testing.T) {
+	p := NewPager()
+	h := NewHeap(testSchema(t), p)
+	for i := 0; i < 1000; i++ {
+		h.Insert(mkRow(int64(i), "hello", 1))
+	}
+	p.Reset()
+	it := h.Iterate()
+	for i := 0; i < 10; i++ { // stop mid-page, as a LIMIT would
+		it.Next()
+	}
+	if r, _ := p.Stats(); r != 0 {
+		t.Errorf("bytes charged before flush: %d", r)
+	}
+	it.Close()
+	r, _ := p.Stats()
+	if r <= 0 || r >= h.SizeBytes() {
+		t.Errorf("abandoned scan charged %d of %d", r, h.SizeBytes())
+	}
+	if it.BytesRead() != r {
+		t.Errorf("BytesRead %d != pager %d", it.BytesRead(), r)
+	}
+	it.Close() // idempotent
+	if r2, _ := p.Stats(); r2 != r {
+		t.Errorf("double Close recharged: %d -> %d", r, r2)
+	}
+}

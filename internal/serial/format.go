@@ -241,9 +241,28 @@ func ExtractByIDLinear(data []byte, id uint32, dict Dict) (jsonx.Value, bool, er
 // when the path or type does not match — never an error for a absent or
 // differently-typed key (§3.2.2's graceful multi-type handling).
 func ExtractPath(data []byte, path string, want AttrType, dict Dict) (jsonx.Value, bool, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return jsonx.Value{}, false, err
+	}
+	return extractPathParsed(h, path, want, dict)
+}
+
+// extractPathParsed is ExtractPath over an already-parsed header, so
+// callers resolving several paths against one record (batch extraction)
+// pay the header parse once.
+func extractPathParsed(h header, path string, want AttrType, dict Dict) (jsonx.Value, bool, error) {
 	if id, ok := dict.IDOf(path, want); ok {
-		if v, found, err := ExtractByID(data, id, dict); err != nil || found {
-			return v, found, err
+		if i, found := h.find(id); found {
+			attr, ok := dict.Lookup(id)
+			if !ok {
+				return jsonx.Value{}, false, fmt.Errorf("serial: attribute %d not in dictionary", id)
+			}
+			v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+			if err != nil {
+				return jsonx.Value{}, false, err
+			}
+			return v, true, nil
 		}
 	}
 	// Descend through nested objects (and, for numeric tail segments,
@@ -254,10 +273,6 @@ func ExtractPath(data []byte, path string, want AttrType, dict Dict) (jsonx.Valu
 		}
 		head, rest := path[:i], path[i+1:]
 		if oid, ok := dict.IDOf(head, TypeObject); ok {
-			h, err := parseHeader(data)
-			if err != nil {
-				return jsonx.Value{}, false, err
-			}
 			if idx, found := h.find(oid); found {
 				if v, found, err := ExtractPath(h.valueBytes(idx), rest, want, dict); err != nil || found {
 					return v, found, err
@@ -265,10 +280,6 @@ func ExtractPath(data []byte, path string, want AttrType, dict Dict) (jsonx.Valu
 			}
 		}
 		if aid, ok := dict.IDOf(head, TypeArray); ok {
-			h, err := parseHeader(data)
-			if err != nil {
-				return jsonx.Value{}, false, err
-			}
 			if idx, found := h.find(aid); found {
 				arr, err := decodeValue(h.valueBytes(idx), TypeArray, dict)
 				if err != nil {
@@ -283,6 +294,39 @@ func ExtractPath(data []byte, path string, want AttrType, dict Dict) (jsonx.Valu
 		}
 	}
 	return jsonx.Value{}, false, nil
+}
+
+// Record is a serialized value with its header parsed once up front. The
+// batch execution path parses each reservoir value into a Record per
+// batch, then resolves every extraction call site against it — instead of
+// re-parsing the header in every extract_key_<type> expression node.
+type Record struct {
+	h header
+}
+
+// ParseRecord parses the record header of data. The Record aliases data;
+// the caller must not mutate it while the Record is in use.
+func ParseRecord(data []byte) (*Record, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Record{h: h}, nil
+}
+
+// NumAttrs reports the number of attributes in the record.
+func (r *Record) NumAttrs() int { return r.h.n }
+
+// Has reports whether the record contains attribute id.
+func (r *Record) Has(id uint32) bool {
+	_, ok := r.h.find(id)
+	return ok
+}
+
+// ExtractPath resolves a dotted key path of a given type against the
+// pre-parsed record; same semantics as the package-level ExtractPath.
+func (r *Record) ExtractPath(path string, want AttrType, dict Dict) (jsonx.Value, bool, error) {
+	return extractPathParsed(r.h, path, want, dict)
 }
 
 // decodeValue decodes a body slice of a known attribute type.
