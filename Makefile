@@ -21,8 +21,12 @@ race:
 # concurrency surface).
 check: vet race
 
+# bench runs the micro-benchmarks and regenerates BENCH_PR2.json, the
+# machine-readable Figure 6 + Table 5 + plan-cache report (ns/op and
+# allocs/op per query) that tracks the perf trajectory across PRs.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/
+	$(GO) run ./cmd/sinewbench -json BENCH_PR2.json -small 4000
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	sinewbench [-exp all|table2|table3|table4|table5|fig6|fig7|fig8|ablations|counts]
-//	           [-small N] [-large N] [-reps R] [-seed S]
+//	           [-small N] [-large N] [-reps R] [-seed S] [-json FILE]
+//
+// With -json, the Figure 6 (Sinew column), Table 5, and plan-cache
+// benchmarks are measured via testing.Benchmark and written as a JSON
+// report (ns/op and allocs/op per query) instead of the text tables;
+// `make bench` uses this to produce BENCH_PR2.json.
 //
 // The -small scale plays the paper's in-memory 16M-record runs and -large
 // the disk-bound 64M-record runs (scaled 1:4 by default); see DESIGN.md §2
@@ -27,12 +32,41 @@ func main() {
 		large = flag.Int("large", 16000, "record count for the disk-bound scale")
 		reps  = flag.Int("reps", 2, "repetitions per query cell (averaged)")
 		seed  = flag.Int64("seed", 42, "dataset generator seed")
+		jsonP = flag.String("json", "", "write a machine-readable benchmark report (ns/op, allocs/op) to this file")
 	)
 	flag.Parse()
+	if *jsonP != "" {
+		if err := runJSON(*jsonP, *small, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "sinewbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *small, *large, *reps, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sinewbench:", err)
 		os.Exit(1)
 	}
+}
+
+func runJSON(path string, small int, seed int64) error {
+	fmt.Printf("measuring benchmark report (%d records)...\n", small)
+	rep, err := bench.WriteReport(path, small, seed)
+	if err != nil {
+		return err
+	}
+	for _, q := range rep.Figure6Sinew {
+		fmt.Printf("  fig6 %-4s %12d ns/op %8d allocs/op\n", q.Query, q.NsPerOp, q.AllocsPerOp)
+	}
+	for _, q := range rep.Table5 {
+		fmt.Printf("  table5 virtual %12d ns/op physical %12d ns/op (cpu %+.1f%%, disk %+.1f%%)  %s\n",
+			q.VirtualNsPerOp, q.PhysicalNsPerOp, q.CPUOverheadPct, q.DiskOverheadPct, q.SQL)
+	}
+	for _, q := range rep.PlanCache {
+		fmt.Printf("  plan-cache hit %12d ns/op miss %12d ns/op (%.1fx)  %s\n",
+			q.CachedNsPerOp, q.UncachedNsPerOp, q.SpeedupX, q.SQL)
+	}
+	fmt.Println("wrote", path)
+	return nil
 }
 
 func run(exp string, small, large, reps int, seed int64) error {

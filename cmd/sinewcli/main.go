@@ -11,6 +11,7 @@
 //	\synccat                      publish the catalog as SQL tables (Figure 4)
 //	\rewrite <sql>                show the §3.2.2 rewrite of a query
 //	\explain <sql>                show the physical plan
+//	\stats                        show plan-cache hit/miss counters
 //	\q                            quit
 //
 // Everything else is executed as SQL.
@@ -146,6 +147,11 @@ func command(db *core.DB, mat *core.Materializer, line string) error {
 			return err
 		}
 		fmt.Print(out)
+		return nil
+	case "\\stats":
+		s := db.RDBMS().PlanCacheStats()
+		fmt.Printf("plan cache: %d hits, %d misses, %d entries, %d invalidations (epoch %d)\n",
+			s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %s", fields[0])

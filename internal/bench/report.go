@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/sinewdata/sinew/internal/core"
+	"github.com/sinewdata/sinew/internal/nobench"
+)
+
+// This file produces the machine-readable benchmark report (`make bench`
+// writes it to BENCH_PR2.json): per-query ns/op and allocs/op for the
+// Sinew column of Figure 6, the Table 5 virtual-vs-physical pair, and the
+// repeated-statement benchmark pinning the plan-cache hit path.
+
+// QueryBench is one measured statement.
+type QueryBench struct {
+	Query       string `json:"query"`
+	SQL         string `json:"sql"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// Table5Bench pairs a query's virtual- and physical-column timings.
+// CPUOverheadPct is the raw in-memory ratio; DiskOverheadPct applies the
+// paper's disk-bound regime (DiskBoundIOModel), where the sequential scan
+// reads the same pages either way and extraction CPU hides behind
+// bandwidth — that is the number Appendix B's <5%/<2% claims refer to.
+type Table5Bench struct {
+	SQL             string  `json:"sql"`
+	VirtualNsPerOp  int64   `json:"virtual_ns_per_op"`
+	VirtualAllocs   int64   `json:"virtual_allocs_per_op"`
+	PhysicalNsPerOp int64   `json:"physical_ns_per_op"`
+	PhysicalAllocs  int64   `json:"physical_allocs_per_op"`
+	CPUOverheadPct  float64 `json:"cpu_overhead_pct"`
+	DiskOverheadPct float64 `json:"disk_overhead_pct"`
+}
+
+// PlanCacheBench compares the same statement with the prepared-plan cache
+// hitting versus being forced to re-plan every execution.
+type PlanCacheBench struct {
+	SQL             string  `json:"sql"`
+	CachedNsPerOp   int64   `json:"cached_ns_per_op"`
+	CachedAllocs    int64   `json:"cached_allocs_per_op"`
+	UncachedNsPerOp int64   `json:"uncached_ns_per_op"`
+	UncachedAllocs  int64   `json:"uncached_allocs_per_op"`
+	SpeedupX        float64 `json:"speedup_x"`
+}
+
+// Report is the full BENCH_PR2.json payload.
+type Report struct {
+	Records      int              `json:"records"`
+	TwitterN     int              `json:"twitter_records"`
+	Figure6Sinew []QueryBench     `json:"figure6_sinew"`
+	Table5       []Table5Bench    `json:"table5"`
+	PlanCache    []PlanCacheBench `json:"plan_cache"`
+}
+
+func benchQuery(db *core.DB, sql string) (ns, allocs int64, err error) {
+	if _, err = db.Query(sql); err != nil {
+		return 0, 0, err
+	}
+	var inner error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, e := db.Query(sql); e != nil {
+				inner = e
+				b.FailNow()
+			}
+		}
+	})
+	if inner != nil {
+		return 0, 0, inner
+	}
+	return r.NsPerOp(), r.AllocsPerOp(), nil
+}
+
+// BuildReport loads the NoBench and Twitter fixtures at scale n and
+// measures every report entry.
+func BuildReport(n int, seed int64) (*Report, error) {
+	rep := &Report{Records: n, TwitterN: n}
+
+	f, err := SetupNoBench(n, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	queries := f.Par.Queries()
+	for _, qid := range nobench.QueryOrder()[:10] {
+		sql := queries[qid]
+		ns, allocs, err := benchQuery(f.Sinew, sql)
+		if err != nil {
+			// Per-query DNFs (if any) are reported, not fatal.
+			rep.Figure6Sinew = append(rep.Figure6Sinew, QueryBench{Query: qid, SQL: sql})
+			continue
+		}
+		rep.Figure6Sinew = append(rep.Figure6Sinew,
+			QueryBench{Query: qid, SQL: sql, NsPerOp: ns, AllocsPerOp: allocs})
+	}
+
+	// Plan cache: the cheapest Figure 6 query is where fixed per-statement
+	// costs (parse + rewrite + plan) weigh most; compare cache hits with a
+	// forced re-plan per execution.
+	for _, qid := range []string{"Q1", "Q3"} {
+		sql := queries[qid]
+		cachedNs, cachedAllocs, err := benchQuery(f.Sinew, sql)
+		if err != nil {
+			return nil, err
+		}
+		rdb := f.Sinew.RDBMS()
+		var inner error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rdb.BumpCatalogEpoch() // invalidate: every execution re-plans
+				if _, e := f.Sinew.Query(sql); e != nil {
+					inner = e
+					b.FailNow()
+				}
+			}
+		})
+		if inner != nil {
+			return nil, inner
+		}
+		pc := PlanCacheBench{
+			SQL:             sql,
+			CachedNsPerOp:   cachedNs,
+			CachedAllocs:    cachedAllocs,
+			UncachedNsPerOp: r.NsPerOp(),
+			UncachedAllocs:  r.AllocsPerOp(),
+		}
+		if cachedNs > 0 {
+			pc.SpeedupX = float64(r.NsPerOp()) / float64(cachedNs)
+		}
+		rep.PlanCache = append(rep.PlanCache, pc)
+	}
+
+	// Table 5: virtual first, then materialize the referenced keys and
+	// measure again (same sequence as the Table5 experiment).
+	tw, err := SetupTwitter(n, 5)
+	if err != nil {
+		return nil, err
+	}
+	t5 := make([]Table5Bench, 0, len(Table5Queries()))
+	virtBytes := tw.Sinew.DatabaseSizeBytes()
+	for _, sql := range Table5Queries() {
+		ns, allocs, err := benchQuery(tw.Sinew, sql)
+		if err != nil {
+			return nil, fmt.Errorf("table5 virtual %q: %w", sql, err)
+		}
+		t5 = append(t5, Table5Bench{SQL: sql, VirtualNsPerOp: ns, VirtualAllocs: allocs})
+	}
+	mat := core.NewMaterializer(tw.Sinew)
+	for _, key := range []string{"user.id", "user.lang", "user.friends_count"} {
+		if err := tw.Sinew.SetMaterialized("tweets", key, true); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := mat.RunOnce("tweets"); err != nil {
+		return nil, err
+	}
+	if err := tw.Sinew.RDBMS().Analyze("tweets"); err != nil {
+		return nil, err
+	}
+	physBytes := tw.Sinew.DatabaseSizeBytes()
+	for i, sql := range Table5Queries() {
+		ns, allocs, err := benchQuery(tw.Sinew, sql)
+		if err != nil {
+			return nil, fmt.Errorf("table5 physical %q: %w", sql, err)
+		}
+		t5[i].PhysicalNsPerOp = ns
+		t5[i].PhysicalAllocs = allocs
+		if ns > 0 {
+			t5[i].CPUOverheadPct = (float64(t5[i].VirtualNsPerOp)/float64(ns) - 1) * 100
+		}
+		// Disk-bound regime: a seq scan reads every page whether the key is
+		// extracted or column-read, so both sides pay the same bandwidth and
+		// the extraction CPU hides behind it (Appendix B's setting).
+		vEff := DiskBoundIOModel(virtBytes).
+			Effective(time.Duration(t5[i].VirtualNsPerOp), virtBytes, virtBytes)
+		pEff := DiskBoundIOModel(physBytes).
+			Effective(time.Duration(ns), physBytes, physBytes)
+		if pEff > 0 {
+			t5[i].DiskOverheadPct = (float64(vEff)/float64(pEff) - 1) * 100
+		}
+	}
+	rep.Table5 = t5
+	return rep, nil
+}
+
+// WriteReport builds the report and writes it as indented JSON.
+func WriteReport(path string, n int, seed int64) (*Report, error) {
+	rep, err := BuildReport(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return rep, os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -61,6 +61,14 @@ func (db *DB) AnalyzeSchema(collection string) ([]AnalyzeDecision, error) {
 			}
 		}
 	}
+	for _, d := range decisions {
+		if d.Changed {
+			// Flipped storage targets change the rewriter's output (COALESCE
+			// over dirty columns); cached plans are stale.
+			db.rdb.BumpCatalogEpoch()
+			break
+		}
+	}
 	return decisions, nil
 }
 
@@ -77,13 +85,18 @@ func (db *DB) SetMaterialized(collection, key string, want bool) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("core: key %q has never been observed in %q", key, collection)
 	}
+	flipped := false
 	for _, col := range cols {
 		tc.mu.Lock()
 		if col.Materialized != want {
 			col.Materialized = want
 			col.Dirty = true
+			flipped = true
 		}
 		tc.mu.Unlock()
+	}
+	if flipped {
+		db.rdb.BumpCatalogEpoch()
 	}
 	return nil
 }

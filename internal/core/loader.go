@@ -148,6 +148,11 @@ func (db *DB) LoadDocuments(collection string, docs []*jsonx.Doc) (*LoadResult, 
 			return nil, err
 		}
 	}
+	// New attributes or freshly dirtied columns change what the rewriter
+	// emits for the same statement; drop cached plans.
+	if dict.Len() != attrsBefore || len(dirtied) > 0 {
+		db.rdb.BumpCatalogEpoch()
+	}
 	return &LoadResult{
 		Documents:     int64(len(docs)),
 		NewAttributes: dict.Len() - attrsBefore,

@@ -220,6 +220,9 @@ func (m *Materializer) RunOnce(collection string) (int64, error) {
 		}
 	}
 	m.RowsMoved.Add(moved)
+	// Values changed location between reservoir and physical columns;
+	// cached plans that bound either representation must be rebuilt.
+	m.db.rdb.BumpCatalogEpoch()
 	if interrupted {
 		return moved, nil // dirty bits stay set; next run resumes
 	}
@@ -240,5 +243,8 @@ func (m *Materializer) RunOnce(collection string) (int64, error) {
 		tc.setDirty(col.AttrID, false)
 	}
 	m.Passes.Add(1)
+	// Dirty bits cleared: the rewriter now emits plain column references
+	// instead of COALESCE fallbacks for the finished columns.
+	m.db.rdb.BumpCatalogEpoch()
 	return moved, nil
 }

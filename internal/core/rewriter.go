@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -12,9 +13,39 @@ import (
 	"github.com/sinewdata/sinew/internal/textindex"
 )
 
+// errNotCacheable signals that a statement guessed to be a plain SELECT
+// turned out not to be; Query falls back to the uncached path.
+var errNotCacheable = errors.New("core: statement not cacheable")
+
 // Query parses, rewrites (§3.2.2), and executes a SQL statement against
-// the logical universal-relation view.
+// the logical universal-relation view. Plain SELECTs are served through the
+// RDBMS prepared-plan cache: a repeated statement skips parsing, virtual-
+// column rewriting, and planning entirely.
 func (db *DB) Query(sql string) (*rdbms.Result, error) {
+	if cacheableSelect(sql) {
+		res, err := db.rdb.ExecSelectCached(sql, func() (*sqlparse.SelectStmt, error) {
+			stmt, err := sqlparse.Parse(sql)
+			if err != nil {
+				return nil, err
+			}
+			sel, ok := stmt.(*sqlparse.SelectStmt)
+			if !ok {
+				return nil, errNotCacheable
+			}
+			rewritten, cleanup, err := db.RewriteStmt(sel)
+			if err != nil {
+				return nil, err
+			}
+			// cacheableSelect excluded matches(), so no text-index result
+			// sets were registered: cleanup is a no-op and the rewritten AST
+			// may outlive this statement inside the plan cache.
+			cleanup()
+			return rewritten.(*sqlparse.SelectStmt), nil
+		})
+		if !errors.Is(err, errNotCacheable) {
+			return res, err
+		}
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -24,7 +55,29 @@ func (db *DB) Query(sql string) (*rdbms.Result, error) {
 		return nil, err
 	}
 	defer cleanup()
-	return db.rdb.ExecStmt(rewritten)
+	res, err := db.rdb.ExecStmt(rewritten)
+	if err == nil {
+		switch rewritten.(type) {
+		case *sqlparse.SelectStmt, *sqlparse.ExplainStmt:
+		default:
+			// Writes and DDL can mint catalog attributes or change the
+			// physical schema the rewriter targets; cached plans built
+			// against the old mapping must not be replayed.
+			db.rdb.BumpCatalogEpoch()
+		}
+	}
+	return res, err
+}
+
+// cacheableSelect reports whether a statement is eligible for the
+// prepared-plan cache: a plain SELECT with no matches() predicate (those
+// bind a per-statement text-index result set released after execution).
+func cacheableSelect(sql string) bool {
+	s := strings.TrimSpace(sql)
+	if len(s) < 6 || !strings.EqualFold(s[:6], "select") {
+		return false
+	}
+	return !strings.Contains(strings.ToLower(sql), "matches")
 }
 
 // Explain rewrites a SELECT and returns the physical plan text.

@@ -43,6 +43,8 @@ func (db *DB) registerUDFs() {
 			RetType:     func([]types.Type) types.Type { return d.ret },
 			CostPerCall: extractCost,
 			Opaque:      true,
+			FuseFamily:  "sinew_extract",
+			FuseType:    uint8(d.want),
 			Eval: func(args []types.Datum) (types.Datum, error) {
 				data, key, err := extractArgs(args)
 				if err != nil {
@@ -109,6 +111,8 @@ func (db *DB) registerUDFs() {
 		RetType:     func([]types.Type) types.Type { return types.Text },
 		CostPerCall: extractCost * 1.5,
 		Opaque:      true,
+		FuseFamily:  "sinew_extract",
+		FuseAny:     true,
 		Eval: func(args []types.Datum) (types.Datum, error) {
 			data, key, err := extractArgs(args)
 			if err != nil {
@@ -277,6 +281,81 @@ func (db *DB) registerUDFs() {
 			return types.NewBool(hit), nil
 		},
 	})
+
+	// sinew_stats() reports runtime counters — currently the prepared-plan
+	// cache — as a one-line text summary.
+	db.rdb.RegisterFunc(&exec.FuncDef{
+		Name: "sinew_stats", MinArgs: 0, MaxArgs: 0,
+		RetType:     func([]types.Type) types.Type { return types.Text },
+		CostPerCall: 0.01,
+		Opaque:      true,
+		Eval: func([]types.Datum) (types.Datum, error) {
+			s := db.rdb.PlanCacheStats()
+			return types.NewText(fmt.Sprintf(
+				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d",
+				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch)), nil
+		},
+	})
+
+	// The fused multi-key extraction kernel (§4.1's per-record binary search
+	// amortized across keys): the planner collapses co-occurring
+	// sinew_extract_* calls over one reservoir column into a single batch
+	// operator; the kernel parses each record header once and resolves every
+	// (key, type) request in one sorted merge, with dictionary IDs resolved
+	// once per query instead of once per row per key.
+	db.rdb.RegisterMultiExtract("sinew_extract",
+		func(reqs []exec.MultiExtractReq) (exec.MultiExtractKernel, error) {
+			specs := make([]serial.MultiSpec, len(reqs))
+			rets := make([]types.Type, len(reqs))
+			for i, r := range reqs {
+				specs[i] = serial.MultiSpec{Path: r.Key, Want: serial.AttrType(r.Type), Any: r.Any}
+				rets[i] = r.Ret
+			}
+			dict := db.dict()
+			// PrepareMulti resolves dictionary IDs at plan-open time; the
+			// scratch Record and value buffers are reused across every row
+			// this kernel instance sees (one instance per Open, so no
+			// cross-goroutine sharing).
+			pm := serial.PrepareMulti(specs, dict)
+			var rec serial.Record
+			vals := make([]jsonx.Value, len(reqs))
+			found := make([]bool, len(reqs))
+			return func(data []types.Datum, out [][]types.Datum) error {
+				for i := range data {
+					d := data[i]
+					if d.IsNull() {
+						for k := range out {
+							out[k][i] = types.NewNull(rets[k])
+						}
+						continue
+					}
+					if d.Typ != types.Bytes {
+						return fmt.Errorf("sinew: reservoir argument must be bytea, got %v", d.Typ)
+					}
+					if err := rec.Reset(d.Bs); err != nil {
+						return err
+					}
+					if err := rec.MultiExtract(pm, dict, vals, found); err != nil {
+						return err
+					}
+					for k := range out {
+						switch {
+						case !found[k]:
+							out[k][i] = types.NewNull(rets[k])
+						case reqs[k].Any:
+							out[k][i] = types.NewText(vals[k].String())
+						default:
+							dm, err := datumFromJSON(vals[k], dict)
+							if err != nil {
+								return err
+							}
+							out[k][i] = dm
+						}
+					}
+				}
+				return nil
+			}, nil
+		})
 }
 
 // batchRecords returns the per-batch parsed-record slots for the reservoir

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sinewdata/sinew/internal/rdbms/exec"
 	"github.com/sinewdata/sinew/internal/rdbms/plan"
@@ -28,6 +29,10 @@ type DB struct {
 	pager  *storage.Pager
 	funcs  *exec.Registry
 	cfg    *plan.Config
+	// epoch counts catalog-shape changes; the prepared-plan cache keys on
+	// it so DDL/ANALYZE/materializer moves invalidate cached plans.
+	epoch atomic.Uint64
+	plans *planCache
 }
 
 // table couples a heap with its lock and statistics.
@@ -45,12 +50,20 @@ func Open() *DB {
 		pager:  storage.NewPager(),
 		funcs:  exec.NewRegistry(),
 		cfg:    plan.DefaultConfig(),
+		plans:  newPlanCache(),
 	}
 }
 
 // RegisterFunc installs a user-defined function, available to SQL
 // immediately (Sinew's extraction functions, pgjson's parser, matches()).
 func (db *DB) RegisterFunc(def *exec.FuncDef) { db.funcs.Register(def) }
+
+// RegisterMultiExtract installs the fused multi-key extraction kernel
+// factory for a function family (see exec.MultiExtractFactory); the
+// planner fuses co-occurring calls of that family into one batch operator.
+func (db *DB) RegisterMultiExtract(family string, f exec.MultiExtractFactory) {
+	db.funcs.RegisterMultiExtract(family, f)
+}
 
 // Funcs exposes the function registry (read-mostly).
 func (db *DB) Funcs() *exec.Registry { return db.funcs }
@@ -571,6 +584,7 @@ func (db *DB) CreateTable(name string, cols []storage.Column, ifNotExists bool) 
 		return err
 	}
 	db.tables[key] = &table{name: key, heap: storage.NewHeap(schema, db.pager)}
+	db.BumpCatalogEpoch()
 	return nil
 }
 
@@ -585,6 +599,7 @@ func (db *DB) execDropTable(st *sqlparse.DropTableStmt) (*Result, error) {
 		return nil, fmt.Errorf("rdbms: relation %q does not exist", st.Table)
 	}
 	delete(db.tables, key)
+	db.BumpCatalogEpoch()
 	return &Result{}, nil
 }
 
@@ -618,6 +633,7 @@ func (db *DB) execAlterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
 	}
 	// Schema changed; statistics are stale.
 	t.stats = nil
+	db.BumpCatalogEpoch()
 	return &Result{}, nil
 }
 
@@ -630,6 +646,7 @@ func (db *DB) execTruncate(st *sqlparse.TruncateStmt) (*Result, error) {
 	defer t.mu.Unlock()
 	t.heap.Truncate()
 	t.stats = nil
+	db.BumpCatalogEpoch()
 	return &Result{}, nil
 }
 
@@ -645,6 +662,8 @@ func (db *DB) Analyze(name string) error {
 	t.mu.Lock()
 	t.stats = stats
 	t.mu.Unlock()
+	// New statistics can change plan choice; cached plans are stale.
+	db.BumpCatalogEpoch()
 	return nil
 }
 

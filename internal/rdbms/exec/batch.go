@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/sinewdata/sinew/internal/rdbms/storage"
@@ -577,14 +578,50 @@ func (f *BatchFilterIter) NextBatch() (*RowBatch, error) {
 // Close implements BatchIterator.
 func (f *BatchFilterIter) Close() { f.In.Close() }
 
+// RowBudgeter is implemented by cardinality-preserving batch operators
+// that can skip work for rows a LIMIT above them will discard. A parent
+// LIMIT announces the remaining row budget before each NextBatch pull; the
+// operator truncates its input batch to the budget *before* evaluating
+// expressions, so a batch pipeline never evaluates (and never surfaces
+// errors from) rows a row-at-a-time pipeline would not reach.
+type RowBudgeter interface {
+	SetRowBudget(n int64)
+}
+
+// truncateBatch trims b to at most n rows (pruned empty columns are left
+// untouched).
+func truncateBatch(b *RowBatch, n int64) {
+	if n < 0 || int64(b.Len()) <= n {
+		return
+	}
+	for j := range b.Cols {
+		if int64(len(b.Cols[j])) > n {
+			b.Cols[j] = b.Cols[j][:n]
+		}
+	}
+	b.n = int(n)
+}
+
 // BatchProjectIter evaluates output expressions once per batch. Output
 // columns may alias input columns (plain column projections are free).
 type BatchProjectIter struct {
 	In    BatchIterator
 	Exprs []Expr
 
-	ctx *EvalCtx
-	out *RowBatch
+	ctx       *EvalCtx
+	out       *RowBatch
+	budget    int64
+	budgetSet bool
+}
+
+// SetRowBudget implements RowBudgeter: projection preserves cardinality,
+// so rows beyond the parent LIMIT's budget can be dropped before any
+// expression is evaluated.
+func (p *BatchProjectIter) SetRowBudget(n int64) {
+	p.budget, p.budgetSet = n, true
+	if rb, ok := p.In.(RowBudgeter); ok {
+		rb.SetRowBudget(n)
+	}
 }
 
 // NextBatch implements BatchIterator.
@@ -598,6 +635,10 @@ func (p *BatchProjectIter) NextBatch() (*RowBatch, error) {
 	}
 	if in == nil {
 		return nil, nil
+	}
+	if p.budgetSet {
+		truncateBatch(in, p.budget)
+		p.budgetSet = false
 	}
 	if p.out == nil {
 		p.out = &RowBatch{
@@ -649,6 +690,11 @@ func (l *BatchLimitIter) NextBatch() (*RowBatch, error) {
 	if l.seen >= l.N {
 		return nil, nil
 	}
+	// Announce the remaining budget so budget-aware children (Project,
+	// MultiExtract) stop evaluating expressions past the limit.
+	if rb, ok := l.In.(RowBudgeter); ok {
+		rb.SetRowBudget(l.N - l.seen)
+	}
 	b, err := l.In.NextBatch()
 	if err != nil {
 		return nil, err
@@ -656,18 +702,103 @@ func (l *BatchLimitIter) NextBatch() (*RowBatch, error) {
 	if b == nil {
 		return nil, nil
 	}
-	if rem := l.N - l.seen; int64(b.Len()) > rem {
-		for j := range b.Cols {
-			b.Cols[j] = b.Cols[j][:rem]
-		}
-		b.n = int(rem)
-	}
+	truncateBatch(b, l.N-l.seen)
 	l.seen += int64(b.Len())
 	return b, nil
 }
 
 // Close implements BatchIterator.
 func (l *BatchLimitIter) Close() { l.In.Close() }
+
+// ---------- Fused multi-extraction ----------
+
+// BatchMultiExtractIter appends K computed columns to every input batch,
+// all filled by one MultiExtractKernel invocation per batch: the kernel
+// decodes each serialized record of column DataIdx once and resolves every
+// requested key from that single pass, replacing K independent extraction
+// UDF evaluations. Input columns pass through by alias.
+type BatchMultiExtractIter struct {
+	In      BatchIterator
+	DataIdx int
+	Kernel  MultiExtractKernel
+	K       int
+
+	out       *RowBatch
+	cols      [][]types.Datum
+	budget    int64
+	budgetSet bool
+}
+
+// SetRowBudget implements RowBudgeter (extraction preserves cardinality).
+func (m *BatchMultiExtractIter) SetRowBudget(n int64) {
+	m.budget, m.budgetSet = n, true
+	if rb, ok := m.In.(RowBudgeter); ok {
+		rb.SetRowBudget(n)
+	}
+}
+
+// NextBatch implements BatchIterator.
+func (m *BatchMultiExtractIter) NextBatch() (*RowBatch, error) {
+	in, err := m.In.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, nil
+	}
+	if m.budgetSet {
+		truncateBatch(in, m.budget)
+		m.budgetSet = false
+	}
+	inW := in.Width()
+	outW := inW + m.K
+	if m.out == nil {
+		m.out = &RowBatch{
+			Cols:  make([][]types.Datum, outW),
+			Nulls: make([]NullBitmap, outW),
+		}
+		m.cols = make([][]types.Datum, m.K)
+	}
+	out := m.out
+	out.n = 0
+	for len(out.Cols) < outW {
+		out.Cols = append(out.Cols, nil)
+		out.Nulls = append(out.Nulls, nil)
+	}
+	for j := 0; j < inW; j++ {
+		out.AliasCol(j, in, j)
+	}
+	n := in.Len()
+	if len(in.Cols[m.DataIdx]) != n {
+		return nil, fmt.Errorf("exec: multi-extract data column %d not materialized (%d of %d rows)",
+			m.DataIdx, len(in.Cols[m.DataIdx]), n)
+	}
+	for k := 0; k < m.K; k++ {
+		if cap(m.cols[k]) < n {
+			m.cols[k] = make([]types.Datum, n)
+		}
+		m.cols[k] = m.cols[k][:n]
+	}
+	if err := m.Kernel(in.Cols[m.DataIdx], m.cols); err != nil {
+		return nil, err
+	}
+	for k := 0; k < m.K; k++ {
+		out.SetCol(inW+k, m.cols[k])
+	}
+	out.n = n
+	return out, nil
+}
+
+// Close implements BatchIterator.
+func (m *BatchMultiExtractIter) Close() { m.In.Close() }
+
+// SizeHint implements BatchSizeHinter (extraction preserves cardinality).
+func (m *BatchMultiExtractIter) SizeHint() (int64, bool) {
+	if sh, ok := m.In.(BatchSizeHinter); ok {
+		return sh.SizeHint()
+	}
+	return 0, false
+}
 
 // SizeHint implements BatchSizeHinter.
 func (l *BatchLimitIter) SizeHint() (int64, bool) {

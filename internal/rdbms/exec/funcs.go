@@ -36,7 +36,37 @@ type FuncDef struct {
 	// UDFs parse each serialized header once per batch instead of once per
 	// expression node). Must agree with Eval row-for-row.
 	EvalBatch func(ctx *UDFBatchCtx, args [][]types.Datum, out []types.Datum) error
+	// FuseFamily, when non-empty, names the multi-extract kernel family this
+	// function belongs to: calls of the form f(col, 'key') on the same column
+	// can be fused into one batch-level kernel invocation (registered with
+	// RegisterMultiExtract) that decodes each record once for all keys.
+	FuseFamily string
+	// FuseType is the family-specific type tag of this function's requests
+	// (serial.AttrType for Sinew's extraction functions).
+	FuseType uint8
+	// FuseAny marks the family's untyped variant (first value of any type).
+	FuseAny bool
 }
+
+// MultiExtractReq is one (key, type) request of a fused multi-extraction.
+type MultiExtractReq struct {
+	Key  string
+	Type uint8 // family-specific type tag; ignored when Any
+	Any  bool
+	// Ret is the static SQL type of the output column.
+	Ret types.Type
+}
+
+// MultiExtractKernel fills out[k][i] with request k evaluated against
+// data[i], decoding each record once for every request. out columns are
+// pre-sized to len(data) by the caller. Absent or differently-typed keys
+// yield typed NULLs, matching the per-call UDF semantics.
+type MultiExtractKernel func(data []types.Datum, out [][]types.Datum) error
+
+// MultiExtractFactory builds a kernel instance for a fixed request set.
+// Instances may carry scratch state (a reusable parsed record, prepared
+// dictionary lookups) and must not be shared across goroutines.
+type MultiExtractFactory func(reqs []MultiExtractReq) (MultiExtractKernel, error)
 
 // UDFBatchCtx is per-batch scratch state shared by every batch-aware UDF
 // call site in one pipeline. Cache is cleared at each batch boundary.
@@ -47,11 +77,15 @@ type UDFBatchCtx struct {
 // Registry maps lowercase function names to definitions.
 type Registry struct {
 	funcs map[string]*FuncDef
+	multi map[string]MultiExtractFactory
 }
 
 // NewRegistry returns a registry preloaded with the built-in functions.
 func NewRegistry() *Registry {
-	r := &Registry{funcs: make(map[string]*FuncDef)}
+	r := &Registry{
+		funcs: make(map[string]*FuncDef),
+		multi: make(map[string]MultiExtractFactory),
+	}
 	for _, f := range builtins() {
 		r.funcs[f.Name] = f
 	}
@@ -67,6 +101,19 @@ func (r *Registry) Register(def *FuncDef) {
 func (r *Registry) Lookup(name string) (*FuncDef, bool) {
 	def, ok := r.funcs[strings.ToLower(name)]
 	return def, ok
+}
+
+// RegisterMultiExtract installs the fused-kernel factory of a function
+// family (the FuseFamily of its member FuncDefs).
+func (r *Registry) RegisterMultiExtract(family string, f MultiExtractFactory) {
+	r.multi[family] = f
+}
+
+// MultiExtract returns the fused-kernel factory of a family, if one is
+// registered.
+func (r *Registry) MultiExtract(family string) (MultiExtractFactory, bool) {
+	f, ok := r.multi[family]
+	return f, ok
 }
 
 func fixed(t types.Type) func([]types.Type) types.Type {

@@ -82,12 +82,44 @@ func CollectProjectedScan(h *storage.Heap, cols []int, limit int64, chunk int) (
 		capHint = collectCapHint
 	}
 	out := make([]storage.Row, 0, capHint)
+	buf := make([]storage.Row, chunk)
+
+	// A projection over an ascending contiguous column run needs no datum
+	// copies at all: every write path replaces stored rows wholesale
+	// (Heap.Update swaps the slice; UPDATE and the materializer clone
+	// before assigning), so result rows may alias page rows exactly as
+	// ReadRows already hands aliases to the row pipeline. This covers
+	// SELECT * and any projection in storage order, and skips the arena —
+	// the dominant allocation of the hot path.
+	contig := w > 0
+	for k := 1; k < w; k++ {
+		if cols[k] != cols[0]+k {
+			contig = false
+			break
+		}
+	}
+	if contig {
+		c0, c1 := cols[0], cols[0]+w
+		for int64(len(out)) < total {
+			n := it.ReadRows(buf)
+			if n == 0 {
+				break
+			}
+			if rem := total - int64(len(out)); int64(n) > rem {
+				n = int(rem)
+			}
+			for _, r := range buf[:n] {
+				out = append(out, r[c0:c1:c1])
+			}
+		}
+		return out, nil
+	}
+
 	var arena []types.Datum
 	if total*int64(w) <= collectCapHint {
 		arena = make([]types.Datum, int(total)*w)
 	}
 	used := 0
-	buf := make([]storage.Row, chunk)
 	for int64(len(out)) < total {
 		n := it.ReadRows(buf)
 		if n == 0 {

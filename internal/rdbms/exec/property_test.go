@@ -175,8 +175,9 @@ func colsOfType(colTypes []types.Type, want ...types.Type) []int {
 
 // randNumExpr returns a numeric-valued expression; division and modulo are
 // included rarely so that genuine runtime errors (÷0) are exercised but do
-// not dominate.
-func randNumExpr(r *rand.Rand, colTypes []types.Type, depth int) Expr {
+// not dominate. safe excludes both, for pipelines whose evaluation must be
+// total.
+func randNumExpr(r *rand.Rand, colTypes []types.Type, depth int, safe bool) Expr {
 	nums := colsOfType(colTypes, types.Int, types.Float)
 	if depth <= 0 || r.Intn(3) == 0 {
 		if len(nums) > 0 && r.Intn(3) != 0 {
@@ -189,10 +190,13 @@ func randNumExpr(r *rand.Rand, colTypes []types.Type, depth int) Expr {
 		return lit(types.NewFloat(float64(r.Intn(17))/4 - 2))
 	}
 	ops := []string{"+", "-", "*", "+", "-", "*", "/", "%"}
+	if safe {
+		ops = ops[:6]
+	}
 	return &BinExpr{
 		Op: ops[r.Intn(len(ops))],
-		L:  randNumExpr(r, colTypes, depth-1),
-		R:  randNumExpr(r, colTypes, depth-1),
+		L:  randNumExpr(r, colTypes, depth-1, safe),
+		R:  randNumExpr(r, colTypes, depth-1, safe),
 	}
 }
 
@@ -212,32 +216,33 @@ func randTextExpr(r *rand.Rand, colTypes []types.Type, depth int) Expr {
 
 // randPred returns a random predicate mixing eager nodes (comparisons,
 // BETWEEN, IS NULL, LIKE, NOT) with lazy ones (AND, OR, IN, COALESCE) so
-// both batch evaluation paths are exercised.
-func randPred(r *rand.Rand, colTypes []types.Type, depth int) Expr {
+// both batch evaluation paths are exercised. safe keeps every numeric
+// sub-expression total (no ÷0 candidates).
+func randPred(r *rand.Rand, colTypes []types.Type, depth int, safe bool) Expr {
 	if depth > 0 && r.Intn(2) == 0 {
 		switch r.Intn(4) {
 		case 0:
 			return &BinExpr{Op: "AND",
-				L: randPred(r, colTypes, depth-1), R: randPred(r, colTypes, depth-1)}
+				L: randPred(r, colTypes, depth-1, safe), R: randPred(r, colTypes, depth-1, safe)}
 		case 1:
 			return &BinExpr{Op: "OR",
-				L: randPred(r, colTypes, depth-1), R: randPred(r, colTypes, depth-1)}
+				L: randPred(r, colTypes, depth-1, safe), R: randPred(r, colTypes, depth-1, safe)}
 		case 2:
-			return &NotExpr{X: randPred(r, colTypes, depth-1)}
+			return &NotExpr{X: randPred(r, colTypes, depth-1, safe)}
 		default:
 			return &CoalesceExpr{Args: []Expr{
-				randPred(r, colTypes, depth-1), lit(types.NewBool(false))}}
+				randPred(r, colTypes, depth-1, safe), lit(types.NewBool(false))}}
 		}
 	}
 	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
 	switch r.Intn(6) {
 	case 0:
-		return &IsNullExpr{X: randNumExpr(r, colTypes, 1), Not: r.Intn(2) == 0}
+		return &IsNullExpr{X: randNumExpr(r, colTypes, 1, safe), Not: r.Intn(2) == 0}
 	case 1:
 		return &BetweenExpr{
-			X:   randNumExpr(r, colTypes, 1),
-			Lo:  randNumExpr(r, colTypes, 0),
-			Hi:  randNumExpr(r, colTypes, 0),
+			X:   randNumExpr(r, colTypes, 1, safe),
+			Lo:  randNumExpr(r, colTypes, 0, safe),
+			Hi:  randNumExpr(r, colTypes, 0, safe),
 			Not: r.Intn(2) == 0,
 		}
 	case 2:
@@ -248,7 +253,7 @@ func randPred(r *rand.Rand, colTypes []types.Type, depth int) Expr {
 		}
 	case 3:
 		return &InListExpr{
-			X: randNumExpr(r, colTypes, 0),
+			X: randNumExpr(r, colTypes, 0, safe),
 			List: []Expr{lit(types.NewInt(int64(r.Intn(5)))),
 				lit(types.NewInt(int64(r.Intn(5) - 5)))},
 			Not: r.Intn(2) == 0,
@@ -258,7 +263,7 @@ func randPred(r *rand.Rand, colTypes []types.Type, depth int) Expr {
 			L: randTextExpr(r, colTypes, 1), R: randTextExpr(r, colTypes, 1)}
 	default:
 		return &BinExpr{Op: cmps[r.Intn(len(cmps))],
-			L: randNumExpr(r, colTypes, 2), R: randNumExpr(r, colTypes, 1)}
+			L: randNumExpr(r, colTypes, 2, safe), R: randNumExpr(r, colTypes, 1, safe)}
 	}
 }
 
@@ -266,10 +271,15 @@ func randPred(r *rand.Rand, colTypes []types.Type, depth int) Expr {
 // executor: over random schemas, data (with NULLs), predicates, and
 // projections, the batch pipeline must produce exactly the row pipeline's
 // output — same rows, same order — and must error exactly when the row
-// pipeline errors (÷0, type mismatches). LIMIT is deliberately absent: a
-// limit can stop the row pipeline before a row whose evaluation fails,
-// while the batch pipeline may evaluate it eagerly (the one documented
-// divergence).
+// pipeline errors (÷0, type mismatches).
+//
+// The second leg adds LIMIT: the limit announces its remaining budget down
+// the pipeline so the projection truncates each delivered batch BEFORE
+// evaluating expressions, which makes projection errors past the limit
+// unreachable in both pipelines — the formerly documented divergence. The
+// predicate is kept total in that leg because a filter must still evaluate
+// whole batches: predicate errors beyond the last limit-surviving row
+// remain batch-granular by design.
 func TestPropertyBatchMatchesRow(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -279,32 +289,32 @@ func TestPropertyBatchMatchesRow(t *testing.T) {
 				[]types.Type{types.Int, types.Float, types.Text, types.Bool}[r.Intn(4)])
 		}
 		rows := randBatchRows(r, colTypes, r.Intn(60))
-		pred := randPred(r, colTypes, 3)
+		pred := randPred(r, colTypes, 3, false)
 		projs := make([]Expr, 1+r.Intn(3))
 		for i := range projs {
 			if r.Intn(3) == 0 {
 				projs[i] = randTextExpr(r, colTypes, 2)
 			} else {
-				projs[i] = randNumExpr(r, colTypes, 2)
+				projs[i] = randNumExpr(r, colTypes, 2, false)
 			}
 		}
 
 		want, wantErr := Collect(&ProjectIter{Exprs: projs,
 			In: &FilterIter{Pred: pred, In: sliceIter(rows...)}})
 
-		for _, size := range []int{1, 2, 3, 7} {
-			got, gotErr := Collect(&BatchToRow{In: &BatchProjectIter{Exprs: projs,
-				In: &BatchFilterIter{Pred: pred,
-					In: &RowToBatch{In: sliceIter(rows...), Size: size}}}})
+		compare := func(size int, label string, got []storage.Row, gotErr error,
+			want []storage.Row, wantErr error) {
+			t.Helper()
 			if (wantErr != nil) != (gotErr != nil) {
-				t.Fatalf("seed %d size %d: row err %v, batch err %v",
-					seed, size, wantErr, gotErr)
+				t.Fatalf("seed %d size %d %s: row err %v, batch err %v",
+					seed, size, label, wantErr, gotErr)
 			}
 			if wantErr != nil {
-				continue
+				return
 			}
 			if len(got) != len(want) {
-				t.Fatalf("seed %d size %d: %d rows vs %d", seed, size, len(got), len(want))
+				t.Fatalf("seed %d size %d %s: %d rows vs %d",
+					seed, size, label, len(got), len(want))
 			}
 			for i := range want {
 				var wk, gk []byte
@@ -313,10 +323,33 @@ func TestPropertyBatchMatchesRow(t *testing.T) {
 					gk = got[i][j].HashKey(gk)
 				}
 				if string(wk) != string(gk) {
-					t.Fatalf("seed %d size %d row %d: batch %v vs row %v",
-						seed, size, i, got[i], want[i])
+					t.Fatalf("seed %d size %d %s row %d: batch %v vs row %v",
+						seed, size, label, i, got[i], want[i])
 				}
 			}
+		}
+
+		for _, size := range []int{1, 2, 3, 7} {
+			got, gotErr := Collect(&BatchToRow{In: &BatchProjectIter{Exprs: projs,
+				In: &BatchFilterIter{Pred: pred,
+					In: &RowToBatch{In: sliceIter(rows...), Size: size}}}})
+			compare(size, "no-limit", got, gotErr, want, wantErr)
+		}
+
+		// LIMIT leg: total predicate, possibly-erroring projections. Both
+		// pipelines must evaluate projections on exactly the first `limit`
+		// filtered rows — same output AND same error behaviour.
+		safePred := randPred(r, colTypes, 3, true)
+		limit := int64(r.Intn(8))
+		wantL, wantLErr := Collect(&LimitIter{N: limit,
+			In: &ProjectIter{Exprs: projs,
+				In: &FilterIter{Pred: safePred, In: sliceIter(rows...)}}})
+		for _, size := range []int{1, 2, 3, 7} {
+			gotL, gotLErr := Collect(&BatchToRow{In: &BatchLimitIter{N: limit,
+				In: &BatchProjectIter{Exprs: projs,
+					In: &BatchFilterIter{Pred: safePred,
+						In: &RowToBatch{In: sliceIter(rows...), Size: size}}}}})
+			compare(size, "limit", gotL, gotLErr, wantL, wantLErr)
 		}
 		return true
 	}

@@ -234,6 +234,71 @@ func (p *ProjectNode) batchAnnotation() string {
 	return " (batch)"
 }
 
+// ---------- Fused multi-extraction ----------
+
+// MultiExtractNode appends one computed column per extraction request to
+// its child's rows, all filled by a single fused kernel that decodes each
+// serialized record of column DataIdx once (replacing K independent
+// extraction UDF calls in the projection above it). It is inserted by the
+// fusion pass (fuseExtracts) and always runs in batch mode.
+type MultiExtractNode struct {
+	baseNode
+	Child   Node
+	DataIdx int
+	Reqs    []exec.MultiExtractReq
+	Factory exec.MultiExtractFactory
+	// Source names the fused call family for EXPLAIN (e.g. the reservoir
+	// column the keys come from).
+	Source    string
+	BatchSize int
+}
+
+// Label implements Node.
+func (m *MultiExtractNode) Label() string { return "Multi Extract" }
+
+// Details implements Node.
+func (m *MultiExtractNode) Details() []string {
+	parts := make([]string, len(m.Reqs))
+	for i, r := range m.Reqs {
+		parts[i] = fmt.Sprintf("%q", r.Key)
+	}
+	return []string{"Keys: " + strings.Join(parts, ", ")}
+}
+
+// Children implements Node.
+func (m *MultiExtractNode) Children() []Node { return []Node{m.Child} }
+
+// Open implements Node.
+func (m *MultiExtractNode) Open() exec.Iterator {
+	it, _ := m.OpenBatch()
+	return &exec.BatchToRow{In: it}
+}
+
+// OpenBatch implements batchNode. The kernel instance is built per Open so
+// each execution (and each goroutine) gets its own scratch state.
+func (m *MultiExtractNode) OpenBatch() (exec.BatchIterator, bool) {
+	kernel, err := m.Factory(m.Reqs)
+	if err != nil {
+		return &errBatchIter{err: err}, true
+	}
+	return &exec.BatchMultiExtractIter{
+		In:      openBatch(m.Child, m.BatchSize),
+		DataIdx: m.DataIdx,
+		Kernel:  kernel,
+		K:       len(m.Reqs),
+	}, true
+}
+
+func (m *MultiExtractNode) batchAnnotation() string {
+	return fmt.Sprintf(" (fused extract: %d keys)", len(m.Reqs))
+}
+
+// errBatchIter surfaces a kernel construction error on first pull.
+type errBatchIter struct{ err error }
+
+func (e *errBatchIter) NextBatch() (*exec.RowBatch, error) { return nil, e.err }
+func (e *errBatchIter) Close()                             {}
+
 // ---------- Sort / Unique ----------
 
 // SortNode materializes and sorts its input.

@@ -394,6 +394,7 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 		})
 	}
 
+	p.fuseExtracts(cur)
 	pruneScanColumns(cur)
 	return &SelectPlan{Root: cur, ColumnNames: names, ColumnTypes: outTypes}, nil
 }

@@ -53,6 +53,17 @@ func pruneChain(n Node, set map[int]bool, ok bool) {
 		pruneChain(x.Child, set, addExprCols(set, x.Preds...))
 	case *LimitNode:
 		pruneChain(x.Child, set, true)
+	case *MultiExtractNode:
+		// Columns the node appends don't exist below it; what the kernel
+		// reads is the serialized data column.
+		childW := len(x.Child.Layout().Cols)
+		nset := map[int]bool{x.DataIdx: true}
+		for j := range set {
+			if j < childW {
+				nset[j] = true
+			}
+		}
+		pruneChain(x.Child, nset, true)
 	case *SortNode:
 		sok := true
 		for _, k := range x.Keys {

@@ -1,0 +1,262 @@
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// This file pins the corruption contract of the serialization layer: on
+// arbitrary (truncated, bit-flipped, adversarial) input, parseHeader,
+// ExtractByID, ExtractPath, Deserialize, and the fused MultiExtract kernel
+// must return an error or not-found — never panic, never read out of
+// bounds.
+
+func corruptDict(t testing.TB) *Dictionary {
+	t.Helper()
+	return NewDictionary()
+}
+
+// buildTestRecord serializes a representative document covering every
+// value type and returns its bytes with the dictionary used.
+func buildTestRecord(t testing.TB) ([]byte, *Dictionary) {
+	t.Helper()
+	dict := corruptDict(t)
+	doc, err := jsonx.ParseDocument([]byte(
+		`{"s":"hello","i":42,"f":2.5,"b":true,"o":{"x":"y","n":7},"a":[1,"two",null,3.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Serialize(doc, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, dict
+}
+
+// probeAll runs every read-side entry point over the bytes; the only
+// requirement is that none of them panics.
+func probeAll(data []byte, dict *Dictionary) {
+	_, _ = AttrIDs(data)
+	for id := uint32(0); id < 12; id++ {
+		_, _, _ = ExtractByID(data, id, dict)
+		_, _, _ = ExtractByIDLinear(data, id, dict)
+		_, _ = Has(data, id)
+	}
+	for _, path := range []string{"s", "i", "o.x", "o.n", "a", "missing"} {
+		for _, at := range []AttrType{TypeString, TypeInt, TypeFloat, TypeBool, TypeObject, TypeArray} {
+			_, _, _ = ExtractPath(data, path, at, dict)
+		}
+	}
+	_, _ = Deserialize(data, dict)
+
+	specs := []MultiSpec{
+		{Path: "s", Want: TypeString},
+		{Path: "i", Want: TypeInt},
+		{Path: "o.x", Want: TypeString},
+		{Path: "a", Want: TypeArray},
+		{Path: "s", Any: true},
+		{Path: "never.seen", Want: TypeInt},
+	}
+	pm := PrepareMulti(specs, dict)
+	var rec Record
+	if err := rec.Reset(data); err != nil {
+		return // rejected at parse; nothing more to probe
+	}
+	out := make([]jsonx.Value, len(specs))
+	found := make([]bool, len(specs))
+	_ = rec.MultiExtract(pm, dict, out, found)
+}
+
+// TestCorruptRecordsNeverPanic hand-crafts the corruption classes named in
+// the format's validation paths.
+func TestCorruptRecordsNeverPanic(t *testing.T) {
+	data, dict := buildTestRecord(t)
+
+	t.Run("truncations", func(t *testing.T) {
+		// Every prefix of a valid record, including the empty one.
+		for n := 0; n <= len(data); n++ {
+			probeAll(data[:n], dict)
+		}
+	})
+
+	t.Run("huge-attr-count", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(bad[0:], ^uint32(0)) // n = 2^32-1
+		if _, err := ParseRecord(bad); err == nil {
+			t.Error("absurd attribute count must be rejected")
+		}
+		probeAll(bad, dict)
+	})
+
+	t.Run("out-of-range-offsets", func(t *testing.T) {
+		h, err := parseHeader(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The offsets array starts after [n][aids]; poison each entry with
+		// values past the body and with inverted (start > end) pairs.
+		offBase := u32 + h.n*u32
+		for i := 0; i < h.n; i++ {
+			bad := append([]byte(nil), data...)
+			binary.LittleEndian.PutUint32(bad[offBase+i*u32:], ^uint32(0))
+			probeAll(bad, dict)
+			bad2 := append([]byte(nil), data...)
+			binary.LittleEndian.PutUint32(bad2[offBase+i*u32:], h.bodyLen+1)
+			probeAll(bad2, dict)
+		}
+		// An offset past its successor must surface as an error, not a
+		// negative-length slice.
+		if h.n >= 2 {
+			bad := append([]byte(nil), data...)
+			binary.LittleEndian.PutUint32(bad[offBase:], h.off(1)+1)
+			if _, ok, err := ExtractByID(bad, h.aid(0), dict); err == nil && ok {
+				t.Error("inverted offsets must not decode to a value")
+			}
+			probeAll(bad, dict)
+		}
+	})
+
+	t.Run("unsorted-attr-ids", func(t *testing.T) {
+		h, err := parseHeader(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.n < 2 {
+			t.Skip("need two attributes")
+		}
+		// Swap the first two attribute IDs: binary search may miss keys
+		// (acceptable) but nothing may panic, and the fused merge must not
+		// spin or read out of bounds.
+		bad := append([]byte(nil), data...)
+		a0 := binary.LittleEndian.Uint32(bad[u32:])
+		a1 := binary.LittleEndian.Uint32(bad[u32+u32:])
+		binary.LittleEndian.PutUint32(bad[u32:], a1)
+		binary.LittleEndian.PutUint32(bad[u32+u32:], a0)
+		probeAll(bad, dict)
+	})
+
+	t.Run("nested-corruption", func(t *testing.T) {
+		// Corrupt bytes inside the body so nested object/array decoding
+		// sees garbage sub-records.
+		for i := len(data) - 1; i >= len(data)-int(16) && i >= 0; i-- {
+			bad := append([]byte(nil), data...)
+			bad[i] ^= 0xff
+			probeAll(bad, dict)
+		}
+	})
+}
+
+// TestMultiExtractMatchesExtractPath is the kernel's differential test:
+// for every (path, type) combination over a mixed-shape corpus, the fused
+// merge must agree with the one-key ExtractPath it replaces, and the Any
+// probe must agree with the sinew_extract_any probe order.
+func TestMultiExtractMatchesExtractPath(t *testing.T) {
+	dict := corruptDict(t)
+	docs := []string{
+		`{"s":"hello","i":42,"f":2.5,"b":true,"o":{"x":"y","n":7},"a":[1,2]}`,
+		`{"s":"other","extra":1}`,
+		`{"i":-1,"o":{"x":"z"}}`,
+		`{"multi":"text"}`,
+		`{"multi":99}`,
+		`{}`,
+	}
+	records := make([][]byte, len(docs))
+	for i, d := range docs {
+		doc, err := jsonx.ParseDocument([]byte(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if records[i], err = Serialize(doc, dict); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	paths := []string{"s", "i", "f", "b", "o", "a", "o.x", "o.n", "multi", "extra", "nope", "o.nope"}
+	typs := []AttrType{TypeString, TypeInt, TypeFloat, TypeBool, TypeObject, TypeArray}
+	var specs []MultiSpec
+	for _, p := range paths {
+		for _, at := range typs {
+			specs = append(specs, MultiSpec{Path: p, Want: at})
+		}
+		specs = append(specs, MultiSpec{Path: p, Any: true})
+	}
+	pm := PrepareMulti(specs, dict)
+	out := make([]jsonx.Value, len(specs))
+	found := make([]bool, len(specs))
+	var rec Record
+
+	anyOrder := []AttrType{TypeString, TypeInt, TypeFloat, TypeBool, TypeArray, TypeObject}
+	for ri, data := range records {
+		if err := rec.Reset(data); err != nil {
+			t.Fatalf("record %d: %v", ri, err)
+		}
+		if err := rec.MultiExtract(pm, dict, out, found); err != nil {
+			t.Fatalf("record %d: %v", ri, err)
+		}
+		for si, s := range specs {
+			var wantV jsonx.Value
+			var wantOK bool
+			if s.Any {
+				for _, at := range anyOrder {
+					v, ok, err := ExtractPath(data, s.Path, at, dict)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						wantV, wantOK = v, true
+						break
+					}
+				}
+			} else {
+				v, ok, err := ExtractPath(data, s.Path, s.Want, dict)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantV, wantOK = v, ok
+			}
+			if found[si] != wantOK {
+				t.Errorf("record %d spec %+v: found=%v, ExtractPath ok=%v",
+					ri, specLabel(s), found[si], wantOK)
+				continue
+			}
+			if wantOK && out[si].String() != wantV.String() {
+				t.Errorf("record %d spec %+v: fused %q vs single %q",
+					ri, specLabel(s), out[si].String(), wantV.String())
+			}
+		}
+	}
+}
+
+func specLabel(s MultiSpec) string {
+	if s.Any {
+		return fmt.Sprintf("{%s any}", s.Path)
+	}
+	return fmt.Sprintf("{%s %s}", s.Path, s.Want)
+}
+
+// FuzzRecordReaders drives every read-side entry point — parseHeader,
+// ExtractByID, ExtractPath, Deserialize, MultiExtract — over fuzzer-chosen
+// bytes. The property under test is purely "no panic": errors and
+// not-found are both acceptable outcomes for garbage input.
+func FuzzRecordReaders(f *testing.F) {
+	data, dict := buildTestRecord(f)
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(data[:len(data)/2])
+	// Seed an unsorted-IDs variant.
+	bad := append([]byte(nil), data...)
+	if len(bad) >= 3*u32 {
+		a0 := binary.LittleEndian.Uint32(bad[u32:])
+		a1 := binary.LittleEndian.Uint32(bad[2*u32:])
+		binary.LittleEndian.PutUint32(bad[u32:], a1)
+		binary.LittleEndian.PutUint32(bad[2*u32:], a0)
+	}
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		probeAll(b, dict)
+	})
+}

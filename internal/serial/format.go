@@ -149,14 +149,19 @@ func (h header) off(i int) uint32 {
 	return binary.LittleEndian.Uint32(h.offs[i*u32:])
 }
 
-// valueBytes returns the body slice of attribute index i.
-func (h header) valueBytes(i int) []byte {
+// valueBytes returns the body slice of attribute index i. Offsets come
+// from the (untrusted) record bytes, so they are validated here: corrupt
+// or unsorted offsets surface as errors, never slice panics.
+func (h header) valueBytes(i int) ([]byte, error) {
 	start := h.off(i)
 	end := h.bodyLen
 	if i+1 < h.n {
 		end = h.off(i + 1)
 	}
-	return h.body[start:end]
+	if start > end || end > h.bodyLen {
+		return nil, fmt.Errorf("serial: corrupt value offsets (attr %d: %d..%d of body %d)", i, start, end, h.bodyLen)
+	}
+	return h.body[start:end], nil
 }
 
 // find binary-searches the sorted attribute ID list.
@@ -203,7 +208,11 @@ func ExtractByID(data []byte, id uint32, dict Dict) (jsonx.Value, bool, error) {
 	if !ok {
 		return jsonx.Value{}, false, fmt.Errorf("serial: attribute %d not in dictionary", id)
 	}
-	v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+	vb, err := h.valueBytes(i)
+	if err != nil {
+		return jsonx.Value{}, false, err
+	}
+	v, err := decodeValue(vb, attr.Type, dict)
 	if err != nil {
 		return jsonx.Value{}, false, err
 	}
@@ -226,7 +235,11 @@ func ExtractByIDLinear(data []byte, id uint32, dict Dict) (jsonx.Value, bool, er
 		if !ok {
 			return jsonx.Value{}, false, fmt.Errorf("serial: attribute %d not in dictionary", id)
 		}
-		v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+		vb, err := h.valueBytes(i)
+		if err != nil {
+			return jsonx.Value{}, false, err
+		}
+		v, err := decodeValue(vb, attr.Type, dict)
 		if err != nil {
 			return jsonx.Value{}, false, err
 		}
@@ -258,7 +271,11 @@ func extractPathParsed(h header, path string, want AttrType, dict Dict) (jsonx.V
 			if !ok {
 				return jsonx.Value{}, false, fmt.Errorf("serial: attribute %d not in dictionary", id)
 			}
-			v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+			vb, err := h.valueBytes(i)
+			if err != nil {
+				return jsonx.Value{}, false, err
+			}
+			v, err := decodeValue(vb, attr.Type, dict)
 			if err != nil {
 				return jsonx.Value{}, false, err
 			}
@@ -274,14 +291,22 @@ func extractPathParsed(h header, path string, want AttrType, dict Dict) (jsonx.V
 		head, rest := path[:i], path[i+1:]
 		if oid, ok := dict.IDOf(head, TypeObject); ok {
 			if idx, found := h.find(oid); found {
-				if v, found, err := ExtractPath(h.valueBytes(idx), rest, want, dict); err != nil || found {
+				vb, err := h.valueBytes(idx)
+				if err != nil {
+					return jsonx.Value{}, false, err
+				}
+				if v, found, err := ExtractPath(vb, rest, want, dict); err != nil || found {
 					return v, found, err
 				}
 			}
 		}
 		if aid, ok := dict.IDOf(head, TypeArray); ok {
 			if idx, found := h.find(aid); found {
-				arr, err := decodeValue(h.valueBytes(idx), TypeArray, dict)
+				vb, err := h.valueBytes(idx)
+				if err != nil {
+					return jsonx.Value{}, false, err
+				}
+				arr, err := decodeValue(vb, TypeArray, dict)
 				if err != nil {
 					return jsonx.Value{}, false, err
 				}
@@ -368,6 +393,12 @@ func decodeArray(b []byte, dict Dict) (jsonx.Value, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(b))
 	b = b[u32:]
+	// Each element needs a 1-byte tag plus a 4-byte length, so a count
+	// larger than the remaining bytes allow is corruption — reject it
+	// before the capacity hint turns into a giant allocation.
+	if count > len(b)/(1+u32) {
+		return jsonx.Value{}, fmt.Errorf("serial: corrupt array count %d (%d payload bytes)", count, len(b))
+	}
 	elems := make([]jsonx.Value, 0, count)
 	for i := 0; i < count; i++ {
 		if len(b) < 1+u32 {
@@ -407,7 +438,11 @@ func Deserialize(data []byte, dict Dict) (*jsonx.Doc, error) {
 		if !ok {
 			return nil, fmt.Errorf("serial: attribute %d not in dictionary", h.aid(i))
 		}
-		v, err := decodeValue(h.valueBytes(i), attr.Type, dict)
+		vb, err := h.valueBytes(i)
+		if err != nil {
+			return nil, err
+		}
+		v, err := decodeValue(vb, attr.Type, dict)
 		if err != nil {
 			return nil, err
 		}
@@ -442,7 +477,10 @@ func Remove(data []byte, id uint32) ([]byte, bool, error) {
 	if !ok {
 		return data, false, nil
 	}
-	vb := h.valueBytes(idx)
+	vb, err := h.valueBytes(idx)
+	if err != nil {
+		return nil, false, err
+	}
 	out := make([]byte, 0, len(data)-len(vb)-2*u32)
 	out = binary.LittleEndian.AppendUint32(out, uint32(h.n-1))
 	for i := 0; i < h.n; i++ {

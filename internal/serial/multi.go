@@ -1,0 +1,205 @@
+package serial
+
+import (
+	"sort"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// This file implements the fused multi-key extraction kernel: when a query
+// projects several virtual keys of the same reservoir column, the batch
+// operator parses each record header once and resolves every requested
+// (path, type) pair in a single sorted merge over the header's attribute
+// IDs, instead of one full ExtractPath per key per row. Dictionary lookups
+// happen once per query (PrepareMulti), not once per row per key.
+
+// anyProbeOrder is the type-probe sequence for untyped (extract_any)
+// requests; it must match the probe order of sinew_extract_any so the
+// fused path returns the same value for multi-typed keys.
+var anyProbeOrder = [...]AttrType{TypeString, TypeInt, TypeFloat, TypeBool, TypeArray, TypeObject}
+
+// MultiSpec is one (path, type) extraction request of a prepared
+// multi-extract. Specs are built once per query by PrepareMulti.
+type MultiSpec struct {
+	Path string
+	Want AttrType
+	// Any requests the first value of any type in anyProbeOrder
+	// (sinew_extract_any semantics); Want is ignored.
+	Any bool
+
+	// id is the dictionary ID of the literal (Path, Want) attribute when
+	// one exists; idOK is false for never-seen attributes.
+	id   uint32
+	idOK bool
+	// anyIDs are the resolved candidate IDs for Any specs, in probe order.
+	anyIDs []uint32
+	// dotted marks paths needing the nested-object descent fallback when
+	// the literal attribute is absent from a record.
+	dotted bool
+}
+
+// PreparedMulti is a set of extraction requests with dictionary IDs
+// resolved up front and a merge order precomputed over the sorted IDs.
+type PreparedMulti struct {
+	Specs []MultiSpec
+	// merge lists indices into Specs with a resolved literal ID, sorted by
+	// that ID — the probe sequence of the header merge.
+	merge []int
+	// slow lists indices that can never match via the literal-ID merge and
+	// always take the fallback path (Any specs, unresolved dotted paths).
+	slow []int
+}
+
+// PrepareMulti resolves a set of extraction requests against the
+// dictionary once. Requests keep their input order in Specs (outputs of
+// MultiExtract are positional).
+func PrepareMulti(reqs []MultiSpec, dict Dict) *PreparedMulti {
+	pm := &PreparedMulti{Specs: make([]MultiSpec, len(reqs))}
+	copy(pm.Specs, reqs)
+	for i := range pm.Specs {
+		s := &pm.Specs[i]
+		s.dotted = hasDot(s.Path)
+		if s.Any {
+			s.anyIDs = s.anyIDs[:0]
+			for _, t := range anyProbeOrder {
+				if id, ok := dict.IDOf(s.Path, t); ok {
+					s.anyIDs = append(s.anyIDs, id)
+				} else {
+					// Keep probe order alignment: sentinel for absent types.
+					s.anyIDs = append(s.anyIDs, ^uint32(0))
+				}
+			}
+			pm.slow = append(pm.slow, i)
+			continue
+		}
+		if id, ok := dict.IDOf(s.Path, s.Want); ok {
+			s.id, s.idOK = id, true
+			pm.merge = append(pm.merge, i)
+		} else if s.dotted {
+			pm.slow = append(pm.slow, i)
+		}
+		// Non-dotted paths with no dictionary entry can never match any
+		// record: they stay out of both lists and always yield found=false.
+	}
+	sort.SliceStable(pm.merge, func(a, b int) bool {
+		return pm.Specs[pm.merge[a]].id < pm.Specs[pm.merge[b]].id
+	})
+	return pm
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset re-parses r against new record bytes in place, so one scratch
+// Record serves every row of a scan without allocating. The Record aliases
+// data; the caller must not mutate it while the Record is in use.
+func (r *Record) Reset(data []byte) error {
+	h, err := parseHeader(data)
+	if err != nil {
+		r.h = header{}
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+// MultiExtract resolves every prepared request against the record in one
+// pass: a two-pointer merge of the prepared (sorted) spec IDs with the
+// record's sorted attribute IDs, then the descent/probe fallback for the
+// few specs that need it. out[i] and found[i] receive spec i's value;
+// both slices must have len(pm.Specs). Absent or differently-typed keys
+// yield found=false, never an error (§3.2.2 type-selective NULLs).
+func (r *Record) MultiExtract(pm *PreparedMulti, dict Dict, out []jsonx.Value, found []bool) error {
+	for i := range found {
+		found[i] = false
+		out[i] = jsonx.Value{}
+	}
+	h := r.h
+	// Sorted merge: both h.aids and pm.merge are ascending, so each side
+	// advances monotonically. Duplicate spec IDs re-match without moving
+	// the header cursor.
+	pos := 0
+	for _, si := range pm.merge {
+		s := &pm.Specs[si]
+		for pos < h.n && h.aid(pos) < s.id {
+			pos++
+		}
+		if pos < h.n && h.aid(pos) == s.id {
+			vb, err := h.valueBytes(pos)
+			if err != nil {
+				return err
+			}
+			v, err := decodeValue(vb, s.Want, dict)
+			if err != nil {
+				return err
+			}
+			out[si] = v
+			found[si] = true
+		} else if s.dotted {
+			// Literal dotted attribute absent from this record: descend
+			// through nested objects the slow way.
+			v, ok, err := extractPathParsed(h, s.Path, s.Want, dict)
+			if err != nil {
+				return err
+			}
+			out[si], found[si] = v, ok
+		}
+	}
+	for _, si := range pm.slow {
+		s := &pm.Specs[si]
+		if s.Any {
+			v, ok, err := r.extractAnyPrepared(s, dict)
+			if err != nil {
+				return err
+			}
+			out[si], found[si] = v, ok
+			continue
+		}
+		// Unresolved dotted path: no literal attribute exists anywhere, so
+		// every record takes the descent.
+		v, ok, err := extractPathParsed(h, s.Path, s.Want, dict)
+		if err != nil {
+			return err
+		}
+		out[si], found[si] = v, ok
+	}
+	return nil
+}
+
+// extractAnyPrepared probes each type in anyProbeOrder — prepared literal
+// ID first, then the dotted descent — exactly mirroring the
+// ExtractPath-per-type loop of sinew_extract_any, so multi-typed keys
+// resolve to the same value on the fused path.
+func (r *Record) extractAnyPrepared(s *MultiSpec, dict Dict) (jsonx.Value, bool, error) {
+	for ti, id := range s.anyIDs {
+		if id != ^uint32(0) {
+			if i, ok := r.h.find(id); ok {
+				vb, err := r.h.valueBytes(i)
+				if err != nil {
+					return jsonx.Value{}, false, err
+				}
+				v, err := decodeValue(vb, anyProbeOrder[ti], dict)
+				if err != nil {
+					return jsonx.Value{}, false, err
+				}
+				return v, true, nil
+			}
+		}
+		if s.dotted {
+			v, ok, err := extractPathParsed(r.h, s.Path, anyProbeOrder[ti], dict)
+			if err != nil {
+				return jsonx.Value{}, false, err
+			}
+			if ok {
+				return v, true, nil
+			}
+		}
+	}
+	return jsonx.Value{}, false, nil
+}
