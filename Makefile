@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench fmt
+.PHONY: all build test vet race race-workers check bench bench-diff fmt
 
 all: build
 
@@ -16,17 +16,33 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the gate CI runs: static analysis plus the full test suite
-# under the race detector (the parallel partitioned scan is the main
-# concurrency surface).
-check: vet race
+# race-workers re-runs the executor differential tests (row vs batch vs
+# parallel pipelines) under the race detector at several GOMAXPROCS
+# settings: 1 forces serial plans, 2 and 8 vary worker counts and
+# goroutine interleavings through the morsel-driven pipelines.
+race-workers:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestProperty|TestParallel' ./internal/rdbms/exec/
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'TestProperty|TestParallel' ./internal/rdbms/exec/
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestProperty|TestParallel' ./internal/rdbms/exec/
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/rdbms/plan/ ./internal/core/
 
-# bench runs the micro-benchmarks and regenerates BENCH_PR2.json, the
+# check is the gate CI runs: static analysis plus the full test suite
+# under the race detector (the parallel pipelines are the main
+# concurrency surface), with extra GOMAXPROCS legs for the executor.
+check: vet race race-workers
+
+# bench runs the micro-benchmarks and regenerates BENCH_PR3.json, the
 # machine-readable Figure 6 + Table 5 + plan-cache report (ns/op and
 # allocs/op per query) that tracks the perf trajectory across PRs.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/
-	$(GO) run ./cmd/sinewbench -json BENCH_PR2.json -small 4000
+	$(GO) run ./cmd/sinewbench -json BENCH_PR3.json -small 4000
+
+# bench-diff gates the perf trajectory: it fails when any Figure 6 query
+# in BENCH_PR3.json regressed more than 10% against BENCH_PR2.json in
+# ns/op or allocs/op.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -old BENCH_PR2.json -new BENCH_PR3.json -tolerance 10
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

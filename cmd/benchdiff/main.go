@@ -1,0 +1,113 @@
+// Command benchdiff compares two benchmark reports produced by
+// `sinewbench -json` and fails (exit 1) when any Figure 6 query regressed
+// beyond the tolerance in either ns/op or allocs/op. `make bench-diff`
+// uses it to gate PRs on the perf trajectory:
+//
+//	benchdiff -old BENCH_PR2.json -new BENCH_PR3.json -tolerance 10
+//
+// Queries present in only one report are reported but do not fail the
+// diff (the query set can grow across PRs). Alloc counts below the noise
+// floor (-minallocs) are exempt from the allocs gate: a jump from 3 to 5
+// allocations is measurement noise, not a regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type queryBench struct {
+	Query       string `json:"query"`
+	SQL         string `json:"sql"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+type report struct {
+	Records      int          `json:"records"`
+	Figure6Sinew []queryBench `json:"figure6_sinew"`
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func pct(oldV, newV int64) float64 {
+	if oldV <= 0 {
+		return 0
+	}
+	return (float64(newV)/float64(oldV) - 1) * 100
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "BENCH_PR2.json", "baseline report")
+		newPath   = flag.String("new", "BENCH_PR3.json", "candidate report")
+		tolerance = flag.Float64("tolerance", 10, "max allowed regression in percent")
+		minAllocs = flag.Int64("minallocs", 64, "allocs/op noise floor below which the allocs gate is skipped")
+	)
+	flag.Parse()
+
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if oldRep.Records != newRep.Records {
+		fmt.Fprintf(os.Stderr, "benchdiff: record counts differ (%d vs %d); timings are not comparable\n",
+			oldRep.Records, newRep.Records)
+		os.Exit(2)
+	}
+
+	oldBy := make(map[string]queryBench, len(oldRep.Figure6Sinew))
+	for _, q := range oldRep.Figure6Sinew {
+		oldBy[q.Query] = q
+	}
+
+	failed := false
+	fmt.Printf("%-5s %14s %14s %8s   %10s %10s %8s\n",
+		"query", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs", "Δ%")
+	for _, n := range newRep.Figure6Sinew {
+		o, ok := oldBy[n.Query]
+		if !ok {
+			fmt.Printf("%-5s %14s %14d %8s   %10s %10d %8s  (new query)\n",
+				n.Query, "-", n.NsPerOp, "-", "-", n.AllocsPerOp, "-")
+			continue
+		}
+		delete(oldBy, n.Query)
+		nsD := pct(o.NsPerOp, n.NsPerOp)
+		alD := pct(o.AllocsPerOp, n.AllocsPerOp)
+		mark := ""
+		if nsD > *tolerance {
+			mark, failed = "  REGRESSION(ns)", true
+		}
+		if alD > *tolerance && o.AllocsPerOp >= *minAllocs {
+			mark, failed = mark+"  REGRESSION(allocs)", true
+		}
+		fmt.Printf("%-5s %14d %14d %+7.1f%%   %10d %10d %+7.1f%%%s\n",
+			n.Query, o.NsPerOp, n.NsPerOp, nsD, o.AllocsPerOp, n.AllocsPerOp, alD, mark)
+	}
+	for q := range oldBy {
+		fmt.Printf("%-5s dropped from new report\n", q)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — regression beyond %.0f%% tolerance\n", *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (tolerance %.0f%%)\n", *tolerance)
+}

@@ -11,7 +11,7 @@
 //	\synccat                      publish the catalog as SQL tables (Figure 4)
 //	\rewrite <sql>                show the §3.2.2 rewrite of a query
 //	\explain <sql>                show the physical plan
-//	\stats                        show plan-cache hit/miss counters
+//	\stats                        show plan-cache and executor counters
 //	\q                            quit
 //
 // Everything else is executed as SQL.
@@ -152,6 +152,9 @@ func command(db *core.DB, mat *core.Materializer, line string) error {
 		s := db.RDBMS().PlanCacheStats()
 		fmt.Printf("plan cache: %d hits, %d misses, %d entries, %d invalidations (epoch %d)\n",
 			s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch)
+		skipped, workers := db.RDBMS().Pager().ExecStats()
+		fmt.Printf("executor: %d pages skipped, %d parallel workers since last reset\n",
+			skipped, workers)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %s", fields[0])

@@ -134,6 +134,12 @@ func (db *DB) CreateCollection(name string, opts ...CollectionOptions) error {
 	if err != nil {
 		return err
 	}
+	// Maintain per-page attribute-presence summaries over the reservoir
+	// column (index 1 above): sparse-key selections skip whole pages whose
+	// summary proves the key absent.
+	if heap, _, terr := db.rdb.Table(name); terr == nil {
+		heap.SetAttrSummarizer(1, reservoirSummarizer)
+	}
 	db.cat.Collection(name)
 	if len(opts) > 0 {
 		db.optsMu.Lock()
@@ -212,3 +218,18 @@ func (db *DB) releaseMatchSet(handle int64) {
 
 // dictTyped is a convenience for UDF closures.
 func (db *DB) dict() *serial.Dictionary { return db.cat.Dict() }
+
+// reservoirSummarizer lists the attribute IDs present in one serialized
+// reservoir value (the record header's sorted ID array). A non-bytes value
+// or a corrupt header invalidates the page summary rather than risking a
+// wrong skip.
+func reservoirSummarizer(d types.Datum) ([]uint32, bool) {
+	if d.Typ != types.Bytes {
+		return nil, false
+	}
+	ids, err := serial.AttrIDs(d.Bs)
+	if err != nil {
+		return nil, false
+	}
+	return ids, true
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// eraDB loads a collection whose sparse keys arrive in *eras*: the first
+// half of the load carries alpha_key, the second half beta_key. With 128
+// rows per page, each era spans multiple whole pages, so the per-page
+// attribute-ID summaries can prove "alpha_key appears nowhere on this
+// page" for every beta-era page and vice versa. This is the schema-drift
+// scenario attr-presence skipping targets (NoBench cannot show it — its
+// generator cycles sparse keys faster than a page).
+func eraDB(t *testing.T, n int) *DB {
+	t.Helper()
+	db := Open(DefaultConfig())
+	if err := db.CreateCollection("events"); err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*jsonx.Doc, n)
+	for i := 0; i < n; i++ {
+		key := "alpha_key"
+		if i >= n/2 {
+			key = "beta_key"
+		}
+		d, err := jsonx.ParseDocument([]byte(fmt.Sprintf(
+			`{"id":%d,"%s":"v%d"}`, i, key, i%7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = d
+	}
+	if _, err := db.LoadDocuments("events", docs); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func (db *DB) skipRun(t *testing.T, sql string) (rows int, skipped int64) {
+	t.Helper()
+	pager := db.rdb.Pager()
+	pager.Reset()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	sk, _ := pager.ExecStats()
+	return len(res.Rows), sk
+}
+
+// TestAttrPresenceSkipping pins the attr-presence half of page skipping:
+// a selection on an era-local virtual key must skip the other era's
+// pages outright while returning exactly the rows a skip-disabled run
+// returns.
+func TestAttrPresenceSkipping(t *testing.T) {
+	db := eraDB(t, 1024) // 8 pages: 4 alpha-era, 4 beta-era
+	const q = `SELECT id FROM events WHERE alpha_key = 'v3'`
+
+	if _, err := db.Query("SET enable_page_skip = off"); err != nil {
+		t.Fatal(err)
+	}
+	baseRows, baseSkipped := db.skipRun(t, q)
+	if baseSkipped != 0 {
+		t.Fatalf("skipped %d pages with skipping disabled", baseSkipped)
+	}
+	if baseRows == 0 {
+		t.Fatal("probe matched no rows; fixture broken")
+	}
+
+	if _, err := db.Query("SET enable_page_skip = on"); err != nil {
+		t.Fatal(err)
+	}
+	rows, skipped := db.skipRun(t, q)
+	if rows != baseRows {
+		t.Fatalf("skipping changed the result: %d rows vs %d", rows, baseRows)
+	}
+	// All 4 beta-era pages lack every attribute ID of alpha_key.
+	if skipped < 4 {
+		t.Fatalf("expected ≥4 beta-era pages skipped, got %d", skipped)
+	}
+
+	// The same holds from the other side.
+	rowsB, skippedB := db.skipRun(t, `SELECT id FROM events WHERE beta_key = 'v3'`)
+	if rowsB != baseRows || skippedB < 4 {
+		t.Fatalf("beta probe: rows=%d (want %d) skipped=%d (want ≥4)", rowsB, baseRows, skippedB)
+	}
+
+	// A key present in every record can never prove a skip.
+	rowsID, skippedID := db.skipRun(t, `SELECT alpha_key FROM events WHERE id = 7`)
+	if rowsID != 1 || skippedID != 0 {
+		t.Fatalf("dense-key probe: rows=%d (want 1) skipped=%d (want 0)", rowsID, skippedID)
+	}
+}
+
+// TestAttrSkipSurvivesDictionaryGrowth pins the contract that page
+// skipping stays correct across dictionary growth: after a skip-bearing
+// plan has run (and been cached), a later load adds fresh pages carrying
+// the probed key plus a brand-new attribute. The re-run must see every
+// new row — attribute IDs are resolved per iterator open, never baked
+// into the plan.
+func TestAttrSkipSurvivesDictionaryGrowth(t *testing.T) {
+	db := eraDB(t, 1024)
+	if _, err := db.Query("SET enable_page_skip = on"); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT id FROM events WHERE beta_key IS NOT NULL`
+	rows0, _ := db.skipRun(t, q) // plan now cached, alpha pages skipped
+
+	// A new era: beta_key returns on fresh pages, and gamma_key grows the
+	// dictionary past what the cached plan saw.
+	docs := make([]*jsonx.Doc, 256)
+	for i := range docs {
+		d, err := jsonx.ParseDocument([]byte(fmt.Sprintf(
+			`{"id":%d,"beta_key":"w%d","gamma_key":%d}`, 2000+i, i, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = d
+	}
+	if _, err := db.LoadDocuments("events", docs); err != nil {
+		t.Fatal(err)
+	}
+
+	rows1, _ := db.skipRun(t, q)
+	if rows1 != rows0+256 {
+		t.Fatalf("after growth: %d rows, want %d", rows1, rows0+256)
+	}
+}
+
+// TestSkipInvalidationOnUpdate pins conservative invalidation: an
+// in-place UPDATE nulls the touched pages' summaries (they may now be
+// stale), selections stay correct, and ANALYZE rebuilds the summaries so
+// skipping resumes.
+func TestSkipInvalidationOnUpdate(t *testing.T) {
+	db := eraDB(t, 1024)
+	if _, err := db.Query("SET enable_page_skip = on"); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT id FROM events WHERE alpha_key = 'v3'`
+	rows0, skipped0 := db.skipRun(t, q)
+	if skipped0 < 4 {
+		t.Fatalf("precondition: expected ≥4 pages skipped, got %d", skipped0)
+	}
+
+	// An update that does NOT affect the probe still invalidates its
+	// page's summary — the page must be scanned until ANALYZE proves it
+	// clean again.
+	if _, err := db.Query(`UPDATE events SET other_key = 'x' WHERE id = 900`); err != nil {
+		t.Fatal(err)
+	}
+	rows1, skipped1 := db.skipRun(t, q)
+	if rows1 != rows0 {
+		t.Fatalf("unrelated update changed the result: %d rows, want %d", rows1, rows0)
+	}
+	if skipped1 >= skipped0 {
+		t.Fatalf("update did not invalidate any summary (skipped %d → %d)", skipped0, skipped1)
+	}
+
+	// ANALYZE rebuilds the summary; the page still lacks alpha_key, so the
+	// original skip count returns.
+	if err := db.rdb.Analyze("events"); err != nil {
+		t.Fatal(err)
+	}
+	rows2, skipped2 := db.skipRun(t, q)
+	if rows2 != rows0 || skipped2 != skipped0 {
+		t.Fatalf("after analyze: rows=%d skipped=%d, want rows=%d skipped=%d",
+			rows2, skipped2, rows0, skipped0)
+	}
+
+	// Now an update that DOES affect the probe: the row must be found
+	// immediately, and after ANALYZE its page is permanently unskippable
+	// (it genuinely carries alpha_key now) while the others skip again.
+	if _, err := db.Query(`UPDATE events SET alpha_key = 'v3' WHERE id = 901`); err != nil {
+		t.Fatal(err)
+	}
+	rows3, _ := db.skipRun(t, q)
+	if rows3 != rows0+1 {
+		t.Fatalf("after alpha update: %d rows, want %d", rows3, rows0+1)
+	}
+	if err := db.rdb.Analyze("events"); err != nil {
+		t.Fatal(err)
+	}
+	rows4, skipped4 := db.skipRun(t, q)
+	if rows4 != rows0+1 || skipped4 != skipped0-1 {
+		t.Fatalf("after analyze: rows=%d skipped=%d, want rows=%d skipped=%d",
+			rows4, skipped4, rows0+1, skipped0-1)
+	}
+}

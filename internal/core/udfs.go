@@ -282,18 +282,23 @@ func (db *DB) registerUDFs() {
 		},
 	})
 
-	// sinew_stats() reports runtime counters — currently the prepared-plan
-	// cache — as a one-line text summary.
+	// sinew_stats() reports runtime counters — the prepared-plan cache plus
+	// the executor's page-skip and parallel-worker totals since the last
+	// pager reset — as a one-line text summary.
 	db.rdb.RegisterFunc(&exec.FuncDef{
 		Name: "sinew_stats", MinArgs: 0, MaxArgs: 0,
 		RetType:     func([]types.Type) types.Type { return types.Text },
 		CostPerCall: 0.01,
 		Opaque:      true,
+		// Reads global mutable counters: evaluating it from concurrent
+		// pipeline workers would interleave with the counters it reports.
+		Volatile: true,
 		Eval: func([]types.Datum) (types.Datum, error) {
 			s := db.rdb.PlanCacheStats()
+			skipped, workers := db.rdb.Pager().ExecStats()
 			return types.NewText(fmt.Sprintf(
-				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d",
-				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch)), nil
+				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d",
+				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch, skipped, workers)), nil
 		},
 	})
 
@@ -356,6 +361,31 @@ func (db *DB) registerUDFs() {
 				return nil
 			}, nil
 		})
+
+	// The attribute resolver backs page skipping: the planner maps an
+	// extraction key to the set of dictionary attribute IDs whose joint
+	// absence from a page proves the extraction NULL on every row. A dotted
+	// path may be cataloged under the full path or under any prefix (nested
+	// objects are stored as a single attribute holding the subtree), so the
+	// union over all prefixes is the necessary-presence superset. The
+	// result is always non-nil: an empty set means the key exists nowhere
+	// in the dictionary, so every summarized page is skippable.
+	db.rdb.Funcs().SetAttrResolver(func(key string) []uint32 {
+		dict := db.dict()
+		ids := []uint32{}
+		add := func(k string) {
+			for _, a := range dict.IDsOfKey(k) {
+				ids = append(ids, a.ID)
+			}
+		}
+		add(key)
+		for i := 0; i < len(key); i++ {
+			if key[i] == '.' {
+				add(key[:i])
+			}
+		}
+		return ids
+	})
 }
 
 // batchRecords returns the per-batch parsed-record slots for the reservoir

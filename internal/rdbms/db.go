@@ -181,6 +181,19 @@ func (db *DB) execSet(st *sqlparse.SetStmt) (*Result, error) {
 			return nil, err
 		}
 		db.cfg.ParallelScanMinPages = int(n)
+	case "max_parallel_workers":
+		// 0 = bounded by GOMAXPROCS, 1 = force serial, N > 1 = extra cap.
+		n, err := setIntValue(st, 0, 1024)
+		if err != nil {
+			return nil, err
+		}
+		db.cfg.MaxParallelWorkers = int(n)
+	case "enable_page_skip":
+		b, err := setBoolValue(st)
+		if err != nil {
+			return nil, err
+		}
+		db.cfg.EnablePageSkip = b
 	default:
 		return nil, fmt.Errorf("rdbms: unrecognized configuration parameter %q", st.Name)
 	}

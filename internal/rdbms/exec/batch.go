@@ -421,6 +421,11 @@ func NewBatchScanRange(h *storage.Heap, filter Expr, size, start, end int) *Batc
 // recycled by the producer).
 func (s *BatchScanIter) setNoReuse() { s.reuse = false }
 
+// SetPageSkip installs a page-skip predicate on the underlying chunk
+// cursor (storage page summaries); must be called before the first
+// NextBatch.
+func (s *BatchScanIter) SetPageSkip(f func(*storage.PageSummary) bool) { s.chunk.SetSkip(f) }
+
 // NextBatch implements BatchIterator.
 func (s *BatchScanIter) NextBatch() (*RowBatch, error) {
 	if s.rowBuf == nil {

@@ -46,6 +46,11 @@ type FuncDef struct {
 	FuseType uint8
 	// FuseAny marks the family's untyped variant (first value of any type).
 	FuseAny bool
+	// Volatile marks functions whose result may differ across calls with
+	// equal arguments (random(), nextval()-style). Volatile calls pin a
+	// pipeline fragment to serial execution: a parallel pipeline would
+	// evaluate them in a different interleaving than the serial plan.
+	Volatile bool
 }
 
 // MultiExtractReq is one (key, type) request of a fused multi-extraction.
@@ -74,11 +79,26 @@ type UDFBatchCtx struct {
 	Cache map[any]any
 }
 
+// AttrResolver maps an extraction key (dotted path as written in SQL) to a
+// superset of the dictionary attribute IDs whose presence on a heap page is
+// necessary for the extraction to yield non-NULL there. The host (core)
+// installs it so the planner can turn strict sparse-key predicates into
+// page-skip conditions without the plan layer depending on the serializer.
+// An empty (non-nil) result means the key appears nowhere in the corpus.
+type AttrResolver func(key string) []uint32
+
 // Registry maps lowercase function names to definitions.
 type Registry struct {
-	funcs map[string]*FuncDef
-	multi map[string]MultiExtractFactory
+	funcs    map[string]*FuncDef
+	multi    map[string]MultiExtractFactory
+	resolver AttrResolver
 }
+
+// SetAttrResolver installs the page-skip attribute resolver.
+func (r *Registry) SetAttrResolver(f AttrResolver) { r.resolver = f }
+
+// AttrResolverFn returns the installed resolver, or nil.
+func (r *Registry) AttrResolverFn() AttrResolver { return r.resolver }
 
 // NewRegistry returns a registry preloaded with the built-in functions.
 func NewRegistry() *Registry {

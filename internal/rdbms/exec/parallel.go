@@ -41,9 +41,18 @@ func NewParallelScan(h *storage.Heap, filter Expr, size, workers int) *ParallelS
 // materialize. It must be fixed at construction because workers start
 // reading immediately.
 func NewParallelScanCols(h *storage.Heap, filter Expr, size, workers int, cols []int) *ParallelScanIter {
+	return NewParallelScanColsSkip(h, filter, size, workers, cols, nil)
+}
+
+// NewParallelScanColsSkip is NewParallelScanCols with a page-skip
+// predicate installed on every partition scan before workers start.
+func NewParallelScanColsSkip(h *storage.Heap, filter Expr, size, workers int, cols []int, skip func(*storage.PageSummary) bool) *ParallelScanIter {
 	ranges := h.Partitions(workers)
 	if len(ranges) == 0 {
 		ranges = []storage.PageRange{{Start: 0, End: 0}}
+	}
+	if len(ranges) > 1 {
+		h.RecordParallelWorkers(len(ranges))
 	}
 	p := &ParallelScanIter{
 		parts: make([]chan parallelItem, len(ranges)),
@@ -58,6 +67,9 @@ func NewParallelScanCols(h *storage.Heap, filter Expr, size, workers int, cols [
 		p.parts[i] = make(chan parallelItem, 2)
 		s := NewBatchScanRange(h, filter, size, r.Start, r.End)
 		s.NeedCols = cols
+		if skip != nil {
+			s.SetPageSkip(skip)
+		}
 		// Batches cross the channel to another goroutine, so the producer
 		// must not recycle them.
 		s.setNoReuse()

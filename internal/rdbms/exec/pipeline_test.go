@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// heapOf builds a pager-backed heap holding rows over colTypes.
+func heapOf(t *testing.T, colTypes []types.Type, rows []storage.Row) (*storage.Heap, *storage.Pager) {
+	t.Helper()
+	cols := make([]storage.Column, len(colTypes))
+	for i, tp := range colTypes {
+		cols[i] = storage.Column{Name: string(rune('a' + i)), Typ: tp}
+	}
+	schema, err := storage.NewSchema(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := storage.NewPager()
+	h := storage.NewHeap(schema, p)
+	for _, r := range rows {
+		if err := h.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Reset()
+	return h, p
+}
+
+// chainBuild returns a PipelineBuild running scan→filter→project over one
+// partition, mirroring GatherNode.buildPartition.
+func chainBuild(h *storage.Heap, pred Expr, projs []Expr, size int) PipelineBuild {
+	return func(r storage.PageRange) (BatchIterator, error) {
+		var cur BatchIterator = NewBatchScanRange(h, nil, size, r.Start, r.End)
+		if pred != nil {
+			cur = &BatchFilterIter{In: cur, Pred: pred}
+		}
+		if projs != nil {
+			cur = &BatchProjectIter{In: cur, Exprs: projs}
+		}
+		return cur, nil
+	}
+}
+
+// TestPropertyParallelMatchesSerial is the three-way differential test
+// backing the morsel-driven pipelines: over random schemas, data,
+// predicates, and projections, the row pipeline, the serial batch
+// pipeline, and the parallel pipeline (random worker counts) must produce
+// identical output — same rows, same order (the partition merge preserves
+// heap order exactly).
+func TestPropertyParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		colTypes := []types.Type{types.Int, types.Text}
+		for n := r.Intn(3); n > 0; n-- {
+			colTypes = append(colTypes,
+				[]types.Type{types.Int, types.Float, types.Text, types.Bool}[r.Intn(4)])
+		}
+		rows := randBatchRows(r, colTypes, r.Intn(300))
+		h, _ := heapOf(t, colTypes, rows)
+		pred := randPred(r, colTypes, 3, true)
+		projs := make([]Expr, 1+r.Intn(3))
+		for i := range projs {
+			if r.Intn(3) == 0 {
+				projs[i] = randTextExpr(r, colTypes, 2)
+			} else {
+				projs[i] = randNumExpr(r, colTypes, 2, true)
+			}
+		}
+
+		want, err := Collect(&ProjectIter{Exprs: projs,
+			In: &FilterIter{Pred: pred, In: NewScan(h, nil)}})
+		if err != nil {
+			t.Fatalf("seed %d: row pipeline: %v", seed, err)
+		}
+		size := 1 + r.Intn(40)
+		batch := collectBatches(t, &BatchProjectIter{Exprs: projs,
+			In: &BatchFilterIter{Pred: pred, In: NewBatchScan(h, nil, size)}})
+		rowsEqual(t, batch, want)
+		for _, workers := range []int{2, 3, 5} {
+			par := collectBatches(t, NewParallelPipeline(
+				h.Partitions(workers), chainBuild(h, pred, projs, size)))
+			rowsEqual(t, par, want)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyParallelAggMatchesSerial checks two-phase parallel hash
+// aggregation — GROUP BY with COUNT/SUM/AVG/MIN/MAX plus the grouped
+// DISTINCT case (no aggregates) — against the row and serial batch
+// aggregates.
+func TestPropertyParallelAggMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		colTypes := []types.Type{types.Int, types.Int, types.Float, types.Text}
+		rows := randBatchRows(r, colTypes, r.Intn(400))
+		h, _ := heapOf(t, colTypes, rows)
+		groupBy := []Expr{col(0, types.Int)}
+		if r.Intn(2) == 0 {
+			groupBy = append(groupBy, col(3, types.Text))
+		}
+		specs := func() []*AggSpec {
+			return []*AggSpec{
+				{Kind: AggCountStar},
+				{Kind: AggCount, Arg: col(1, types.Int)},
+				{Kind: AggSum, Arg: col(1, types.Int)},
+				{Kind: AggAvg, Arg: col(2, types.Float)},
+				{Kind: AggMin, Arg: col(2, types.Float)},
+				{Kind: AggMax, Arg: col(3, types.Text)},
+			}
+		}
+		size := 1 + r.Intn(40)
+
+		want, err := Collect(&HashAggIter{In: NewScan(h, nil), GroupBy: groupBy, Aggs: specs()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := collectBatches(t, &BatchHashAggIter{
+			In: NewBatchScan(h, nil, size), GroupBy: groupBy, Aggs: specs()})
+		for _, workers := range []int{2, 4} {
+			par := collectBatches(t, NewParallelHashAgg(
+				h.Partitions(workers), chainBuild(h, nil, nil, size),
+				groupBy, specs(), false, size))
+			// Batch and parallel both emit in encoded-key order.
+			rowsEqual(t, par, batch)
+			if canonical(par) != canonical(want) {
+				t.Fatalf("seed %d workers %d: parallel disagrees with row agg", seed, workers)
+			}
+		}
+
+		// Grouped DISTINCT: group-by columns, no aggregate states.
+		wantD, err := Collect(&HashAggIter{In: NewScan(h, nil), GroupBy: groupBy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parD := collectBatches(t, NewParallelHashAgg(
+			h.Partitions(3), chainBuild(h, nil, nil, size), groupBy, nil, false, size))
+		if canonical(parD) != canonical(wantD) {
+			t.Fatalf("seed %d: parallel DISTINCT disagrees", seed)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggMergeRejectsDistinct pins the planner contract: DISTINCT
+// aggregates cannot be merged across partitions (per-worker distinct sets
+// would double-count), so merge() must refuse them.
+func TestAggMergeRejectsDistinct(t *testing.T) {
+	spec := &AggSpec{Kind: AggCount, Arg: col(0, types.Int), Distinct: true}
+	a, b := newAggState(spec), newAggState(spec)
+	if err := a.merge(b); err == nil {
+		t.Fatal("merge of DISTINCT aggregate states unexpectedly succeeded")
+	}
+}
+
+// TestPropertyParallelJoinMatchesSerial checks the partitioned-probe hash
+// join against the serial hash join: same build side, probe side scanned
+// in parallel partitions, identical output order.
+func TestPropertyParallelJoinMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		colTypes := []types.Type{types.Int, types.Text}
+		rows := randBatchRows(r, colTypes, r.Intn(300))
+		h, _ := heapOf(t, colTypes, rows)
+		build := make([]storage.Row, 1+r.Intn(30))
+		for i := range build {
+			key := types.NewInt(int64(r.Intn(9) - 4))
+			if r.Intn(8) == 0 {
+				key = types.NewNull(types.Int)
+			}
+			build[i] = storage.Row{key, types.NewInt(int64(i))}
+		}
+		probeKeys := []Expr{col(0, types.Int)}
+		buildKeys := []Expr{col(0, types.Int)}
+		var residual Expr
+		if r.Intn(2) == 0 {
+			residual = &BinExpr{Op: "<>", L: col(1, types.Text), R: lit(types.NewText("b"))}
+		}
+		size := 1 + r.Intn(40)
+
+		want, err := Collect(&HashJoinIter{
+			Probe: NewScan(h, nil), Build: sliceIter(build...),
+			ProbeKeys: probeKeys, BuildKeys: buildKeys, Residual: residual,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			par := collectBatches(t, NewParallelHashJoin(
+				h.Partitions(workers), chainBuild(h, nil, nil, size),
+				sliceIter(build...), probeKeys, buildKeys, residual,
+				size, len(colTypes)+2))
+			rowsEqual(t, par, want)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to base
+// (worker shutdown is asynchronous after Close returns the merge side).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
+}
+
+// TestParallelPipelinesReleaseOnEarlyClose abandons every parallel
+// iterator mid-stream and checks (a) all worker goroutines exit and (b)
+// the pager is charged no more than one full scan of the heap — i.e.
+// partition scans flushed their partial accounting instead of dropping or
+// double-charging it.
+func TestParallelPipelinesReleaseOnEarlyClose(t *testing.T) {
+	colTypes := []types.Type{types.Int, types.Text}
+	r := rand.New(rand.NewSource(11))
+	rows := randBatchRows(r, colTypes, 4000)
+	h, pager := heapOf(t, colTypes, rows)
+	full := h.SizeBytes()
+	groupBy := []Expr{col(0, types.Int)}
+	aggs := []*AggSpec{{Kind: AggCountStar}}
+	build := []storage.Row{{types.NewInt(1), types.NewInt(2)}}
+
+	mk := map[string]func() BatchIterator{
+		"pipeline": func() BatchIterator {
+			return NewParallelPipeline(h.Partitions(4), chainBuild(h, nil, nil, 32))
+		},
+		"agg": func() BatchIterator {
+			return NewParallelHashAgg(h.Partitions(4), chainBuild(h, nil, nil, 32),
+				groupBy, aggs, false, 32)
+		},
+		"join": func() BatchIterator {
+			return NewParallelHashJoin(h.Partitions(4), chainBuild(h, nil, nil, 32),
+				sliceIter(build...), []Expr{col(0, types.Int)}, []Expr{col(0, types.Int)},
+				nil, 32, 4)
+		},
+	}
+	for name, make := range mk {
+		base := runtime.NumGoroutine()
+		for i := 0; i < 10; i++ {
+			pager.Reset()
+			it := make()
+			if _, err := it.NextBatch(); err != nil {
+				t.Fatalf("%s: first batch: %v", name, err)
+			}
+			it.Close()
+			it.Close() // idempotent
+			read, _ := pager.Stats()
+			if read > full {
+				t.Fatalf("%s: pager charged %d bytes for early close, heap is %d", name, read, full)
+			}
+		}
+		waitGoroutines(t, base)
+	}
+
+	// Close before any NextBatch: workers may not even have started.
+	for name, make := range mk {
+		base := runtime.NumGoroutine()
+		it := make()
+		it.Close()
+		waitGoroutines(t, base)
+		_ = name
+	}
+}

@@ -82,6 +82,14 @@ type ScanNode struct {
 	// only these column indices (scan column pruning, see
 	// pruneScanColumns).
 	NeedCols []int
+	// Skip, when non-nil, is a factory invoked once per iterator open; the
+	// returned test is evaluated against each page's attribute/range
+	// summary and pages it reports skippable are never read (see
+	// deriveSkips — the factory resolves dictionary IDs per execution).
+	// SkipConds is the number of predicate conjuncts the skip test was
+	// derived from (EXPLAIN only).
+	Skip      func() func(*storage.PageSummary) bool
+	SkipConds int
 }
 
 // Label implements Node.
@@ -105,6 +113,9 @@ func (s *ScanNode) Details() []string {
 		}
 		d = append(d, line)
 	}
+	if s.Skip != nil {
+		d = append(d, fmt.Sprintf("Page Skip: %d conds", s.SkipConds))
+	}
 	return d
 }
 
@@ -124,11 +135,18 @@ func (s *ScanNode) OpenBatch() (exec.BatchIterator, bool) {
 	if !s.Batch {
 		return nil, false
 	}
+	var skip func(*storage.PageSummary) bool
+	if s.Skip != nil {
+		skip = s.Skip()
+	}
 	if s.Workers > 1 {
-		return exec.NewParallelScanCols(s.Heap, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols), true
+		return exec.NewParallelScanColsSkip(s.Heap, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols, skip), true
 	}
 	it := exec.NewBatchScan(s.Heap, conjoinExec(s.Preds), s.BatchSize)
 	it.NeedCols = s.NeedCols
+	if skip != nil {
+		it.SetPageSkip(skip)
+	}
 	return it, true
 }
 

@@ -1,0 +1,285 @@
+package plan
+
+import (
+	"github.com/sinewdata/sinew/internal/rdbms/exec"
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// This file derives page-skip predicates from scan filters. Every heap
+// page carries an optional summary: the sorted set of Sinew attribute IDs
+// present in its serialized column plus min/max ranges for physical
+// columns (storage.PageSummary). A filter conjunct lets a page be skipped
+// when the summary proves the conjunct cannot be TRUE for any row of the
+// page — then no row passes the AND of conjuncts and the page need not be
+// read (or charged to the pager).
+//
+// The derivation rests on NULL-strictness. For a conjunct e we use two
+// properties:
+//
+//	P(e): if a given atom inside e evaluates to NULL, e does not evaluate
+//	      to TRUE (it is NULL or FALSE). Holds for comparisons, BETWEEN,
+//	      [NOT] IN, [NOT] LIKE, ANY, IS NOT NULL — all strict in SQL.
+//	V(e): if the atom is NULL, e's *value* is NULL. Holds for arithmetic,
+//	      casts, negation, and extraction calls themselves.
+//
+// Extraction calls f(col, 'key') return NULL when the key is absent from
+// the record, so "page lacks every attribute ID for 'key'" implies the
+// atom is NULL on every row, which under P implies the conjunct is never
+// TRUE. Barriers that stop the descent: OR, NOT (NOT(x AND FALSE) can be
+// TRUE with x NULL), IS NULL, COALESCE, and calls to non-extraction
+// functions (unknown NULL behaviour).
+
+// skipCond is one page-level exclusion test.
+type skipCond struct {
+	// attr: skip the page when it lacks every attribute ID the dictionary
+	// maps key to, for serialized column col. The key is resolved to IDs at
+	// execution time (once per iterator open), not plan time: cached plans
+	// outlive dictionary growth (a later load can mint a new ID for the
+	// key), while during one execution the statement's table locks keep new
+	// IDs off the scanned pages. Otherwise: a range test "col op val must
+	// hold for some row".
+	attr bool
+	col  int
+	key  string
+	op   string
+	val  types.Datum
+}
+
+// deriveSkips walks the plan and installs page-skip predicates on batch
+// scans. It runs after fusion/pruning and before parallelization, so it
+// sees plain ScanNodes (whose predicates still contain raw extraction
+// calls — fusion only rewrites projections).
+func (p *Planner) deriveSkips(n Node) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *ScanNode:
+		p.deriveScanSkip(x, nil)
+		return
+	case *FilterNode:
+		// A residual filter directly above a scan evaluates over the scan's
+		// layout, so its conjuncts can contribute skip conditions too.
+		if sc, ok := x.Child.(*ScanNode); ok {
+			p.deriveScanSkip(sc, x.Preds)
+			return
+		}
+	}
+	for _, c := range n.Children() {
+		p.deriveSkips(c)
+	}
+}
+
+func (p *Planner) deriveScanSkip(s *ScanNode, extra []exec.Expr) {
+	if p.Cfg == nil || !p.Cfg.EnablePageSkip || !s.Batch {
+		return
+	}
+	resolver := p.Funcs.AttrResolverFn()
+	var conds []skipCond
+	for _, e := range s.Preds {
+		conds = append(conds, condsP(e, resolver)...)
+	}
+	for _, e := range extra {
+		conds = append(conds, condsP(e, resolver)...)
+	}
+	if len(conds) == 0 {
+		return
+	}
+	s.Skip = makeSkip(conds, resolver)
+	s.SkipConds = len(conds)
+}
+
+// makeSkip compiles conds into a factory of per-page tests. The factory
+// runs at iterator open — after the statement took its table locks — and
+// resolves every key to its current attribute IDs exactly once, so the
+// per-page check does no dictionary lookups and each execution of a
+// cached plan still sees the live dictionary. Any single condition
+// proving exclusion suffices: each derives from a top-level conjunct, and
+// one always-false conjunct kills the whole AND.
+func makeSkip(conds []skipCond, resolver exec.AttrResolver) func() func(*storage.PageSummary) bool {
+	return func() func(*storage.PageSummary) bool {
+		resolved := make([][]uint32, len(conds))
+		for i, c := range conds {
+			if c.attr {
+				resolved[i] = resolver(c.key)
+			}
+		}
+		return func(sum *storage.PageSummary) bool {
+			for i, c := range conds {
+				if c.attr {
+					if ids := resolved[i]; ids != nil && sum.LacksAllAttrs(c.col, ids) {
+						return true
+					}
+					continue
+				}
+				min, max, ok := sum.ColRange(c.col)
+				if !ok {
+					continue
+				}
+				switch c.op {
+				case "=":
+					if lt, err := types.Compare(c.val, min); err == nil && lt < 0 {
+						return true
+					}
+					if gt, err := types.Compare(c.val, max); err == nil && gt > 0 {
+						return true
+					}
+				case "<":
+					if r, err := types.Compare(min, c.val); err == nil && r >= 0 {
+						return true
+					}
+				case "<=":
+					if r, err := types.Compare(min, c.val); err == nil && r > 0 {
+						return true
+					}
+				case ">":
+					if r, err := types.Compare(max, c.val); err == nil && r <= 0 {
+						return true
+					}
+				case ">=":
+					if r, err := types.Compare(max, c.val); err == nil && r < 0 {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+}
+
+// condsP derives exclusion conditions from conjunct e using property P:
+// every returned condition, when proven by a page summary, implies e is
+// not TRUE on any row of the page.
+func condsP(e exec.Expr, resolver exec.AttrResolver) []skipCond {
+	switch x := e.(type) {
+	case *exec.BinExpr:
+		switch x.Op {
+		case "AND":
+			// Both sides must be TRUE, so either side's conditions apply.
+			return append(condsP(x.L, resolver), condsP(x.R, resolver)...)
+		case "=", "<>", "<", "<=", ">", ">=":
+			conds := append(condsV(x.L, resolver), condsV(x.R, resolver)...)
+			if x.Op != "<>" {
+				if rc, ok := rangeCond(x.L, x.R, x.Op); ok {
+					conds = append(conds, rc)
+				} else if rc, ok := rangeCond(x.R, x.L, flipOp(x.Op)); ok {
+					conds = append(conds, rc)
+				}
+			}
+			return conds
+		default:
+			// OR and value-level operators in boolean position: a NULL/zero
+			// value is not TRUE only for strict value trees.
+			return nil
+		}
+	case *exec.BetweenExpr:
+		conds := condsV(x.X, resolver)
+		if x.Not {
+			// NOT BETWEEN is TRUE when X is outside [Lo, Hi]; NULL bounds
+			// make it NULL, but a page-range proof would need both bounds,
+			// so only the X-is-NULL condition is used.
+			return conds
+		}
+		conds = append(conds, condsV(x.Lo, resolver)...)
+		conds = append(conds, condsV(x.Hi, resolver)...)
+		if rc, ok := rangeCond(x.X, x.Lo, ">="); ok {
+			conds = append(conds, rc)
+		}
+		if rc, ok := rangeCond(x.X, x.Hi, "<="); ok {
+			conds = append(conds, rc)
+		}
+		return conds
+	case *exec.InListExpr:
+		// NULL X makes both IN and NOT IN evaluate to NULL.
+		return condsV(x.X, resolver)
+	case *exec.LikeExpr:
+		return append(condsV(x.X, resolver), condsV(x.Pattern, resolver)...)
+	case *exec.AnyExpr:
+		return append(condsV(x.X, resolver), condsV(x.Array, resolver)...)
+	case *exec.IsNullExpr:
+		if x.Not {
+			// IS NOT NULL is FALSE when X is NULL.
+			return condsV(x.X, resolver)
+		}
+		// IS NULL is TRUE when X is NULL — missing attributes SATISFY it.
+		return nil
+	case *exec.CallExpr, *exec.CastExpr, *exec.NegExpr:
+		// A bare value expression in boolean position: NULL value → NULL
+		// truth → not TRUE.
+		return condsV(e, resolver)
+	default:
+		// NotExpr is a barrier: NOT(NULL AND FALSE) = NOT FALSE = TRUE even
+		// though an atom was NULL. COALESCE masks NULLs by design.
+		return nil
+	}
+}
+
+// condsV derives conditions under property V: each returned condition,
+// when proven, implies e's value is NULL on every row of the page.
+func condsV(e exec.Expr, resolver exec.AttrResolver) []skipCond {
+	switch x := e.(type) {
+	case *exec.CallExpr:
+		if col, key, ok := extractionAtom(x, resolver); ok {
+			return []skipCond{{attr: true, col: col, key: key}}
+		}
+		// Non-extraction calls may map NULL args to non-NULL results.
+		return nil
+	case *exec.BinExpr:
+		switch x.Op {
+		case "+", "-", "*", "/", "%", "||":
+			return append(condsV(x.L, resolver), condsV(x.R, resolver)...)
+		}
+		return nil
+	case *exec.CastExpr:
+		return condsV(x.X, resolver)
+	case *exec.NegExpr:
+		return condsV(x.X, resolver)
+	default:
+		return nil
+	}
+}
+
+// extractionAtom matches f(col, 'key') where f is a registered extraction
+// function (FuseFamily set — these return NULL for absent keys). The key
+// itself is returned; ID resolution happens at execution time, once per
+// iterator open (see skipCond and makeSkip). Without a resolver no
+// condition is emitted.
+func extractionAtom(x *exec.CallExpr, resolver exec.AttrResolver) (col int, key string, ok bool) {
+	if resolver == nil || x.Def == nil || x.Def.FuseFamily == "" || len(x.Args) != 2 {
+		return 0, "", false
+	}
+	ce, okc := x.Args[0].(*exec.ColExpr)
+	ke, okk := x.Args[1].(*exec.ConstExpr)
+	if !okc || !okk || ke.Val.IsNull() || ke.Val.Typ != types.Text {
+		return 0, "", false
+	}
+	return ce.Idx, ke.Val.S, true
+}
+
+// rangeCond matches col-vs-constant comparisons for min/max pruning.
+func rangeCond(l, r exec.Expr, op string) (skipCond, bool) {
+	ce, okc := l.(*exec.ColExpr)
+	k, okk := r.(*exec.ConstExpr)
+	if !okc || !okk || k.Val.IsNull() {
+		return skipCond{}, false
+	}
+	return skipCond{col: ce.Idx, op: op, val: k.Val}, true
+}
+
+// flipOp mirrors a comparison when its operands are swapped (5 < col ⇒
+// col > 5).
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}

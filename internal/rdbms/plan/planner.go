@@ -3,7 +3,6 @@ package plan
 import (
 	"fmt"
 	"math"
-	"runtime"
 
 	"github.com/sinewdata/sinew/internal/rdbms/exec"
 	"github.com/sinewdata/sinew/internal/rdbms/sqlparse"
@@ -396,6 +395,8 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 
 	p.fuseExtracts(cur)
 	pruneScanColumns(cur)
+	p.deriveSkips(cur)
+	cur = p.parallelize(cur)
 	return &SelectPlan{Root: cur, ColumnNames: names, ColumnTypes: outTypes}, nil
 }
 
@@ -516,14 +517,8 @@ func (p *Planner) batchify(n Node) Node {
 	switch x := n.(type) {
 	case *ScanNode:
 		x.Batch, x.BatchSize = true, size
-		if p.Cfg.ParallelScanMinPages > 0 {
-			w := x.Heap.NumPages() / p.Cfg.ParallelScanMinPages
-			if maxW := runtime.GOMAXPROCS(0); w > maxW {
-				w = maxW
-			}
-			if w > 1 {
-				x.Workers = w
-			}
+		if w := p.pipelineWorkers(x.Heap); w > 1 {
+			x.Workers = w
 		}
 	case *FilterNode:
 		x.Batch, x.BatchSize = true, size

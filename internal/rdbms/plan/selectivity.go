@@ -58,6 +58,13 @@ type Config struct {
 	// worker: a scan gets min(GOMAXPROCS, pages/ParallelScanMinPages)
 	// workers. Session knob: SET parallel_scan_min_pages = N.
 	ParallelScanMinPages int
+	// MaxParallelWorkers caps pipeline parallelism: 0 means the
+	// GOMAXPROCS-bounded default, 1 forces serial execution, and any other
+	// value is an additional upper bound on worker count.
+	MaxParallelWorkers int
+	// EnablePageSkip turns strict sparse-key predicates into per-page
+	// attr-presence / min-max skip checks (storage page summaries).
+	EnablePageSkip bool
 }
 
 // DefaultConfig returns Postgres-flavoured defaults.
@@ -76,7 +83,9 @@ func DefaultConfig() *Config {
 		HashJoinMaxBuildRows: 1 << 20,
 		EnableBatch:          true,
 		BatchSize:            exec.DefaultBatchSize,
-		ParallelScanMinPages: 64,
+		ParallelScanMinPages: 4,
+		MaxParallelWorkers:   0,
+		EnablePageSkip:       true,
 	}
 }
 

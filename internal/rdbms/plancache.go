@@ -143,12 +143,13 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 }
 
 // flagsKey folds the plan-shaping session settings into the cache key, so
-// SET enable_batch / batch_size / parallel_scan_min_pages force a re-plan
-// rather than replaying a plan built under different settings.
+// SET enable_batch / batch_size / parallel_scan_min_pages /
+// max_parallel_workers / enable_page_skip force a re-plan rather than
+// replaying a plan built under different settings.
 func (db *DB) flagsKey() string {
 	cfg := db.cfg
 	// Hand-rolled to keep the hot path free of fmt.
-	b := make([]byte, 0, 32)
+	b := make([]byte, 0, 40)
 	if cfg.EnableBatch {
 		b = append(b, "b1,"...)
 	} else {
@@ -157,6 +158,13 @@ func (db *DB) flagsKey() string {
 	b = appendUint(b, uint64(cfg.BatchSize))
 	b = append(b, ',')
 	b = appendUint(b, uint64(cfg.ParallelScanMinPages))
+	b = append(b, ',')
+	b = appendUint(b, uint64(cfg.MaxParallelWorkers))
+	if cfg.EnablePageSkip {
+		b = append(b, ",s1"...)
+	} else {
+		b = append(b, ",s0"...)
+	}
 	return string(b)
 }
 

@@ -101,6 +101,8 @@ const rowHeaderBytes = 24
 type page struct {
 	rows  []Row
 	bytes int64 // estimated on-disk footprint of live rows
+	// sum is the page's skip summary (pageskip.go); nil when stale.
+	sum *PageSummary
 }
 
 // Heap is a mutable row store for one table.
@@ -114,6 +116,9 @@ type Heap struct {
 	nrows  int64
 	bytes  int64
 	pager  *Pager
+	// summarizers maps column index -> attribute summarizer for per-page
+	// skip summaries (pageskip.go).
+	summarizers map[int]AttrSummarizer
 }
 
 // NewHeap creates an empty heap over schema, reporting I/O to pager
@@ -156,12 +161,18 @@ func (h *Heap) Insert(row Row) error {
 	if n := len(h.pages); n > 0 && len(h.pages[n-1].rows) < rowsPerPage {
 		p = h.pages[n-1]
 	} else {
-		p = &page{rows: make([]Row, 0, rowsPerPage)}
+		p = &page{rows: make([]Row, 0, rowsPerPage), sum: newPageSummary()}
 		h.pages = append(h.pages, p)
 	}
 	fp := h.rowFootprint(row)
 	p.rows = append(p.rows, row)
 	p.bytes += fp
+	if p.sum != nil {
+		h.noteRow(p.sum, row)
+		if !p.sum.valid {
+			p.sum = nil
+		}
+	}
 	h.nrows++
 	h.bytes += fp
 	if h.pager != nil {
@@ -305,7 +316,21 @@ type HeapChunkIter struct {
 	slot    int
 	pending int64
 	read    int64
+	// skip, when set, is consulted at each page boundary: returning true
+	// for a page with a usable summary skips the whole page, charging no
+	// read bytes (that is the I/O win page summaries buy).
+	skip           func(*PageSummary) bool
+	skipped        int64 // pages skipped and already reported to the pager
+	pendingSkipped int64 // pages skipped but not yet reported
 }
+
+// SetSkip installs a page-skip predicate; must be called before the first
+// ReadRows. The predicate must return true only when the page summary
+// proves no live row can satisfy the scan's filter.
+func (it *HeapChunkIter) SetSkip(f func(*PageSummary) bool) { it.skip = f }
+
+// PagesSkipped reports how many whole pages the predicate eliminated.
+func (it *HeapChunkIter) PagesSkipped() int64 { return it.skipped + it.pendingSkipped }
 
 // IterateRange returns a chunk cursor over pages [start, end); end is
 // clamped to the page count.
@@ -327,6 +352,11 @@ func (it *HeapChunkIter) ReadRows(dst []Row) int {
 	for n < len(dst) && it.page < it.end {
 		p := it.h.pages[it.page]
 		if it.slot == 0 {
+			if it.skip != nil && p.sum.usable() && it.skip(p.sum) {
+				it.pendingSkipped++
+				it.page++
+				continue
+			}
 			it.pending += p.bytes
 		}
 		for it.slot < len(p.rows) && n < len(dst) {
@@ -348,6 +378,13 @@ func (it *HeapChunkIter) ReadRows(dst []Row) int {
 }
 
 func (it *HeapChunkIter) flush() {
+	if it.pendingSkipped > 0 {
+		if it.h.pager != nil {
+			it.h.pager.recordPagesSkipped(it.pendingSkipped)
+		}
+		it.skipped += it.pendingSkipped
+		it.pendingSkipped = 0
+	}
 	if it.pending == 0 {
 		return
 	}
@@ -393,6 +430,7 @@ func (h *Heap) Update(id RowID, row Row) (Row, error) {
 	oldFP, newFP := h.rowFootprint(old), h.rowFootprint(row)
 	p.rows[id.Slot] = row
 	p.bytes += newFP - oldFP
+	p.sum = nil // attr set / extrema may have shrunk; rebuilt by ANALYZE
 	h.bytes += newFP - oldFP
 	if h.pager != nil {
 		h.pager.recordWrite(newFP)
@@ -409,6 +447,7 @@ func (h *Heap) Delete(id RowID) (Row, error) {
 	fp := h.rowFootprint(old)
 	p.rows[id.Slot] = nil
 	p.bytes -= fp
+	p.sum = nil
 	h.bytes -= fp
 	h.nrows--
 	if h.pager != nil {
@@ -434,6 +473,7 @@ func (h *Heap) Restore(id RowID, row Row) error {
 	p.bytes += fp
 	h.bytes += fp
 	h.nrows++
+	p.sum = nil
 	return nil
 }
 
@@ -468,6 +508,7 @@ func (h *Heap) AddColumnData() {
 func (h *Heap) DropColumnData(idx int) {
 	for _, p := range h.pages {
 		p.bytes = 0
+		p.sum = nil // column indices shift; summaries keyed by index are stale
 		for i, r := range p.rows {
 			if r == nil {
 				continue
@@ -479,6 +520,7 @@ func (h *Heap) DropColumnData(idx int) {
 			p.bytes += h.rowFootprint(nr)
 		}
 	}
+	h.remapSummarizersOnDrop(idx)
 	h.recomputeBytes()
 }
 
@@ -504,6 +546,11 @@ type Pager struct {
 	mu           sync.Mutex
 	bytesRead    int64
 	bytesWritten int64
+	// Execution counters (per-query when callers Reset between queries):
+	// whole pages eliminated by skip summaries, and parallel-pipeline
+	// workers launched.
+	pagesSkipped    int64
+	parallelWorkers int64
 }
 
 // NewPager returns a zeroed pager.
@@ -521,6 +568,18 @@ func (p *Pager) recordWrite(n int64) {
 	p.mu.Unlock()
 }
 
+func (p *Pager) recordPagesSkipped(n int64) {
+	p.mu.Lock()
+	p.pagesSkipped += n
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordParallelWorkers(n int64) {
+	p.mu.Lock()
+	p.parallelWorkers += n
+	p.mu.Unlock()
+}
+
 // Stats returns cumulative bytes read and written.
 func (p *Pager) Stats() (read, written int64) {
 	p.mu.Lock()
@@ -528,9 +587,18 @@ func (p *Pager) Stats() (read, written int64) {
 	return p.bytesRead, p.bytesWritten
 }
 
+// ExecStats returns the execution counters: pages eliminated by skip
+// summaries and parallel workers launched since the last Reset.
+func (p *Pager) ExecStats() (pagesSkipped, parallelWorkers int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pagesSkipped, p.parallelWorkers
+}
+
 // Reset zeroes the counters (between benchmark phases).
 func (p *Pager) Reset() {
 	p.mu.Lock()
 	p.bytesRead, p.bytesWritten = 0, 0
+	p.pagesSkipped, p.parallelWorkers = 0, 0
 	p.mu.Unlock()
 }

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"sort"
+
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// This file implements per-page skip summaries: for each heap page, a small
+// sorted set of the Sinew attribute IDs appearing in its serialized-column
+// records (§4.1 makes presence testable from the header alone) plus min/max
+// ranges for physical scalar columns. A selection on a sparse virtual key
+// can then skip whole pages without deserializing a single record header,
+// and a range predicate on a physical column can skip pages whose extrema
+// exclude it — the structure-aware analogue of the per-column statistics
+// Sinew keeps in its catalog (§3.1.1).
+//
+// Summaries are maintained incrementally on Insert, invalidated page-local
+// by Update/Delete/Restore (a deletion can shrink the true attr set, so the
+// stale summary may no longer be a superset), and rebuilt wholesale by
+// ANALYZE. An invalid summary is never used to skip — readers degrade to a
+// full page read, so correctness never depends on summary freshness.
+
+// AttrSummarizer reports the attribute IDs present in one column value of a
+// row (for Sinew reservoirs: the header's attr IDs). Returning ok=false
+// marks the value unsummarizable and invalidates the page summary for the
+// column's pages. NULLs are never passed in.
+type AttrSummarizer func(d types.Datum) (ids []uint32, ok bool)
+
+// colRange tracks the extrema of one physical scalar column within a page.
+type colRange struct {
+	min, max types.Datum
+	ok       bool // at least one non-null value seen
+	bad      bool // incomparable values; range unusable
+}
+
+// PageSummary is the skip summary of one heap page. Readers access it only
+// through methods that return conservatively ("cannot prove") whenever the
+// summary is invalid or the column untracked.
+type PageSummary struct {
+	valid  bool
+	attrs  map[int][]uint32 // column index -> sorted attr IDs present
+	ranges map[int]*colRange
+}
+
+func newPageSummary() *PageSummary {
+	return &PageSummary{
+		valid:  true,
+		attrs:  make(map[int][]uint32),
+		ranges: make(map[int]*colRange),
+	}
+}
+
+func (s *PageSummary) usable() bool { return s != nil && s.valid }
+
+// LacksAllAttrs reports whether the summary proves that none of ids appears
+// in column col anywhere on the page. False means "present or unknown".
+func (s *PageSummary) LacksAllAttrs(col int, ids []uint32) bool {
+	if !s.usable() {
+		return false
+	}
+	set, tracked := s.attrs[col]
+	if !tracked {
+		return false
+	}
+	for _, id := range ids {
+		i := sort.Search(len(set), func(j int) bool { return set[j] >= id })
+		if i < len(set) && set[i] == id {
+			return false
+		}
+	}
+	return true
+}
+
+// ColRange returns the min/max of column col on the page, when known.
+func (s *PageSummary) ColRange(col int) (min, max types.Datum, ok bool) {
+	if !s.usable() {
+		return types.Datum{}, types.Datum{}, false
+	}
+	r, tracked := s.ranges[col]
+	if !tracked || r.bad || !r.ok {
+		return types.Datum{}, types.Datum{}, false
+	}
+	return r.min, r.max, true
+}
+
+// insertAttr adds id to the sorted set for col.
+func (s *PageSummary) insertAttr(col int, id uint32) {
+	set := s.attrs[col]
+	i := sort.Search(len(set), func(j int) bool { return set[j] >= id })
+	if i < len(set) && set[i] == id {
+		return
+	}
+	set = append(set, 0)
+	copy(set[i+1:], set[i:])
+	set[i] = id
+	s.attrs[col] = set
+}
+
+// rangeTracked reports whether a column type participates in min/max
+// tracking (orderable scalars only).
+func rangeTracked(t types.Type) bool {
+	return t == types.Int || t == types.Float || t == types.Text
+}
+
+// noteRow folds one row into the summary (insert path and rebuild).
+func (h *Heap) noteRow(s *PageSummary, row Row) {
+	if !s.valid {
+		return
+	}
+	for col, fn := range h.summarizers {
+		if col >= len(row) {
+			continue
+		}
+		d := row[col]
+		if d.IsNull() {
+			continue
+		}
+		ids, ok := fn(d)
+		if !ok {
+			s.valid = false
+			return
+		}
+		for _, id := range ids {
+			s.insertAttr(col, id)
+		}
+	}
+	for col, d := range row {
+		if d.IsNull() || !rangeTracked(d.Typ) {
+			continue
+		}
+		r := s.ranges[col]
+		if r == nil {
+			r = &colRange{}
+			s.ranges[col] = r
+		}
+		if r.bad {
+			continue
+		}
+		if !r.ok {
+			r.min, r.max, r.ok = d, d, true
+			continue
+		}
+		if c, err := types.Compare(d, r.min); err != nil {
+			r.bad = true
+			continue
+		} else if c < 0 {
+			r.min = d
+		}
+		if c, err := types.Compare(d, r.max); err != nil {
+			r.bad = true
+		} else if c > 0 {
+			r.max = d
+		}
+	}
+}
+
+// SetAttrSummarizer installs fn as the attribute summarizer for column col.
+// Existing page summaries were built without it and are invalidated; ANALYZE
+// (RebuildSummaries) restores them.
+func (h *Heap) SetAttrSummarizer(col int, fn AttrSummarizer) {
+	if h.summarizers == nil {
+		h.summarizers = make(map[int]AttrSummarizer)
+	}
+	h.summarizers[col] = fn
+	h.InvalidateSummaries()
+}
+
+// InvalidateSummaries marks every page summary stale; subsequent scans read
+// all pages until RebuildSummaries or fresh inserts repopulate them.
+func (h *Heap) InvalidateSummaries() {
+	for _, p := range h.pages {
+		p.sum = nil
+	}
+}
+
+// RebuildSummaries recomputes every page's skip summary from its live rows
+// (the ANALYZE path).
+func (h *Heap) RebuildSummaries() {
+	for _, p := range h.pages {
+		s := newPageSummary()
+		for _, r := range p.rows {
+			if r == nil {
+				continue
+			}
+			h.noteRow(s, r)
+			if !s.valid {
+				break
+			}
+		}
+		if s.valid {
+			p.sum = s
+		} else {
+			p.sum = nil
+		}
+	}
+}
+
+// remapSummarizersOnDrop shifts summarizer column indices after column idx
+// is removed from the schema.
+func (h *Heap) remapSummarizersOnDrop(idx int) {
+	if h.summarizers == nil {
+		return
+	}
+	next := make(map[int]AttrSummarizer, len(h.summarizers))
+	for col, fn := range h.summarizers {
+		switch {
+		case col == idx:
+			// dropped column: summarizer goes with it
+		case col > idx:
+			next[col-1] = fn
+		default:
+			next[col] = fn
+		}
+	}
+	h.summarizers = next
+}
+
+// RecordParallelWorkers forwards a parallel-pipeline worker count to the
+// pager's execution counters (per-query attribution: the pager is reset
+// between queries by callers that track per-query stats).
+func (h *Heap) RecordParallelWorkers(n int) {
+	if h.pager != nil && n > 0 {
+		h.pager.recordParallelWorkers(int64(n))
+	}
+}

@@ -43,8 +43,11 @@ const (
 	statsMCVLimit           = 10
 )
 
-// Analyze computes statistics for every column of h with a full scan.
+// Analyze computes statistics for every column of h with a full scan. As a
+// side effect it rebuilds the per-page skip summaries (pageskip.go), which
+// Update/Delete invalidate page-locally.
 func Analyze(h *Heap) *TableStats {
+	h.RebuildSummaries()
 	schema := h.Schema()
 	n := len(schema.Cols)
 	type colAcc struct {
