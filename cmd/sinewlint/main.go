@@ -1,0 +1,140 @@
+// Command sinewlint is the project's static analyzer: it loads the whole
+// module with the standard library's go/ast + go/types (no external
+// dependencies, matching the module's stdlib-only policy) and runs a suite
+// of Sinew-specific checks — invariants the Go compiler cannot express:
+//
+//	sinew/close-propagation  operators forward Close() so pager byte
+//	                         accounting stays exact
+//	sinew/mutex-guard        mutex-guarded fields are never touched
+//	                         without the lock
+//	sinew/datum-switch       switches over the engine's type tags are
+//	                         exhaustive
+//	sinew/plan-cache-key     plan-shaping session variables are part of
+//	                         the plan-cache key
+//	sinew/unchecked-error    storage/serial/exec never silently drop
+//	                         errors
+//
+// Usage:
+//
+//	sinewlint [-C dir] [-list] [./...]
+//
+// Diagnostics print as file:line:col: check-id: message, and a non-empty
+// report exits 1 (load/usage failures exit 2). Suppress a deliberate
+// exception in source with `//lint:ignore sinew/<id> reason`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/sinewdata/sinew/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sinewlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root (directory containing go.mod), or any directory beneath it")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	checks := lint.Registry()
+	if *list {
+		for _, c := range checks {
+			fmt.Fprintf(stdout, "sinew/%s\t%s\n", c.ID(), c.Doc())
+		}
+		return 0
+	}
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "sinewlint:", err)
+		return 2
+	}
+	prog, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "sinewlint:", err)
+		return 2
+	}
+	diags := lint.Run(prog, checks)
+	diags = filterByPatterns(diags, root, fs.Args())
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: sinewlint: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "sinewlint: %d issue(s) found\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// filterByPatterns keeps diagnostics under the requested package patterns.
+// The supported forms mirror the go tool: "./..." (everything, the
+// default), "./dir/..." (a subtree), and "./dir" (one directory).
+func filterByPatterns(diags []lint.Diagnostic, root string, patterns []string) []lint.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	keep := diags[:0]
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			keep = append(keep, d)
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		for _, p := range patterns {
+			if matchPattern(rel, p) {
+				keep = append(keep, d)
+				break
+			}
+		}
+	}
+	return keep
+}
+
+func matchPattern(relFile, pattern string) bool {
+	pattern = strings.TrimPrefix(filepath.ToSlash(pattern), "./")
+	dir := "."
+	if i := strings.LastIndex(relFile, "/"); i >= 0 {
+		dir = relFile[:i]
+	}
+	switch {
+	case pattern == "..." || pattern == "":
+		return true
+	case strings.HasSuffix(pattern, "/..."):
+		prefix := strings.TrimSuffix(pattern, "/...")
+		return dir == prefix || strings.HasPrefix(dir, prefix+"/")
+	default:
+		return dir == pattern
+	}
+}

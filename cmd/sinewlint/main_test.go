@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var corpus = filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+
+// The golden corpus seeds at least one violation per check; pointing the
+// CLI at it must exit 1 and name every check.
+func TestSeededViolationsExitNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", corpus, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run() = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, id := range []string{
+		"sinew/close-propagation", "sinew/mutex-guard", "sinew/datum-switch",
+		"sinew/plan-cache-key", "sinew/unchecked-error", "sinew/bad-ignore",
+	} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("output missing %s findings:\n%s", id, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "issue(s) found") {
+		t.Errorf("stderr missing summary line: %q", errb.String())
+	}
+}
+
+// A package pattern restricts the report to that subtree.
+func TestPatternFilter(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", corpus, "./storage"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run() = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.HasPrefix(line, "storage/") {
+			t.Errorf("diagnostic outside ./storage: %q", line)
+		}
+	}
+	if !strings.Contains(out.String(), "sinew/unchecked-error") {
+		t.Errorf("expected unchecked-error findings under ./storage:\n%s", out.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 registered checks, got %d:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "sinew/") {
+			t.Errorf("check line missing sinew/ prefix: %q", l)
+		}
+	}
+}
+
+func TestMissingModuleRoot(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", t.TempDir(), "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("run() on a moduleless directory = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "go.mod") {
+		t.Errorf("stderr should mention the missing go.mod: %q", errb.String())
+	}
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClosePropagation enforces the resource-release invariant of the executor
+// and storage layers: pager byte accounting is flushed by HeapIter.Close,
+// so every operator that owns a child iterator (anything with a no-arg
+// Close method: Iterator, BatchIterator, *storage.HeapIter, RowSource, …)
+// must forward Close to it. A struct that has such fields and a Close
+// method which never releases one of them — directly, through a sibling
+// method, via a range loop, or by handing the field to a helper — leaks
+// the child's accounting when a LIMIT or an error abandons the plan early.
+// Structs that look like iterators (they have Next or NextBatch) but lack
+// Close entirely are reported too.
+type ClosePropagation struct{}
+
+// ID implements Check.
+func (*ClosePropagation) ID() string { return "close-propagation" }
+
+// Doc implements Check.
+func (*ClosePropagation) Doc() string {
+	return "operators owning child iterators must forward Close() so pager accounting stays exact"
+}
+
+// Run implements Check.
+func (c *ClosePropagation) Run(pass *Pass) {
+	pkg := pass.Pkg
+	methods := methodsOf(pkg)
+	structDecls(pkg, func(name *ast.Ident, st *ast.StructType) {
+		obj, ok := pkg.Info.Defs[name]
+		if !ok {
+			return
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			return
+		}
+		stype, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		closable := closableFields(stype)
+		if len(closable) == 0 {
+			return
+		}
+		var closeDecl *ast.FuncDecl
+		hasNext := false
+		for _, m := range methods[name.Name] {
+			switch m.Name.Name {
+			case "Close":
+				closeDecl = m
+			case "Next", "NextBatch":
+				hasNext = true
+			}
+		}
+		if closeDecl == nil {
+			if hasNext {
+				pass.Reportf(name.Pos(),
+					"%s has Next/NextBatch and closable field %s but no Close method; child resources (pager accounting) cannot be released",
+					name.Name, closable[0])
+			}
+			return
+		}
+		released := releasedFields(pkg, name.Name, closeDecl, methods)
+		for _, f := range closable {
+			if !released[f] {
+				pass.Reportf(closeDecl.Pos(),
+					"%s.Close does not release field %q, which has a Close method; early plan abandonment leaks its resources (pager byte accounting)",
+					name.Name, f)
+			}
+		}
+	})
+}
+
+// closableFields lists the struct's fields (including slice/array fields)
+// whose type carries a no-arg Close method. Synchronization primitives and
+// function fields are skipped.
+func closableFields(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		t, _ := closableElem(f.Type())
+		if isSyncType(t) {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			continue
+		}
+		if hasCloseMethod(t) {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// releasedFields computes which receiver fields are plausibly released by
+// Close: the set of fields that, somewhere in Close or any same-type
+// method transitively reachable from it, (a) have .Close() called on them,
+// (b) are ranged over with the element later closed or used, or (c) are
+// passed to any function or method call (a helper is assumed to take
+// ownership).
+func releasedFields(pkg *Package, typeName string, closeDecl *ast.FuncDecl, methods map[string][]*ast.FuncDecl) map[string]bool {
+	released := make(map[string]bool)
+	byName := make(map[string]*ast.FuncDecl, len(methods[typeName]))
+	for _, m := range methods[typeName] {
+		byName[m.Name.Name] = m
+	}
+	seen := map[string]bool{}
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if fd == nil || fd.Body == nil || seen[fd.Name.Name] {
+			return
+		}
+		seen[fd.Name.Name] = true
+		_, recv := receiverNamed(pkg, fd)
+		if recv == nil {
+			return
+		}
+		// Range vars aliasing a closable field's elements.
+		rangeVars := map[types.Object]string{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if f, ok := fieldOfReceiver(pkg, x.X, recv); ok {
+					if id, ok := x.Value.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							rangeVars[obj] = f
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					// recv.f.Close() or chain.Close() rooted at recv.f.
+					if sel.Sel.Name == "Close" {
+						if f, ok := fieldOfReceiver(pkg, sel.X, recv); ok {
+							released[f] = true
+						}
+						// v.Close() where v ranges over recv.f.
+						if id, ok := sel.X.(*ast.Ident); ok {
+							if obj := pkg.Info.Uses[id]; obj != nil {
+								if f, ok := rangeVars[obj]; ok {
+									released[f] = true
+								}
+							}
+						}
+					}
+					// recv.helper(): follow same-type methods.
+					if isReceiver(pkg, sel.X, recv) {
+						if m, ok := byName[sel.Sel.Name]; ok {
+							visit(m)
+						}
+					}
+				}
+				// recv.f passed as an argument: the callee owns release.
+				for _, arg := range x.Args {
+					if f, ok := fieldOfReceiver(pkg, arg, recv); ok {
+						released[f] = true
+					}
+					if id, ok := arg.(*ast.Ident); ok {
+						if obj := pkg.Info.Uses[id]; obj != nil {
+							if f, ok := rangeVars[obj]; ok {
+								released[f] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(closeDecl)
+	return released
+}

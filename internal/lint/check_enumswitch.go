@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSwitch enforces exhaustiveness for switches over the engine's value
+// tags: types.Type (the SQL type tag every datum carries), jsonx.Kind (the
+// parsed-JSON tag), and any other module-internal integer "enum" named
+// Type, Kind, or AttrType. Extraction produces every tag the serializer
+// can write, so a switch in the typed-datum layer that silently falls
+// through for a missing tag turns new value kinds into wrong answers
+// rather than errors; each such switch must either list every declared
+// constant of the enum or carry a default arm.
+type EnumSwitch struct{}
+
+// enumTypeNames are the module-internal named integer types treated as
+// closed enums.
+var enumTypeNames = map[string]bool{"Type": true, "Kind": true, "AttrType": true}
+
+// ID implements Check.
+func (*EnumSwitch) ID() string { return "datum-switch" }
+
+// Doc implements Check.
+func (*EnumSwitch) Doc() string {
+	return "switches over the engine's type/kind tags must cover every constant or have a default"
+}
+
+// Run implements Check.
+func (c *EnumSwitch) Run(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := namedOf(tv.Type)
+			if named == nil || !enumTypeNames[named.Obj().Name()] {
+				return true
+			}
+			tpkg := named.Obj().Pkg()
+			if tpkg == nil || !pass.Prog.IsModulePath(tpkg.Path()) {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				return true
+			}
+			consts := enumConstants(tpkg, named)
+			if len(consts) < 2 {
+				return true
+			}
+			covered := map[string]bool{}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default arm: the switch is total
+				}
+				for _, e := range cc.List {
+					etv, ok := pkg.Info.Types[e]
+					if !ok || etv.Value == nil {
+						// A non-constant case (variable comparison) defeats
+						// static coverage analysis; stay silent.
+						return true
+					}
+					covered[etv.Value.ExactString()] = true
+				}
+			}
+			var missing []string
+			for val, name := range consts {
+				if !covered[val] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(),
+					"switch on %s.%s is not exhaustive: missing %s (add the cases or a default arm)",
+					tpkg.Name(), named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// enumConstants maps each distinct constant value of the enum type to one
+// representative constant name from the type's declaring package.
+func enumConstants(tpkg *types.Package, named *types.Named) map[string]string {
+	out := map[string]string{}
+	scope := tpkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(cn.Type(), named) {
+			continue
+		}
+		vs := cn.Val().ExactString()
+		if _, dup := out[vs]; !dup {
+			out[vs] = name
+		}
+	}
+	return out
+}

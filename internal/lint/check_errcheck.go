@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedError flags silently discarded error returns in the packages
+// where a dropped error corrupts state rather than merely hiding a
+// failure: storage (pager byte accounting and heap bookkeeping), serial
+// (record encoding — a swallowed corruption error yields wrong datums),
+// and exec (iterator trees, where an ignored child error terminates a
+// stream early and under-counts). A call whose results include an error
+// used as a bare expression statement, go statement, or defer is
+// reported. Explicitly assigning the error to _ is allowed: it is visible
+// in review and greppable, unlike a silent drop.
+type UncheckedError struct{}
+
+// errcheckPackages are the package *names* under enforcement.
+var errcheckPackages = map[string]bool{
+	"storage": true, "serial": true, "exec": true, "pblike": true, "avrolike": true,
+}
+
+// ID implements Check.
+func (*UncheckedError) ID() string { return "unchecked-error" }
+
+// Doc implements Check.
+func (*UncheckedError) Doc() string {
+	return "storage/serial/exec must not silently discard error returns (byte accounting corrupts)"
+}
+
+// Run implements Check.
+func (c *UncheckedError) Run(pass *Pass) {
+	pkg := pass.Pkg
+	if !errcheckPackages[pkg.Types.Name()] {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = x.X.(*ast.CallExpr)
+				how = "call"
+			case *ast.GoStmt:
+				call, how = x.Call, "go statement"
+			case *ast.DeferStmt:
+				call, how = x.Call, "deferred call"
+			default:
+				return true
+			}
+			if call == nil || !returnsError(pkg, call) {
+				return true
+			}
+			if neverFails(pkg, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s to %s discards its error result; assign it (or explicitly `_ =` it) — a dropped error here silently corrupts accounting",
+				how, callName(call))
+			return true
+		})
+	}
+}
+
+// neverFails exempts callees documented to always return a nil error:
+// strings.Builder and bytes.Buffer Write* methods (both panic rather than
+// fail), whose error results exist only to satisfy io interfaces.
+func neverFails(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return false
+	}
+	p := named.Obj().Pkg()
+	if p == nil {
+		return false
+	}
+	switch {
+	case p.Path() == "strings" && named.Obj().Name() == "Builder":
+		return true
+	case p.Path() == "bytes" && named.Obj().Name() == "Buffer":
+		return true
+	}
+	return false
+}
+
+// returnsError reports whether any of the call's results is error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isErrorType(t)
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// callName renders a readable callee name for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return "function"
+}

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexGuard enforces the lock discipline on shared structs: when a type
+// carries a sync.Mutex/RWMutex field and a sibling field is accessed while
+// that mutex is held somewhere, then *every* method access to the field
+// must happen under the lock (or carry an explicit
+// //lint:ignore sinew/mutex-guard directive documenting why the call site
+// cannot race). The analysis is positional, not a full CFG: a lock region
+// runs from a mu.Lock()/RLock() call to the matching Unlock (deferred
+// unlocks extend to the end of the method; an Unlock with no earlier Lock
+// means the caller passed the lock in, so the region starts at the method
+// entry).
+//
+// Two exemptions keep noise down. Fields that no method ever writes are
+// skipped: they are set once at construction, and the happens-before edge
+// from construction makes lock-free reads safe. Accesses inside function
+// literals are never flagged (the closure may run under the caller's
+// lock), though their writes still count toward the written-field set.
+type MutexGuard struct{}
+
+// ID implements Check.
+func (*MutexGuard) ID() string { return "mutex-guard" }
+
+// Doc implements Check.
+func (*MutexGuard) Doc() string {
+	return "fields accessed under a sibling mutex elsewhere must not be touched without the lock"
+}
+
+// interval is one locked region inside a method, by token position.
+type interval struct {
+	mu       string
+	from, to token.Pos
+}
+
+type fieldAccess struct {
+	field  string
+	pos    token.Pos
+	write  bool
+	noFlag bool // inside a FuncLit: unknown execution context
+}
+
+type methodFacts struct {
+	decl      *ast.FuncDecl
+	intervals []interval
+	accesses  []fieldAccess
+}
+
+// Run implements Check.
+func (c *MutexGuard) Run(pass *Pass) {
+	pkg := pass.Pkg
+	methods := methodsOf(pkg)
+	structDecls(pkg, func(name *ast.Ident, st *ast.StructType) {
+		obj, ok := pkg.Info.Defs[name]
+		if !ok {
+			return
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			return
+		}
+		stype, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		mutexes := mutexFields(stype)
+		if len(mutexes) == 0 {
+			return
+		}
+		skip := map[string]bool{}
+		for i := 0; i < stype.NumFields(); i++ {
+			f := stype.Field(i)
+			if mutexes[f.Name()] || isSyncType(f.Type()) {
+				skip[f.Name()] = true
+			}
+		}
+
+		var facts []methodFacts
+		for _, m := range methods[name.Name] {
+			if m.Body == nil {
+				continue
+			}
+			facts = append(facts, analyzeMethod(pkg, m, mutexes, skip))
+		}
+
+		// Fields some method writes: only these can race.
+		written := map[string]bool{}
+		for _, mf := range facts {
+			for _, a := range mf.accesses {
+				if a.write {
+					written[a.field] = true
+				}
+			}
+		}
+		// Fields observed under a lock anywhere, with the guarding mutex
+		// and an example method for the message.
+		type guard struct{ mu, method string }
+		guardedBy := map[string][]guard{}
+		for _, mf := range facts {
+			for _, a := range mf.accesses {
+				if !written[a.field] {
+					continue
+				}
+				for _, iv := range mf.intervals {
+					if a.pos >= iv.from && a.pos <= iv.to {
+						gs := guardedBy[a.field]
+						dup := false
+						for _, g := range gs {
+							if g.mu == iv.mu {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							guardedBy[a.field] = append(gs, guard{mu: iv.mu, method: mf.decl.Name.Name})
+						}
+						break
+					}
+				}
+			}
+		}
+		if len(guardedBy) == 0 {
+			return
+		}
+		for _, mf := range facts {
+			reported := map[string]bool{}
+			for _, a := range mf.accesses {
+				gs, guarded := guardedBy[a.field]
+				if !guarded || a.noFlag || reported[a.field] {
+					continue
+				}
+				held := false
+				for _, iv := range mf.intervals {
+					if a.pos >= iv.from && a.pos <= iv.to {
+						for _, g := range gs {
+							if g.mu == iv.mu {
+								held = true
+								break
+							}
+						}
+					}
+					if held {
+						break
+					}
+				}
+				if held {
+					continue
+				}
+				reported[a.field] = true
+				pass.Reportf(a.pos,
+					"%s.%s accesses %q without holding %s (the field is written under %s in %s.%s)",
+					name.Name, mf.decl.Name.Name, a.field, gs[0].mu, gs[0].mu, name.Name, gs[0].method)
+			}
+		}
+	})
+}
+
+// analyzeMethod extracts the method's lock intervals and field accesses.
+func analyzeMethod(pkg *Package, m *ast.FuncDecl, mutexes, skip map[string]bool) methodFacts {
+	_, recv := receiverNamed(pkg, m)
+	mf := methodFacts{decl: m}
+	if recv == nil {
+		return mf
+	}
+
+	type lockEvent struct {
+		mu       string
+		pos      token.Pos
+		unlock   bool
+		deferred bool
+	}
+	var events []lockEvent
+	funcLitDepth := 0
+
+	// record classifies an access rooted at a receiver field. A write
+	// remains a write only while the selector path stays inside the
+	// field's own memory: stepping through a pointer (c.store.x = v, or
+	// *c.ptr = v) mutates the pointee, so the field itself is merely read.
+	// Indexing keeps write status — mutating a map or slice held in the
+	// field races with its readers.
+	record := func(e ast.Expr, write bool) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				write = false
+				e = x.X
+			case *ast.SelectorExpr:
+				if isReceiver(pkg, x.X, recv) {
+					if f, ok := fieldOfReceiver(pkg, x, recv); ok && !skip[f] {
+						mf.accesses = append(mf.accesses, fieldAccess{
+							field: f, pos: x.Pos(), write: write, noFlag: funcLitDepth > 0,
+						})
+					}
+					return
+				}
+				if t := typeOf(pkg, x.X); t != nil {
+					if _, ptr := t.Underlying().(*types.Pointer); ptr {
+						write = false
+					}
+				}
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			funcLitDepth++
+			ast.Inspect(x.Body, walk)
+			funcLitDepth--
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				record(lhs, true)
+			}
+			return true
+		case *ast.IncDecStmt:
+			record(x.X, true)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				record(x.X, true)
+			}
+			return true
+		case *ast.DeferStmt, *ast.CallExpr:
+			call, deferred := (*ast.CallExpr)(nil), false
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				call, deferred = ds.Call, true
+			} else {
+				call = n.(*ast.CallExpr)
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && len(call.Args) > 0 {
+				record(call.Args[0], true)
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isLockOp(sel.Sel.Name) && funcLitDepth == 0 {
+				if f, ok := fieldOfReceiver(pkg, sel.X, recv); ok && mutexes[f] {
+					events = append(events, lockEvent{
+						mu: f, pos: call.Pos(),
+						unlock:   sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock",
+						deferred: deferred,
+					})
+				}
+			}
+			if deferred {
+				// Walk the deferred call's parts ourselves: re-walking the
+				// CallExpr node itself would register a lock op twice.
+				if sel, ok := call.Fun.(*ast.SelectorExpr); !ok || !isLockOp(sel.Sel.Name) {
+					ast.Inspect(call.Fun, walk)
+				}
+				for _, a := range call.Args {
+					ast.Inspect(a, walk)
+				}
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			if isReceiver(pkg, x.X, recv) {
+				if s, ok := pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+					record(x, false)
+					return false
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(m.Body, walk)
+
+	// Fold the event stream into locked intervals, per mutex.
+	bodyStart, bodyEnd := m.Body.Pos(), m.Body.End()
+	open := map[string]token.Pos{}
+	for _, ev := range events {
+		switch {
+		case !ev.unlock && !ev.deferred:
+			if _, ok := open[ev.mu]; !ok {
+				open[ev.mu] = ev.pos
+			}
+		case ev.unlock && ev.deferred:
+			// Lock(); defer Unlock(): held from the lock (or method entry,
+			// when the caller locked) to the end of the method.
+			from, ok := open[ev.mu]
+			if !ok {
+				from = bodyStart
+			}
+			delete(open, ev.mu)
+			mf.intervals = append(mf.intervals, interval{mu: ev.mu, from: from, to: bodyEnd})
+		case ev.unlock:
+			from, ok := open[ev.mu]
+			if !ok {
+				from = bodyStart // caller passed the lock in
+			}
+			delete(open, ev.mu)
+			mf.intervals = append(mf.intervals, interval{mu: ev.mu, from: from, to: ev.pos})
+		}
+	}
+	for mu, from := range open {
+		// Locked and never unlocked here (unlock happens elsewhere): hold
+		// to the end.
+		mf.intervals = append(mf.intervals, interval{mu: mu, from: from, to: bodyEnd})
+	}
+	return mf
+}
+
+func isLockOp(name string) bool {
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// mutexFields returns the names of sync.Mutex / sync.RWMutex fields.
+func mutexFields(st *types.Struct) map[string]bool {
+	out := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		named := namedOf(f.Type())
+		if named == nil {
+			continue
+		}
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+			switch named.Obj().Name() {
+			case "Mutex", "RWMutex":
+				out[f.Name()] = true
+			}
+		}
+	}
+	return out
+}

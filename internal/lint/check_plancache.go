@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PlanCacheKey enforces the prepared-plan-cache invariant: every session
+// variable whose SET handler mutates a plan-shaping plan.Config field must
+// be folded into the plan-cache key, or a cached plan built under the old
+// setting is replayed after the setting changes. Concretely, the check
+// cross-references two places that may live in different packages:
+//
+//   - SET dispatch: any switch over the Name field of a SetStmt value;
+//     each `case "var":` arm is scanned for assignments to fields of a
+//     value whose type is named Config (the planner configuration).
+//   - Key construction: any function or method named flagsKey; every
+//     Config field it reads participates in the cache key.
+//
+// A session variable that assigns a Config field absent from every
+// flagsKey is reported at its case arm. Variables that touch no Config
+// field (pure executor knobs) impose no obligation.
+type PlanCacheKey struct {
+	setVars   []setVar
+	keyFields map[string]bool
+	keyFuncs  int
+}
+
+type setVar struct {
+	name   string
+	fields []string
+	pos    token.Pos
+}
+
+// ID implements Check.
+func (*PlanCacheKey) ID() string { return "plan-cache-key" }
+
+// Doc implements Check.
+func (*PlanCacheKey) Doc() string {
+	return "every plan-shaping session variable set via SET must appear in the plan-cache key"
+}
+
+// Run implements Check: it only gathers facts; Finish diffs them.
+func (c *PlanCacheKey) Run(pass *Pass) {
+	pkg := pass.Pkg
+	if c.keyFields == nil {
+		c.keyFields = map[string]bool{}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "flagsKey" {
+				c.keyFuncs++
+				c.collectKeyReads(pkg, fd)
+			}
+			c.collectSetSwitches(pkg, fd)
+		}
+	}
+}
+
+// Finish implements ModuleCheck.
+func (c *PlanCacheKey) Finish(pass *Pass) {
+	if len(c.setVars) == 0 {
+		return
+	}
+	if c.keyFuncs == 0 {
+		for _, v := range c.setVars {
+			if len(v.fields) > 0 {
+				pass.Reportf(v.pos,
+					"session variable %q mutates plan.Config but no flagsKey function exists to fold settings into the plan-cache key", v.name)
+			}
+		}
+		return
+	}
+	for _, v := range c.setVars {
+		var missing []string
+		for _, f := range v.fields {
+			if !c.keyFields[f] {
+				missing = append(missing, f)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(v.pos,
+				"session variable %q sets Config.%s, which is not read by flagsKey: cached plans built under a different setting would be replayed (add the field to the plan-cache key)",
+				v.name, strings.Join(missing, ", Config."))
+		}
+	}
+}
+
+// collectKeyReads records every Config field selected inside flagsKey.
+func (c *PlanCacheKey) collectKeyReads(pkg *Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && isConfigType(typeOf(pkg, sel.X)) {
+			c.keyFields[sel.Sel.Name] = true
+		}
+		return true
+	})
+}
+
+// collectSetSwitches finds switches over SetStmt.Name and records, per
+// string case arm, the Config fields assigned in the arm's body.
+func (c *PlanCacheKey) collectSetSwitches(pkg *Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tag, ok := sw.Tag.(*ast.SelectorExpr)
+		if !ok || tag.Sel.Name != "Name" {
+			return true
+		}
+		named := namedOf(typeOf(pkg, tag.X))
+		if named == nil || named.Obj().Name() != "SetStmt" {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok || cc.List == nil {
+				continue
+			}
+			fields := configAssignments(pkg, cc.Body)
+			for _, e := range cc.List {
+				tv, ok := pkg.Info.Types[e]
+				if !ok || tv.Value == nil {
+					continue
+				}
+				name := strings.Trim(tv.Value.ExactString(), `"`)
+				c.setVars = append(c.setVars, setVar{name: name, fields: fields, pos: cc.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// configAssignments lists Config fields assigned anywhere in the
+// statements.
+func configAssignments(pkg *Package, body []ast.Stmt) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, stmt := range body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && isConfigType(typeOf(pkg, sel.X)) {
+					if !seen[sel.Sel.Name] {
+						seen[sel.Sel.Name] = true
+						out = append(out, sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isConfigType matches values of a named type Config (or pointer to it) —
+// the planner configuration struct.
+func isConfigType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "Config"
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden corpus under testdata/src is a self-contained mini-module
+// seeded with at least one positive and one negative case per check.
+// Expectations are written in the source as
+//
+//	// want `regexp`
+//
+// on the line the diagnostic lands on, or `// want-next-line` above it
+// (for lines that cannot carry a trailing comment, like //lint:ignore
+// directives; blank and bare-`//` separator lines in between are skipped,
+// since gofmt inserts one before a directive). The test fails on any
+// unmatched expectation and on any diagnostic with no expectation.
+
+var wantRx = regexp.MustCompile("\\bwant(-next-line)?\\s+`([^`]*)`")
+
+type expectation struct {
+	file string // testdata-relative, slash-separated
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatalf("loading golden corpus: %v", err)
+	}
+	diags := Run(prog, Registry())
+	if len(diags) == 0 {
+		t.Fatal("golden corpus produced no diagnostics; the seeded violations are gone")
+	}
+
+	wants := collectWants(t, root)
+	used := make([]bool, len(diags))
+	for _, w := range wants {
+		matched := false
+		for i, d := range diags {
+			if relName(root, d.Pos.Filename) != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.rx.MatchString(d.Check + ": " + d.Message) {
+				matched, used[i] = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", relName(root, d.Pos.Filename), d.Pos.Line, d.Check, d.Message)
+		}
+	}
+}
+
+// TestCheckMetadata keeps the registry presentable: IDs unique and
+// kebab-case, docs non-empty.
+func TestCheckMetadata(t *testing.T) {
+	idRx := regexp.MustCompile(`^[a-z]+(-[a-z]+)*$`)
+	seen := map[string]bool{}
+	for _, c := range Registry() {
+		id := c.ID()
+		if !idRx.MatchString(id) {
+			t.Errorf("check ID %q is not kebab-case", id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate check ID %q", id)
+		}
+		seen[id] = true
+		if strings.TrimSpace(c.Doc()) == "" {
+			t.Errorf("check %q has no doc line", id)
+		}
+	}
+}
+
+// TestSuppressionSpans pins the //lint:ignore contract on the corpus: the
+// reasoned directive in ignore.Owner silences close-propagation, and the
+// bare one in ignore.Bare both reports bad-ignore and suppresses nothing.
+func TestSuppressionSpans(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owner, bare, badIgnore int
+	for _, d := range Run(prog, Registry()) {
+		switch {
+		case strings.Contains(d.Message, "Owner.Close"):
+			owner++
+		case strings.Contains(d.Message, "Bare.Close"):
+			bare++
+		case d.Check == "sinew/bad-ignore":
+			badIgnore++
+		}
+	}
+	if owner != 0 {
+		t.Errorf("reasoned //lint:ignore did not suppress Owner.Close (got %d findings)", owner)
+	}
+	if bare != 1 {
+		t.Errorf("bare //lint:ignore should not suppress: want 1 Bare.Close finding, got %d", bare)
+	}
+	if badIgnore != 1 {
+		t.Errorf("want 1 sinew/bad-ignore for the reasonless directive, got %d", badIgnore)
+	}
+}
+
+func relName(root, filename string) string {
+	if r, err := filepath.Rel(root, filename); err == nil {
+		return filepath.ToSlash(r)
+	}
+	return filename
+}
+
+// collectWants scans every corpus file for want annotations.
+func collectWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(string(buf), "\n")
+		for i, text := range lines {
+			m := wantRx.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			line := i + 1
+			rx, err := regexp.Compile(m[2])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want regexp: %w", p, line, err)
+			}
+			at := line
+			if m[1] == "-next-line" {
+				// Skip blank and bare-// separator lines: gofmt inserts one
+				// before //lint:ignore directives.
+				for at < len(lines) {
+					s := strings.TrimSpace(lines[at])
+					if s != "" && s != "//" {
+						break
+					}
+					at++
+				}
+				at++
+			}
+			wants = append(wants, &expectation{file: relName(root, p), line: at, rx: rx})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no want annotations found in testdata/src")
+	}
+	return wants
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks a whole Go module using nothing but the standard
+// library: go/build selects files (honoring build tags with cgo disabled),
+// go/parser parses them, and go/types checks each package with an importer
+// that resolves module-internal import paths to directories under the
+// module root and everything else to GOROOT source. External dependencies
+// are rejected — the module is dependency-free by policy, and the analyzer
+// shares that constraint (no x/tools).
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Types *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// Program is the loaded module: every package under the root, type-checked,
+// plus the shared FileSet.
+type Program struct {
+	Fset    *token.FileSet
+	ModPath string
+	Root    string
+	// Packages holds the module's own packages sorted by import path;
+	// imported standard-library packages are checked but not listed.
+	Packages []*Package
+}
+
+// IsModulePath reports whether path names a package inside the analyzed
+// module (the checks use it to tell project enums from stdlib types).
+func (p *Program) IsModulePath(path string) bool {
+	return path == p.ModPath || strings.HasPrefix(path, p.ModPath+"/")
+}
+
+type loader struct {
+	fset    *token.FileSet
+	ctx     build.Context
+	root    string
+	modpath string
+	pkgs    map[string]*Package
+	std     map[string]*types.Package
+	loading map[string]bool
+}
+
+// Load type-checks the module rooted at root (the directory holding
+// go.mod). It returns an error for parse or type errors anywhere in the
+// module: the analyzer only runs on code that compiles.
+func Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Selecting no-cgo file sets keeps stdlib packages type-checkable from
+	// plain source (no generated cgo intermediates needed).
+	ctx.CgoEnabled = false
+	l := &loader{
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		root:    root,
+		modpath: modpath,
+		pkgs:    make(map[string]*Package),
+		std:     make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	dirs, err := l.moduleDirs()
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: l.fset, ModPath: modpath, Root: root}
+	for _, ip := range dirs {
+		pkg, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	buf, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// moduleDirs walks the module tree and returns the import paths of every
+// buildable package, skipping testdata, hidden directories, and nested
+// modules.
+func (l *loader) moduleDirs() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := d.Name()
+		if strings.HasPrefix(base, ".") && p != l.root {
+			return filepath.SkipDir
+		}
+		if base == "testdata" {
+			return filepath.SkipDir
+		}
+		if p != l.root {
+			if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		bp, err := l.ctx.ImportDir(p, 0)
+		if err != nil || len(bp.GoFiles) == 0 {
+			return nil // not a buildable package; fine
+		}
+		rel, err := filepath.Rel(l.root, p)
+		if err != nil {
+			return err
+		}
+		ip := l.modpath
+		if rel != "." {
+			ip = l.modpath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, ip)
+		return nil
+	})
+	return paths, err
+}
+
+// Import implements types.Importer for the standard library and module
+// packages alike.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if p, ok := l.std[path]; ok {
+		return p, nil
+	}
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (l *loader) dirFor(path string) (string, error) {
+	switch {
+	case path == l.modpath:
+		return l.root, nil
+	case strings.HasPrefix(path, l.modpath+"/"):
+		return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modpath+"/"))), nil
+	case strings.Contains(strings.SplitN(path, "/", 2)[0], "."):
+		// A dotted first element means an external module: unsupported by
+		// design (the project is stdlib-only).
+		return "", fmt.Errorf("lint: external dependency %q is not supported by the stdlib-only loader", path)
+	default:
+		return filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path)), nil
+	}
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	internal := l.IsModule(path)
+	info := &types.Info{}
+	if internal {
+		info.Types = make(map[ast.Expr]types.TypeAndValue)
+		info.Defs = make(map[*ast.Ident]types.Object)
+		info.Uses = make(map[*ast.Ident]types.Object)
+		info.Selections = make(map[*ast.SelectorExpr]*types.Selection)
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && internal {
+		// Stdlib packages may produce benign soft errors under the no-cgo
+		// context; module packages must be clean.
+		if firstErr != nil {
+			err = firstErr
+		}
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Types: tpkg, Info: info, Files: files}
+	if internal {
+		l.pkgs[path] = pkg
+	} else {
+		l.std[path] = tpkg
+	}
+	return pkg, nil
+}
+
+// IsModule reports whether the import path is inside the analyzed module.
+func (l *loader) IsModule(path string) bool {
+	return path == l.modpath || strings.HasPrefix(path, l.modpath+"/")
+}

@@ -1,0 +1,55 @@
+// Package closeprop seeds positive and negative cases for the
+// sinew/close-propagation check.
+package closeprop
+
+type child struct{ open bool }
+
+func (c *child) Close() { c.open = false }
+
+// LeakyIter owns a child iterator but its Close never forwards: flagged.
+type LeakyIter struct {
+	src  *child
+	done bool
+}
+
+func (l *LeakyIter) Next() bool { return false }
+
+func (l *LeakyIter) Close() { // want `LeakyIter\.Close does not release field "src"`
+	l.done = true
+}
+
+// NoCloseIter looks like an iterator (it has Next) and owns a closable
+// field, but has no Close method at all: flagged.
+type NoCloseIter struct { // want `NoCloseIter has Next/NextBatch and closable field src but no Close method`
+	src *child
+}
+
+func (n *NoCloseIter) Next() bool { return false }
+
+// GoodIter forwards Close directly: no finding.
+type GoodIter struct{ src *child }
+
+func (g *GoodIter) Next() bool { return false }
+func (g *GoodIter) Close()     { g.src.Close() }
+
+// FanIter releases its children through a range loop inside a sibling
+// method reached from Close: no finding.
+type FanIter struct{ kids []*child }
+
+func (f *FanIter) NextBatch() bool { return false }
+func (f *FanIter) Close()          { f.release() }
+
+func (f *FanIter) release() {
+	for _, k := range f.kids {
+		k.Close()
+	}
+}
+
+// HandOffIter passes its child to a helper, which takes ownership of the
+// release: no finding.
+type HandOffIter struct{ src *child }
+
+func reap(c *child) { c.Close() }
+
+func (h *HandOffIter) Next() bool { return false }
+func (h *HandOffIter) Close()     { reap(h.src) }

@@ -1,0 +1,62 @@
+// Package datumswitch seeds positive and negative cases for the
+// sinew/datum-switch check.
+package datumswitch
+
+// Kind tags the parsed values of this mini engine.
+type Kind int
+
+// The closed set of value tags.
+const (
+	Null Kind = iota
+	Bool
+	Int
+	Text
+)
+
+// Describe misses Text and has no default arm: flagged.
+func Describe(k Kind) string {
+	switch k { // want `switch on datumswitch\.Kind is not exhaustive: missing Text`
+	case Null:
+		return "null"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	}
+	return ""
+}
+
+// Name lists every constant: no finding.
+func Name(k Kind) string {
+	switch k {
+	case Null:
+		return "null"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Text:
+		return "text"
+	}
+	return ""
+}
+
+// Width carries a default arm, making the switch total: no finding.
+func Width(k Kind) int {
+	switch k {
+	case Int:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Matches compares against a variable, defeating static coverage
+// analysis; the check stays silent by design.
+func Matches(k, other Kind) bool {
+	switch k {
+	case other:
+		return true
+	}
+	return false
+}

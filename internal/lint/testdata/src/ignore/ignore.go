@@ -1,0 +1,32 @@
+// Package ignore exercises //lint:ignore directive handling: a reasoned
+// directive suppresses, a bare one is itself a finding and suppresses
+// nothing.
+package ignore
+
+type res struct{ open bool }
+
+func (r *res) Close() { r.open = false }
+
+// Owner borrows its resource from a registry that closes it at shutdown;
+// the directive in Close's doc comment silences the whole method.
+type Owner struct {
+	r *res
+}
+
+func (o *Owner) Next() bool { return false }
+
+//lint:ignore sinew/close-propagation the registry that handed out r closes it at shutdown; Owner never owns the release
+func (o *Owner) Close() {}
+
+// Bare carries a directive with no reason: that is a sinew/bad-ignore
+// finding, and the underlying diagnostic is kept.
+type Bare struct {
+	r *res
+}
+
+func (b *Bare) Next() bool { return false }
+
+// want-next-line `needs a reason`
+//
+//lint:ignore sinew/close-propagation
+func (b *Bare) Close() {} // want `Bare\.Close does not release field "r"`

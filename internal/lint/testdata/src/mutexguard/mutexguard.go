@@ -1,0 +1,74 @@
+// Package mutexguard seeds positive and negative cases for the
+// sinew/mutex-guard check.
+package mutexguard
+
+import "sync"
+
+// Counter writes n under mu in Add but reads it lock-free in Get: flagged.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Get() int {
+	return c.n // want `Counter\.Get accesses "n" without holding mu`
+}
+
+// Gauge takes the lock around every access: no finding.
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *Gauge) Set(x int) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Value() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Label's name field is only ever read: construction happens-before makes
+// the lock-free read in Name safe, so no finding.
+type Label struct {
+	mu   sync.Mutex
+	name string
+	hits int
+}
+
+func (l *Label) Touch() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hits++
+	_ = l.name
+}
+
+func (l *Label) Name() string { return l.name }
+
+// Table documents the caller-holds-the-lock convention: lockedInsert
+// unlocks without locking, so its guarded region runs from method entry
+// to the Unlock. No finding.
+type Table struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+func (t *Table) Insert(k string) {
+	t.mu.Lock()
+	t.lockedInsert(k)
+}
+
+func (t *Table) lockedInsert(k string) {
+	t.rows[k] = len(t.rows)
+	t.mu.Unlock()
+}

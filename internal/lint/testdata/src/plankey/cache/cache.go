@@ -1,0 +1,19 @@
+// Package cache builds the plan-cache key over plankey.Config. It reads
+// MaxWorkers but not BatchSize, so "batch_size" in the SET dispatch is a
+// seeded violation.
+package cache
+
+import "example.com/lintcheck/plankey"
+
+// flagsKey folds the plan-shaping settings into the cache key.
+func flagsKey(cfg *plankey.Config) string {
+	if cfg.MaxWorkers > 1 {
+		return "parallel"
+	}
+	return "serial"
+}
+
+// Key is the public entry point.
+func Key(cfg *plankey.Config, sql string) string {
+	return flagsKey(cfg) + "|" + sql
+}

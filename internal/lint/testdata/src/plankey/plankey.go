@@ -1,0 +1,31 @@
+// Package plankey seeds positive and negative cases for the
+// sinew/plan-cache-key check: SET dispatch lives here, key construction in
+// the cache subpackage, exercising the cross-package diff.
+package plankey
+
+// SetStmt is a parsed SET statement.
+type SetStmt struct {
+	Name  string
+	Value int
+}
+
+// Config is the planner configuration mutated by SET.
+type Config struct {
+	BatchSize  int
+	MaxWorkers int
+}
+
+var sets int
+
+// Apply dispatches a SET statement onto the config.
+func Apply(cfg *Config, st *SetStmt) {
+	switch st.Name {
+	case "batch_size": // want `session variable "batch_size" sets Config\.BatchSize, which is not read by flagsKey`
+		cfg.BatchSize = st.Value
+	case "max_workers":
+		cfg.MaxWorkers = st.Value
+	case "trace":
+		// Shapes no plans: touches no Config field, so no key obligation.
+		sets++
+	}
+}

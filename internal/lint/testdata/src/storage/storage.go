@@ -1,0 +1,57 @@
+// Package storage seeds positive and negative cases for the
+// sinew/unchecked-error check; the package name is on its enforcement
+// list.
+package storage
+
+import (
+	"errors"
+	"strings"
+)
+
+var errShort = errors.New("short write")
+
+type writer struct{ n int }
+
+func (w *writer) flush() error {
+	if w.n == 0 {
+		return errShort
+	}
+	w.n = 0
+	return nil
+}
+
+// Drop discards the flush error silently: flagged.
+func Drop(w *writer) {
+	w.flush() // want `call to w\.flush discards its error result`
+}
+
+// DropDeferred defers the flush without observing its error: flagged.
+func DropDeferred(w *writer) {
+	defer w.flush() // want `deferred call to w\.flush discards its error result`
+}
+
+// DropAsync launches the flush with no way to see the error: flagged.
+func DropAsync(w *writer) {
+	go w.flush() // want `go statement to w\.flush discards its error result`
+}
+
+// Keep propagates the error: no finding.
+func Keep(w *writer) error {
+	return w.flush()
+}
+
+// KeepBlank discards the error visibly, which is allowed by design: the
+// blank assignment is greppable and survives review.
+func KeepBlank(w *writer) {
+	_ = w.flush()
+}
+
+// Join uses strings.Builder, whose Write methods never fail; the check
+// exempts it. No finding.
+func Join(parts []string) string {
+	var sb strings.Builder
+	for _, p := range parts {
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
