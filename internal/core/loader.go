@@ -173,6 +173,9 @@ func (db *DB) indexDocument(id int64, doc *jsonx.Doc) {
 					db.index.Add(textindex.DocID(id), f.Path, e.S)
 				}
 			}
+		default:
+			// Numbers, booleans, and nulls carry no searchable text;
+			// objects were already flattened away by jsonx.Flatten.
 		}
 	}
 }

@@ -394,6 +394,8 @@ func (rw *rewriter) hintOf(e sqlparse.Expr) hint {
 			return hintBool
 		case types.Array:
 			return hintArray
+		default:
+			// Bytes and untyped literals suggest nothing to the partner.
 		}
 	case *sqlparse.ColumnRef:
 		if _, col := rw.resolveRef(x); col != nil {
@@ -412,6 +414,8 @@ func (rw *rewriter) hintOf(e sqlparse.Expr) hint {
 			return hintFloat
 		case types.Bool:
 			return hintBool
+		default:
+			// Casts to other targets don't constrain the partner's type.
 		}
 	case *sqlparse.UnaryExpr:
 		if x.Op == "-" {
@@ -564,8 +568,9 @@ func hintFromType(t types.Type) hint {
 		return hintBool
 	case types.Array:
 		return hintArray
+	default:
+		return hintNone
 	}
-	return hintNone
 }
 
 // resolveRef finds the FROM table a reference belongs to: a physical match

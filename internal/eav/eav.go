@@ -94,6 +94,9 @@ func tripleRow(id int64, key string, v jsonx.Value) storage.Row {
 		row[3] = types.NewFloat(v.F)
 	case jsonx.Bool:
 		row[4] = types.NewBool(v.B)
+	default:
+		// Nulls, arrays, and objects have no scalar column in the triple
+		// layout; the row keeps all three value columns NULL.
 	}
 	return row
 }

@@ -236,8 +236,9 @@ func (v Value) AsFloat() (f float64, ok bool) {
 		return float64(v.I), true
 	case Float:
 		return v.F, true
+	default:
+		return 0, false
 	}
-	return 0, false
 }
 
 // encodeValue appends compact JSON text for v to sb.

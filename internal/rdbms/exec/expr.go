@@ -305,8 +305,9 @@ func (n *NegExpr) Eval(row storage.Row) (types.Datum, error) {
 		return types.NewInt(-v.I), nil
 	case types.Float:
 		return types.NewFloat(-v.F), nil
+	default:
+		return types.Datum{}, fmt.Errorf("exec: cannot negate %v", v.Typ)
 	}
-	return types.Datum{}, fmt.Errorf("exec: cannot negate %v", v.Typ)
 }
 
 // Type implements Expr.

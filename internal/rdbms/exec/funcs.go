@@ -179,8 +179,9 @@ func builtins() []*FuncDef {
 					return types.NewInt(int64(len(a.Bs))), nil
 				case types.Array:
 					return types.NewInt(int64(len(a.A))), nil
+				default:
+					return types.Datum{}, fmt.Errorf("length: unsupported type %v", a.Typ)
 				}
-				return types.Datum{}, fmt.Errorf("length: unsupported type %v", a.Typ)
 			},
 			CostPerCall: 0.0025,
 		},
@@ -208,8 +209,9 @@ func builtins() []*FuncDef {
 					return a, nil
 				case types.Float:
 					return types.NewFloat(math.Abs(a.F)), nil
+				default:
+					return types.Datum{}, fmt.Errorf("abs: unsupported type %v", a.Typ)
 				}
-				return types.Datum{}, fmt.Errorf("abs: unsupported type %v", a.Typ)
 			},
 			CostPerCall: 0.0025,
 		},

@@ -31,6 +31,8 @@ func Cast(d Datum, t Type) (Datum, error) {
 				return NewBool(false), nil
 			}
 			return Datum{}, fmt.Errorf("invalid input syntax for type boolean: %q", d.S)
+		default:
+			// Float/Bytes/Array to boolean: no conversion; shared error below.
 		}
 	case Int:
 		switch d.Typ {
@@ -47,6 +49,8 @@ func Cast(d Datum, t Type) (Datum, error) {
 				return Datum{}, fmt.Errorf("invalid input syntax for type integer: %q", d.S)
 			}
 			return NewInt(i), nil
+		default:
+			// Bytes/Array to integer: no conversion; shared error below.
 		}
 	case Float:
 		switch d.Typ {
@@ -58,6 +62,8 @@ func Cast(d Datum, t Type) (Datum, error) {
 				return Datum{}, fmt.Errorf("invalid input syntax for type real: %q", d.S)
 			}
 			return NewFloat(f), nil
+		default:
+			// Bool/Bytes/Array to real: no conversion; shared error below.
 		}
 	case Text:
 		return NewText(d.String()), nil
@@ -68,6 +74,8 @@ func Cast(d Datum, t Type) (Datum, error) {
 	case Array:
 		// Any scalar casts to a one-element array (convenience, not SQL std).
 		return NewArray(d), nil
+	default:
+		// Unknown is not a castable target; shared error below.
 	}
 	return Datum{}, fmt.Errorf("cannot cast type %v to %v", d.Typ, t)
 }

@@ -186,8 +186,9 @@ func (d Datum) Float64() (float64, bool) {
 		return float64(d.I), true
 	case Float:
 		return d.F, true
+	default:
+		return 0, false
 	}
-	return 0, false
 }
 
 // Compare orders two non-NULL datums: -1, 0, +1. Numeric types compare
