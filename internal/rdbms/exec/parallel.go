@@ -124,6 +124,8 @@ func (p *ParallelScanIter) NextBatch() (*RowBatch, error) {
 // Close implements BatchIterator: signals every worker to stop, waits for
 // them, and finalizes per-partition pager accounting (each worker closes
 // its own scan).
+//
+//lint:ignore sinew/close-propagation each worker goroutine closes its own partition scan on exit; wg.Wait guarantees every scan is closed before Close returns
 func (p *ParallelScanIter) Close() {
 	if p.closed {
 		return
