@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-workers check bench bench-diff fmt
+.PHONY: all build test vet lint race race-workers check bench bench-diff fuzz fmt
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs sinewlint, the project's own stdlib-only analyzer: Close()
+# propagation through iterator trees, mutex discipline, exhaustive
+# datum-tag switches, plan-cache key completeness, and unchecked errors
+# on the storage/serialization paths. See DESIGN.md "Invariants & static
+# checks".
+lint:
+	$(GO) run ./cmd/sinewlint ./...
 
 race:
 	$(GO) test -race ./...
@@ -29,7 +37,13 @@ race-workers:
 # check is the gate CI runs: static analysis plus the full test suite
 # under the race detector (the parallel pipelines are the main
 # concurrency surface), with extra GOMAXPROCS legs for the executor.
-check: vet race race-workers
+check: vet lint race race-workers
+
+# fuzz exercises the serializer's read side (the same target CI runs as a
+# non-blocking job); the checked-in corpus lives in
+# internal/serial/testdata/fuzz/.
+fuzz:
+	$(GO) test -fuzz=FuzzRecordReaders -fuzztime=30s ./internal/serial/
 
 # bench runs the micro-benchmarks and regenerates BENCH_PR3.json, the
 # machine-readable Figure 6 + Table 5 + plan-cache report (ns/op and
