@@ -15,7 +15,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 )
 
 type queryBench struct {
@@ -50,28 +52,36 @@ func pct(oldV, newV int64) float64 {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		oldPath   = flag.String("old", "BENCH_PR2.json", "baseline report")
-		newPath   = flag.String("new", "BENCH_PR3.json", "candidate report")
-		tolerance = flag.Float64("tolerance", 10, "max allowed regression in percent")
-		minAllocs = flag.Int64("minallocs", 64, "allocs/op noise floor below which the allocs gate is skipped")
+		oldPath   = fs.String("old", "BENCH_PR2.json", "baseline report")
+		newPath   = fs.String("new", "BENCH_PR3.json", "candidate report")
+		tolerance = fs.Float64("tolerance", 10, "max allowed regression in percent")
+		minAllocs = fs.Int64("minallocs", 64, "allocs/op noise floor below which the allocs gate is skipped")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	oldRep, err := load(*oldPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 	newRep, err := load(*newPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 	if oldRep.Records != newRep.Records {
-		fmt.Fprintf(os.Stderr, "benchdiff: record counts differ (%d vs %d); timings are not comparable\n",
+		fmt.Fprintf(stderr, "benchdiff: record counts differ (%d vs %d); timings are not comparable\n",
 			oldRep.Records, newRep.Records)
-		os.Exit(2)
+		return 2
 	}
 
 	oldBy := make(map[string]queryBench, len(oldRep.Figure6Sinew))
@@ -80,12 +90,12 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("%-5s %14s %14s %8s   %10s %10s %8s\n",
+	fmt.Fprintf(stdout, "%-5s %14s %14s %8s   %10s %10s %8s\n",
 		"query", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs", "Δ%")
 	for _, n := range newRep.Figure6Sinew {
 		o, ok := oldBy[n.Query]
 		if !ok {
-			fmt.Printf("%-5s %14s %14d %8s   %10s %10d %8s  (new query)\n",
+			fmt.Fprintf(stdout, "%-5s %14s %14d %8s   %10s %10d %8s  (new query)\n",
 				n.Query, "-", n.NsPerOp, "-", "-", n.AllocsPerOp, "-")
 			continue
 		}
@@ -99,15 +109,21 @@ func main() {
 		if alD > *tolerance && o.AllocsPerOp >= *minAllocs {
 			mark, failed = mark+"  REGRESSION(allocs)", true
 		}
-		fmt.Printf("%-5s %14d %14d %+7.1f%%   %10d %10d %+7.1f%%%s\n",
+		fmt.Fprintf(stdout, "%-5s %14d %14d %+7.1f%%   %10d %10d %+7.1f%%%s\n",
 			n.Query, o.NsPerOp, n.NsPerOp, nsD, o.AllocsPerOp, n.AllocsPerOp, alD, mark)
 	}
+	dropped := make([]string, 0, len(oldBy))
 	for q := range oldBy {
-		fmt.Printf("%-5s dropped from new report\n", q)
+		dropped = append(dropped, q)
+	}
+	sort.Strings(dropped)
+	for _, q := range dropped {
+		fmt.Fprintf(stdout, "%-5s dropped from new report\n", q)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — regression beyond %.0f%% tolerance\n", *tolerance)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: FAIL — regression beyond %.0f%% tolerance\n", *tolerance)
+		return 1
 	}
-	fmt.Printf("benchdiff: OK (tolerance %.0f%%)\n", *tolerance)
+	fmt.Fprintf(stdout, "benchdiff: OK (tolerance %.0f%%)\n", *tolerance)
+	return 0
 }

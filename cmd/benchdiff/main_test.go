@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseline = `{
+  "records": 1000,
+  "figure6_sinew": [
+    {"query": "q1", "sql": "SELECT 1", "ns_per_op": 1000, "allocs_per_op": 100},
+    {"query": "q2", "sql": "SELECT 2", "ns_per_op": 2000, "allocs_per_op": 10}
+  ]
+}`
+
+func TestMissingBaselineFile(t *testing.T) {
+	newP := writeReport(t, "new.json", baseline)
+	var out, errb bytes.Buffer
+	code := run([]string{"-old", filepath.Join(t.TempDir(), "absent.json"), "-new", newP}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("run() = %d, want 2 for a missing baseline", code)
+	}
+	if !strings.Contains(errb.String(), "absent.json") {
+		t.Errorf("stderr should name the missing file: %q", errb.String())
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	oldP := writeReport(t, "old.json", baseline)
+	newP := writeReport(t, "new.json", `{"records": 1000, "figure6_sinew": [`)
+	var out, errb bytes.Buffer
+	code := run([]string{"-old", oldP, "-new", newP}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("run() = %d, want 2 for malformed JSON", code)
+	}
+	if !strings.Contains(errb.String(), "new.json") {
+		t.Errorf("stderr should name the malformed file: %q", errb.String())
+	}
+}
+
+// A query present in only one report is informational, never a failure:
+// the set can grow (new query) and shrink (dropped) across PRs.
+func TestQueryInOnlyOneReport(t *testing.T) {
+	oldP := writeReport(t, "old.json", baseline)
+	newP := writeReport(t, "new.json", `{
+	  "records": 1000,
+	  "figure6_sinew": [
+	    {"query": "q1", "sql": "SELECT 1", "ns_per_op": 1000, "allocs_per_op": 100},
+	    {"query": "q3", "sql": "SELECT 3", "ns_per_op": 500, "allocs_per_op": 5}
+	  ]
+	}`)
+	var out, errb bytes.Buffer
+	code := run([]string{"-old", oldP, "-new", newP}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run() = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "(new query)") {
+		t.Errorf("q3 should be reported as a new query:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "q2    dropped from new report") {
+		t.Errorf("q2 should be reported as dropped:\n%s", out.String())
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	oldP := writeReport(t, "old.json", baseline)
+	newP := writeReport(t, "new.json", `{
+	  "records": 1000,
+	  "figure6_sinew": [
+	    {"query": "q1", "sql": "SELECT 1", "ns_per_op": 1500, "allocs_per_op": 100},
+	    {"query": "q2", "sql": "SELECT 2", "ns_per_op": 2000, "allocs_per_op": 10}
+	  ]
+	}`)
+	var out, errb bytes.Buffer
+	code := run([]string{"-old", oldP, "-new", newP, "-tolerance", "10"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run() = %d, want 1 for a 50%% ns/op regression", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSION(ns)") {
+		t.Errorf("q1 should be marked REGRESSION(ns):\n%s", out.String())
+	}
+}
+
+// Alloc jumps under the -minallocs noise floor don't gate: q2 doubles its
+// allocs but sits below the floor.
+func TestAllocNoiseFloor(t *testing.T) {
+	oldP := writeReport(t, "old.json", baseline)
+	newP := writeReport(t, "new.json", `{
+	  "records": 1000,
+	  "figure6_sinew": [
+	    {"query": "q1", "sql": "SELECT 1", "ns_per_op": 1000, "allocs_per_op": 100},
+	    {"query": "q2", "sql": "SELECT 2", "ns_per_op": 2000, "allocs_per_op": 20}
+	  ]
+	}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-old", oldP, "-new", newP}, &out, &errb); code != 0 {
+		t.Fatalf("run() = %d, want 0 (allocs below noise floor)\n%s", code, out.String())
+	}
+}
+
+func TestRecordCountMismatch(t *testing.T) {
+	oldP := writeReport(t, "old.json", baseline)
+	newP := writeReport(t, "new.json", `{"records": 2000, "figure6_sinew": []}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-old", oldP, "-new", newP}, &out, &errb); code != 2 {
+		t.Fatalf("run() = %d, want 2 for incomparable record counts", code)
+	}
+	if !strings.Contains(errb.String(), "not comparable") {
+		t.Errorf("stderr should explain the mismatch: %q", errb.String())
+	}
+}
