@@ -195,14 +195,32 @@ func (db *DB) execSet(st *sqlparse.SetStmt) (*Result, error) {
 		}
 		db.cfg.EnablePageSkip = b
 	default:
-		return nil, fmt.Errorf("rdbms: unrecognized configuration parameter %q", st.Name)
+		return nil, fmt.Errorf("rdbms: SET %s: unrecognized configuration parameter (known: %s)",
+			st.Name, strings.Join(sessionVars, ", "))
 	}
 	return &Result{}, nil
 }
 
+// sessionVars lists every session variable execSet accepts, for the
+// unknown-parameter error. Keep sorted and in sync with the switch above.
+var sessionVars = []string{
+	"batch_size", "enable_batch", "enable_page_skip",
+	"max_parallel_workers", "parallel_scan_min_pages",
+}
+
+// setValueDesc renders the offending value for SET error messages.
+func setValueDesc(d types.Datum) string {
+	if d.IsNull() {
+		return "NULL"
+	}
+	return fmt.Sprintf("%s %s", d.Typ, d.String())
+}
+
+// Every SET validation error follows one shape — "rdbms: SET <name>:
+// <problem>" — so clients and tests can rely on the variable being named.
 func setIntValue(st *sqlparse.SetStmt, lo, hi int64) (int64, error) {
 	if st.Value.Typ != types.Int || st.Value.IsNull() {
-		return 0, fmt.Errorf("rdbms: SET %s requires an integer value", st.Name)
+		return 0, fmt.Errorf("rdbms: SET %s: requires an integer value, got %s", st.Name, setValueDesc(st.Value))
 	}
 	if st.Value.I < lo || st.Value.I > hi {
 		return 0, fmt.Errorf("rdbms: SET %s: %d is outside the valid range [%d, %d]", st.Name, st.Value.I, lo, hi)
@@ -212,7 +230,7 @@ func setIntValue(st *sqlparse.SetStmt, lo, hi int64) (int64, error) {
 
 func setBoolValue(st *sqlparse.SetStmt) (bool, error) {
 	if st.Value.Typ != types.Bool || st.Value.IsNull() {
-		return false, fmt.Errorf("rdbms: SET %s requires a boolean value (on/off)", st.Name)
+		return false, fmt.Errorf("rdbms: SET %s: requires a boolean value (on/off), got %s", st.Name, setValueDesc(st.Value))
 	}
 	return st.Value.B, nil
 }

@@ -344,6 +344,38 @@ func TestOrderByOrdinal(t *testing.T) {
 	}
 }
 
+// Every SET validation failure carries the uniform "rdbms: SET <name>:"
+// prefix so clients see which knob was rejected, whether the variable is
+// unknown, mistyped, or out of range.
+func TestSetValidationErrors(t *testing.T) {
+	db := newTestDB(t)
+	cases := []struct {
+		sql  string
+		want []string
+	}{
+		{`SET nope = 1`, []string{"rdbms: SET nope:", "unrecognized configuration parameter", "batch_size"}},
+		{`SET batch_size = 'abc'`, []string{"rdbms: SET batch_size:", "requires an integer value"}},
+		{`SET batch_size = 0`, []string{"rdbms: SET batch_size:", "outside the valid range [1, 65536]"}},
+		{`SET batch_size = 1048576`, []string{"rdbms: SET batch_size:", "outside the valid range [1, 65536]"}},
+		{`SET max_parallel_workers = 1048576`, []string{"rdbms: SET max_parallel_workers:", "outside the valid range [0, 1024]"}},
+		{`SET parallel_scan_min_pages = many`, []string{"rdbms: SET parallel_scan_min_pages:", "requires an integer value"}},
+		{`SET enable_batch = 42`, []string{"rdbms: SET enable_batch:", "requires a boolean value"}},
+		{`SET enable_page_skip = 'yes'`, []string{"rdbms: SET enable_page_skip:", "requires a boolean value"}},
+	}
+	for _, tc := range cases {
+		_, err := db.Exec(tc.sql)
+		if err == nil {
+			t.Errorf("%s: expected a validation error, got none", tc.sql)
+			continue
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("%s: error %q does not mention %q", tc.sql, err, frag)
+			}
+		}
+	}
+}
+
 func TestSetSessionKnobs(t *testing.T) {
 	db := newTestDB(t)
 	// batch_size flows into EXPLAIN's batch annotation.
