@@ -3,7 +3,12 @@
 // beyond the tolerance in either ns/op or allocs/op. `make bench-diff`
 // uses it to gate PRs on the perf trajectory:
 //
-//	benchdiff -old BENCH_PR2.json -new BENCH_PR3.json -tolerance 10
+//	benchdiff -baseline BENCH_PR3.json -new BENCH_PR6.json -tolerance 10
+//
+// When -baseline is omitted, the newest BENCH_PR*.json beside the -new
+// report (highest PR number, the -new file itself excluded) is used, so
+// the gate follows the latest recorded baseline without editing the
+// invocation every PR. -old remains as a deprecated alias.
 //
 // Queries present in only one report are reported but do not fail the
 // diff (the query set can grow across PRs). Alloc counts below the noise
@@ -17,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 )
 
 type queryBench struct {
@@ -44,6 +51,46 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
+// prNumber extracts N from a BENCH_PRN.json file name.
+func prNumber(base string) (int, bool) {
+	const prefix, suffix = "BENCH_PR", ".json"
+	if len(base) <= len(prefix)+len(suffix) ||
+		base[:len(prefix)] != prefix || base[len(base)-len(suffix):] != suffix {
+		return 0, false
+	}
+	n, err := strconv.Atoi(base[len(prefix) : len(base)-len(suffix)])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// newestBaseline picks the default baseline: the BENCH_PR*.json with the
+// highest PR number in dir, excluding the candidate report itself.
+func newestBaseline(dir, exclude string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		if filepath.Clean(m) == filepath.Clean(exclude) {
+			continue
+		}
+		n, ok := prNumber(filepath.Base(m))
+		if !ok {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR*.json baseline found in %s", dir)
+	}
+	return best, nil
+}
+
 func pct(oldV, newV int64) float64 {
 	if oldV <= 0 {
 		return 0
@@ -59,8 +106,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		oldPath   = fs.String("old", "BENCH_PR2.json", "baseline report")
-		newPath   = fs.String("new", "BENCH_PR3.json", "candidate report")
+		basePath  = fs.String("baseline", "", "baseline report (default: newest BENCH_PR*.json beside -new, excluding -new itself)")
+		oldPath   = fs.String("old", "", "deprecated alias for -baseline")
+		newPath   = fs.String("new", "BENCH_PR6.json", "candidate report")
 		tolerance = fs.Float64("tolerance", 10, "max allowed regression in percent")
 		minAllocs = fs.Int64("minallocs", 64, "allocs/op noise floor below which the allocs gate is skipped")
 	)
@@ -68,7 +116,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	oldRep, err := load(*oldPath)
+	baseline := *basePath
+	if baseline == "" {
+		baseline = *oldPath
+	}
+	if baseline == "" {
+		var err error
+		baseline, err = newestBaseline(filepath.Dir(*newPath), *newPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: baseline %s\n", baseline)
+	}
+
+	oldRep, err := load(baseline)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2

@@ -110,6 +110,66 @@ func TestAllocNoiseFloor(t *testing.T) {
 	}
 }
 
+// Baseline auto-selection picks the highest PR number — numerically, not
+// lexically (PR10 beats PR2 even though "BENCH_PR2" sorts after
+// "BENCH_PR10") — and never picks the -new report itself.
+func TestBaselineAutoSelection(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("BENCH_PR2.json", `{"records": 1000, "figure6_sinew": [
+	  {"query": "q1", "sql": "SELECT 1", "ns_per_op": 9000, "allocs_per_op": 100}]}`)
+	write("BENCH_PR10.json", baseline)
+	newP := write("new.json", baseline)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-new", newP}, &out, &errb); code != 0 {
+		t.Fatalf("run() = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "baseline "+filepath.Join(dir, "BENCH_PR10.json")) {
+		t.Errorf("should pick BENCH_PR10.json (numeric ordering):\n%s", out.String())
+	}
+
+	// When -new is itself the newest BENCH_PR file, it must be skipped.
+	newP = write("BENCH_PR11.json", baseline)
+	out.Reset()
+	if code := run([]string{"-new", newP}, &out, &errb); code != 0 {
+		t.Fatalf("run() = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "baseline "+filepath.Join(dir, "BENCH_PR10.json")) {
+		t.Errorf("auto-selection must exclude the -new report:\n%s", out.String())
+	}
+}
+
+// An explicit -baseline wins over auto-selection; an empty directory
+// fails with a diagnostic instead of diffing nothing.
+func TestBaselineFlagAndMissing(t *testing.T) {
+	oldP := writeReport(t, "BENCH_PR9.json", baseline)
+	newP := writeReport(t, "new.json", baseline)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", oldP, "-new", newP}, &out, &errb); code != 0 {
+		t.Fatalf("run() = %d, want 0 with explicit -baseline\nstderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "benchdiff: baseline ") {
+		t.Errorf("explicit -baseline must not trigger auto-selection:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-new", newP}, &out, &errb); code != 2 {
+		t.Fatalf("run() = %d, want 2 when no BENCH_PR*.json exists", code)
+	}
+	if !strings.Contains(errb.String(), "no BENCH_PR*.json baseline") {
+		t.Errorf("stderr should explain the missing baseline: %q", errb.String())
+	}
+}
+
 func TestRecordCountMismatch(t *testing.T) {
 	oldP := writeReport(t, "old.json", baseline)
 	newP := writeReport(t, "new.json", `{"records": 2000, "figure6_sinew": []}`)

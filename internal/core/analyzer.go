@@ -110,7 +110,8 @@ func (db *DB) MaterializedColumns(collection string) []*ColumnInfo {
 	}
 	var out []*ColumnInfo
 	for _, c := range tc.Columns() {
-		if c.Materialized || c.PhysicalName != "" {
+		phys, materialized, _ := tc.matState(c)
+		if materialized || phys != "" {
 			out = append(out, c)
 		}
 	}

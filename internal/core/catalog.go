@@ -177,6 +177,16 @@ func (tc *CollectionCatalog) Columns() []*ColumnInfo {
 	return out
 }
 
+// matState snapshots a column's materialization fields under the catalog
+// lock. Query planning runs concurrently with the materializer, which
+// flips these fields while holding tc.mu; readers holding a shared
+// *ColumnInfo must go through here rather than touch the fields directly.
+func (tc *CollectionCatalog) matState(col *ColumnInfo) (phys string, materialized, dirty bool) {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return col.PhysicalName, col.Materialized, col.Dirty
+}
+
 // DirtyColumns returns columns with the dirty bit set (the materializer's
 // poll, §3.1.4).
 func (tc *CollectionCatalog) DirtyColumns() []*ColumnInfo {

@@ -170,7 +170,6 @@ func (m *Materializer) RunOnce(collection string) (int64, error) {
 			if physIdx < 0 {
 				continue
 			}
-			nested := pathDepth(col.Key) > 1
 			if col.Materialized {
 				v, found := docGetTyped(doc, col.Key, col.Type)
 				if !found {
@@ -180,18 +179,20 @@ func (m *Materializer) RunOnce(collection string) (int64, error) {
 				if err != nil {
 					return moved, err
 				}
-				// Top-level keys MOVE; nested keys are COPIED so the parent
-				// object stays whole-referenceable (§4.2 — materializing a
-				// parent and its sub-attributes duplicates the overlap).
-				if !nested {
-					docDeletePath(doc, col.Key, col.Type)
-				}
+				// The reservoir copy stays in place for now: §4.2's top-level
+				// MOVE is completed by the purge sweep below, after the epoch
+				// bump, so plans bound to either location keep seeing the
+				// value throughout this sweep.
 				row[physIdx] = d
 				changed = true
 				moved++
 			} else {
 				// Physical column → reservoir (overwriting any stale copy a
-				// nested parent may hold).
+				// nested parent may hold). The physical value stays in place:
+				// plans bound before the mode flip still read the column
+				// directly, so both locations must agree until the end-of-pass
+				// DROP COLUMN removes the physical side wholesale. A resumed
+				// pass re-copies already-moved rows, which is idempotent.
 				if row[physIdx].IsNull() {
 					continue
 				}
@@ -200,7 +201,6 @@ func (m *Materializer) RunOnce(collection string) (int64, error) {
 					return moved, err
 				}
 				docSetPath(doc, col.Key, jv)
-				row[physIdx] = types.NewNull(sqlTypeOf(col.Type))
 				changed = true
 				moved++
 			}
@@ -220,11 +220,67 @@ func (m *Materializer) RunOnce(collection string) (int64, error) {
 		}
 	}
 	m.RowsMoved.Add(moved)
-	// Values changed location between reservoir and physical columns;
+	// Values gained a second location (reservoir ↔ physical column);
 	// cached plans that bound either representation must be rebuilt.
 	m.db.rdb.BumpCatalogEpoch()
 	if interrupted {
 		return moved, nil // dirty bits stay set; next run resumes
+	}
+
+	// Purge sweep: complete the §4.2 top-level MOVE by deleting the
+	// reservoir copies of promoted keys (nested keys stay COPIED so the
+	// parent object remains whole-referenceable). This runs after the
+	// epoch bump, so stale extract-based plans were invalidated while the
+	// copies were still in place; plans built during this sweep still see
+	// the dirty bit and COALESCE over the physical column, which the copy
+	// sweep filled. Rows are re-read rather than reusing the first
+	// snapshot so updates landed between the sweeps are preserved.
+	var purge []*ColumnInfo
+	for _, col := range mats {
+		if pathDepth(col.Key) == 1 && col.PhysicalName != "" {
+			purge = append(purge, col)
+		}
+	}
+	if len(purge) > 0 {
+		work = work[:0]
+		err = m.db.rdb.ScanTable(collection, func(id storage.RowID, row storage.Row) bool {
+			work = append(work, pending{id: id, row: row.Clone()})
+			return true
+		})
+		if err != nil {
+			return moved, err
+		}
+		for _, w := range work {
+			if m.paused.Load() {
+				return moved, nil // dirty bits stay set; next run redoes the pass
+			}
+			row := w.row
+			if row[reservoirIdx].IsNull() {
+				continue
+			}
+			doc, err := serial.Deserialize(row[reservoirIdx].Bs, m.db.dict())
+			if err != nil {
+				return moved, err
+			}
+			changed := false
+			for _, col := range purge {
+				if _, found := docGetTyped(doc, col.Key, col.Type); found {
+					docDeletePath(doc, col.Key, col.Type)
+					changed = true
+				}
+			}
+			if !changed {
+				continue
+			}
+			data, err := serial.Serialize(doc, m.db.dict())
+			if err != nil {
+				return moved, err
+			}
+			row[reservoirIdx] = types.NewBytes(data)
+			if err := m.db.rdb.UpdateRow(collection, w.id, row); err != nil {
+				return moved, err
+			}
+		}
 	}
 
 	// Full pass complete: clear dirty bits; drop columns fully

@@ -302,11 +302,12 @@ func (rw *rewriter) expandStar(tableQual string) ([]sqlparse.SelectItem, error) 
 			Expr: &sqlparse.ColumnRef{Table: t.eff, Name: IDColumn}, Alias: IDColumn,
 		})
 		for _, col := range t.cat.Columns() {
-			if col.PhysicalName == "" {
+			phys, _, dirty := t.cat.matState(col)
+			if phys == "" {
 				continue
 			}
-			ref := sqlparse.Expr(&sqlparse.ColumnRef{Table: t.eff, Name: col.PhysicalName})
-			if col.Dirty {
+			ref := sqlparse.Expr(&sqlparse.ColumnRef{Table: t.eff, Name: phys})
+			if dirty {
 				ref = &sqlparse.FuncCall{Name: "coalesce", Args: []sqlparse.Expr{
 					ref, rw.extractCall(t.eff, col.Key, col.Type),
 				}}
@@ -669,13 +670,14 @@ func (rw *rewriter) columnRef(cr *sqlparse.ColumnRef, h hint) (sqlparse.Expr, er
 		col = cands[0]
 	}
 
-	if col.PhysicalName != "" && col.Materialized && !col.Dirty {
-		return &sqlparse.ColumnRef{Table: t.eff, Name: col.PhysicalName}, nil
+	phys, materialized, dirty := t.cat.matState(col)
+	if phys != "" && materialized && !dirty {
+		return &sqlparse.ColumnRef{Table: t.eff, Name: phys}, nil
 	}
-	if col.PhysicalName != "" && col.Dirty {
+	if phys != "" && dirty {
 		// Partially materialized either way: COALESCE over both locations.
 		return &sqlparse.FuncCall{Name: "coalesce", Args: []sqlparse.Expr{
-			&sqlparse.ColumnRef{Table: t.eff, Name: col.PhysicalName},
+			&sqlparse.ColumnRef{Table: t.eff, Name: phys},
 			rw.extractCall(t.eff, cr.Name, col.Type),
 		}}, nil
 	}
@@ -742,11 +744,12 @@ func (rw *rewriter) extractCall(tableEff, key string, t serial.AttrType) sqlpars
 		}
 		parent, rest := key[:i], key[i+1:]
 		for _, pc := range tc.ColumnsByKey(parent) {
-			if pc.Type != serial.TypeObject || pc.PhysicalName == "" {
+			phys, _, dirty := tc.matState(pc)
+			if pc.Type != serial.TypeObject || phys == "" {
 				continue
 			}
-			fromParent := rawExtract(t, &sqlparse.ColumnRef{Table: tableEff, Name: pc.PhysicalName}, rest)
-			if pc.Dirty {
+			fromParent := rawExtract(t, &sqlparse.ColumnRef{Table: tableEff, Name: phys}, rest)
+			if dirty {
 				return &sqlparse.FuncCall{Name: "coalesce", Args: []sqlparse.Expr{fromParent, fromReservoir}}
 			}
 			return fromParent
@@ -844,13 +847,18 @@ func (rw *rewriter) updateStmt(st *sqlparse.UpdateStmt) (sqlparse.Statement, err
 				col = cands[0]
 			}
 		}
+		var physName string
+		var physDirty bool
+		if col != nil {
+			physName, _, physDirty = t.cat.matState(col)
+		}
 		switch {
-		case col != nil && col.PhysicalName != "" && !col.Dirty:
-			out.Set = append(out.Set, sqlparse.SetClause{Column: col.PhysicalName, Value: rhs})
-		case col != nil && col.PhysicalName != "" && col.Dirty:
+		case col != nil && physName != "" && !physDirty:
+			out.Set = append(out.Set, sqlparse.SetClause{Column: physName, Value: rhs})
+		case col != nil && physName != "" && physDirty:
 			// Write the physical column and purge any reservoir copy so the
 			// two locations never disagree.
-			out.Set = append(out.Set, sqlparse.SetClause{Column: col.PhysicalName, Value: rhs})
+			out.Set = append(out.Set, sqlparse.SetClause{Column: physName, Value: rhs})
 			dataExpr = &sqlparse.FuncCall{Name: "sinew_remove_key", Args: []sqlparse.Expr{
 				dataExpr, &sqlparse.Literal{Val: types.NewText(set.Column)},
 			}}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// segmentDB loads enough random documents that ANALYZE freezes several
+// full pages into column-striped segments (rowsPerPage = 128, so 400
+// documents give three freezable pages plus a row-form tail).
+func segmentDB(t *testing.T) (*DB, int) {
+	t.Helper()
+	db := Open(DefaultConfig())
+	if err := db.CreateCollection("d"); err != nil {
+		t.Fatal(err)
+	}
+	docs := randomDocs(rand.New(rand.NewSource(7)), 400)
+	if _, err := db.LoadDocuments("d", docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RDBMS().Analyze("d"); err != nil {
+		t.Fatal(err)
+	}
+	heap, _, err := db.RDBMS().Table("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := heap.NumFrozenPages()
+	if frozen == 0 {
+		t.Fatal("ANALYZE froze no pages; striped path untested")
+	}
+	return db, frozen
+}
+
+func frozenPages(t *testing.T, db *DB) int {
+	t.Helper()
+	heap, _, err := db.RDBMS().Table("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return heap.NumFrozenPages()
+}
+
+func mustSet(t *testing.T, db *DB, stmts ...string) {
+	t.Helper()
+	for _, s := range stmts {
+		if _, err := db.RDBMS().Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+// sortedResultKey flattens a result to an order-insensitive comparable
+// string: the parallel leg's gather may interleave partitions.
+func sortedResultKey(res *QueryResult) string {
+	lines := strings.Split(resultKey(res), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// segmentLegs are the executor configurations every query must agree
+// across: the row-at-a-time reference, the plain batch pipeline, the
+// striped segment scan, and the parallel striped scan.
+var segmentLegs = []struct {
+	name  string
+	stmts []string
+}{
+	{"row", []string{
+		`SET enable_batch = off`, `SET enable_striped = off`,
+		`SET max_parallel_workers = 1`}},
+	{"batch", []string{
+		`SET enable_batch = on`, `SET enable_striped = off`,
+		`SET max_parallel_workers = 1`}},
+	{"striped", []string{
+		`SET enable_batch = on`, `SET enable_striped = on`,
+		`SET max_parallel_workers = 1`}},
+	{"striped-parallel", []string{
+		`SET enable_batch = on`, `SET enable_striped = on`,
+		`SET max_parallel_workers = 4`, `SET parallel_scan_min_pages = 1`}},
+}
+
+// runSegmentLegs runs every query under every leg and fails on any
+// divergence from the row-mode reference.
+func runSegmentLegs(t *testing.T, db *DB, phase string, queries []string) {
+	t.Helper()
+	for _, q := range queries {
+		var ref string
+		for _, leg := range segmentLegs {
+			mustSet(t, db, leg.stmts...)
+			res, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("%s/%s: %s: %v", phase, leg.name, q, err)
+			}
+			key := sortedResultKey(res)
+			if leg.name == "row" {
+				ref = key
+				continue
+			}
+			if key != ref {
+				t.Errorf("%s/%s: %s diverges from row mode\nrow:\n%s\n%s:\n%s",
+					phase, leg.name, q, ref, leg.name, key)
+			}
+		}
+	}
+	mustSet(t, db, segmentLegs[0].stmts...) // leave in a known state
+}
+
+// TestStripedSegmentDifferential pins the tentpole's correctness
+// contract: with cold pages frozen into per-attribute segments, every
+// executor leg returns the same rows — including after an UPDATE
+// un-freezes pages mid-table, leaving a frozen/row-form mix.
+func TestStripedSegmentDifferential(t *testing.T) {
+	db, frozen := segmentDB(t)
+	queries := []string{
+		`SELECT name FROM d`,
+		`SELECT name, num, score, flag FROM d`,
+		`SELECT "user.lang", name FROM d`,
+		`SELECT dyn, num FROM d`,
+		`SELECT name, num FROM d WHERE num >= 10`,
+		`SELECT COUNT(*) FROM d WHERE score IS NOT NULL`,
+		// Predicate hoisting: striped scans keep the filter in a
+		// BatchFilterIter above the scan, including string matches over
+		// extracted virtual keys.
+		`SELECT * FROM d WHERE name = 'frosty' OR num < 5`,
+		`SELECT num FROM d WHERE "user.lang" = 'en' AND num >= 0`,
+	}
+	runSegmentLegs(t, db, "frozen", queries)
+
+	// UPDATE rows scattered across the table: the touched pages un-freeze
+	// back to row form, so scans now cross a frozen/row-form mix.
+	mustSet(t, db, `SET enable_batch = on`, `SET enable_striped = on`)
+	if _, err := db.Query(`UPDATE d SET name = 'frosty' WHERE num = 7`); err != nil {
+		t.Fatal(err)
+	}
+	after := frozenPages(t, db)
+	if after >= frozen {
+		t.Fatalf("UPDATE left frozen pages at %d (was %d); expected un-freeze", after, frozen)
+	}
+	runSegmentLegs(t, db, "mixed", queries)
+
+	// Re-ANALYZE re-freezes the cooled pages and the legs still agree.
+	if err := db.RDBMS().Analyze("d"); err != nil {
+		t.Fatal(err)
+	}
+	if got := frozenPages(t, db); got <= after {
+		t.Fatalf("re-ANALYZE refroze nothing: %d pages (was %d)", got, after)
+	}
+	runSegmentLegs(t, db, "refrozen", queries)
+}
+
+// TestStripedExplainAnnotation pins the EXPLAIN surface: scans over a
+// segmented heap advertise the striped path, and SET enable_striped =
+// off removes it.
+func TestStripedExplainAnnotation(t *testing.T) {
+	db, _ := segmentDB(t)
+	text, err := db.Explain(`SELECT name, num FROM d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "striped") {
+		t.Errorf("EXPLAIN should show the striped scan:\n%s", text)
+	}
+	// Predicates do not disqualify striping: the filter is hoisted above
+	// the scan at open time, and the plan still advertises the mode.
+	text, err = db.Explain(`SELECT name FROM d WHERE num >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "striped") {
+		t.Errorf("EXPLAIN of a filtered scan should still show striped:\n%s", text)
+	}
+	mustSet(t, db, `SET enable_striped = off`)
+	text, err = db.Explain(`SELECT name, num FROM d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "striped") {
+		t.Errorf("enable_striped=off must disable the striped path:\n%s", text)
+	}
+}
+
+// statCounter pulls one counter out of sinew_stats()'s one-line summary.
+func statCounter(t *testing.T, db *DB, key string) int64 {
+	t.Helper()
+	res, err := db.Query(`SELECT sinew_stats()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Rows[0][0].S
+	for _, field := range strings.Fields(text) {
+		if rest, ok := strings.CutPrefix(field, key+"="); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("sinew_stats %s: %v in %q", key, err, text)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sinew_stats output lacks %s: %q", key, text)
+	return 0
+}
+
+// TestSinewStatsSegmentCounters checks the observability surface: the
+// segment totals move as pages freeze, are scanned, and un-freeze.
+func TestSinewStatsSegmentCounters(t *testing.T) {
+	db, frozen := segmentDB(t)
+	if got := statCounter(t, db, "segments_total"); got != int64(frozen) {
+		t.Errorf("segments_total = %d, want %d", got, frozen)
+	}
+
+	scanned := statCounter(t, db, "segments_scanned")
+	if _, err := db.Query(`SELECT name, num FROM d`); err != nil {
+		t.Fatal(err)
+	}
+	if got := statCounter(t, db, "segments_scanned"); got <= scanned {
+		t.Errorf("segments_scanned stuck at %d after a striped scan", got)
+	}
+
+	unfrozen := statCounter(t, db, "segment_pages_unfrozen")
+	if _, err := db.Query(`UPDATE d SET name = 'thaw' WHERE num = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if got := statCounter(t, db, "segment_pages_unfrozen"); got <= unfrozen {
+		t.Errorf("segment_pages_unfrozen stuck at %d after UPDATE", got)
+	}
+	if got := statCounter(t, db, "segments_total"); got >= int64(frozen) {
+		t.Errorf("segments_total = %d after un-freeze, want < %d", got, frozen)
+	}
+}

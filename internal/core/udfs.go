@@ -296,9 +296,11 @@ func (db *DB) registerUDFs() {
 		Eval: func([]types.Datum) (types.Datum, error) {
 			s := db.rdb.PlanCacheStats()
 			skipped, workers := db.rdb.Pager().ExecStats()
+			segScanned, segUnfrozen := db.rdb.Pager().SegStats()
 			return types.NewText(fmt.Sprintf(
-				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d",
-				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch, skipped, workers)), nil
+				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d segments_total=%d segments_scanned=%d segment_pages_unfrozen=%d",
+				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch, skipped, workers,
+				db.rdb.FrozenPages(), segScanned, segUnfrozen)), nil
 		},
 	})
 
@@ -361,6 +363,11 @@ func (db *DB) registerUDFs() {
 				return nil
 			}, nil
 		})
+
+	// The striped counterpart: when a scan delivers a frozen page's
+	// reservoir column as a per-attribute segment (see segment.go), the
+	// fused kernel streams typed vectors instead of decoding records.
+	db.rdb.RegisterStripedExtract("sinew_extract", db.stripedExtractFactory)
 
 	// The attribute resolver backs page skipping: the planner maps an
 	// extraction key to the set of dictionary attribute IDs whose joint

@@ -10,16 +10,19 @@ import (
 // EnumSwitch enforces exhaustiveness for switches over the engine's value
 // tags: types.Type (the SQL type tag every datum carries), jsonx.Kind (the
 // parsed-JSON tag), and any other module-internal integer "enum" named
-// Type, Kind, or AttrType. Extraction produces every tag the serializer
-// can write, so a switch in the typed-datum layer that silently falls
-// through for a missing tag turns new value kinds into wrong answers
-// rather than errors; each such switch must either list every declared
-// constant of the enum or carry a default arm.
+// Type, Kind, AttrType, or SegEncoding (the segment vector encoding tag).
+// Extraction produces every tag the serializer can write, so a switch in
+// the typed-datum layer that silently falls through for a missing tag
+// turns new value kinds into wrong answers rather than errors; each such
+// switch must either list every declared constant of the enum or carry a
+// default arm.
 type EnumSwitch struct{}
 
 // enumTypeNames are the module-internal named integer types treated as
 // closed enums.
-var enumTypeNames = map[string]bool{"Type": true, "Kind": true, "AttrType": true}
+var enumTypeNames = map[string]bool{
+	"Type": true, "Kind": true, "AttrType": true, "SegEncoding": true,
+}
 
 // ID implements Check.
 func (*EnumSwitch) ID() string { return "datum-switch" }

@@ -60,3 +60,35 @@ func Matches(k, other Kind) bool {
 	}
 	return false
 }
+
+// SegEncoding mirrors the segment store's vector encoding tag — a closed
+// enum the check must also police.
+type SegEncoding uint8
+
+// The closed set of vector encodings.
+const (
+	SegStr SegEncoding = iota
+	SegInt
+	SegRaw
+)
+
+// DecodeWidth misses SegRaw and has no default arm: flagged.
+func DecodeWidth(e SegEncoding) int {
+	switch e { // want `switch on datumswitch\.SegEncoding is not exhaustive: missing SegRaw`
+	case SegStr:
+		return 0
+	case SegInt:
+		return 8
+	}
+	return 0
+}
+
+// DecodeName carries a default arm, making the switch total: no finding.
+func DecodeName(e SegEncoding) string {
+	switch e {
+	case SegStr:
+		return "str"
+	default:
+		return "other"
+	}
+}

@@ -65,6 +65,13 @@ func (db *DB) RegisterMultiExtract(family string, f exec.MultiExtractFactory) {
 	db.funcs.RegisterMultiExtract(family, f)
 }
 
+// RegisterStripedExtract installs the segment-kernel factory for a
+// function family — the striped-scan counterpart of RegisterMultiExtract,
+// used when scans deliver frozen-page column segments with their batches.
+func (db *DB) RegisterStripedExtract(family string, f exec.SegExtractFactory) {
+	db.funcs.RegisterStripedExtract(family, f)
+}
+
 // Funcs exposes the function registry (read-mostly).
 func (db *DB) Funcs() *exec.Registry { return db.funcs }
 
@@ -194,6 +201,12 @@ func (db *DB) execSet(st *sqlparse.SetStmt) (*Result, error) {
 			return nil, err
 		}
 		db.cfg.EnablePageSkip = b
+	case "enable_striped":
+		b, err := setBoolValue(st)
+		if err != nil {
+			return nil, err
+		}
+		db.cfg.EnableStriped = b
 	default:
 		return nil, fmt.Errorf("rdbms: SET %s: unrecognized configuration parameter (known: %s)",
 			st.Name, strings.Join(sessionVars, ", "))
@@ -204,7 +217,7 @@ func (db *DB) execSet(st *sqlparse.SetStmt) (*Result, error) {
 // sessionVars lists every session variable execSet accepts, for the
 // unknown-parameter error. Keep sorted and in sync with the switch above.
 var sessionVars = []string{
-	"batch_size", "enable_batch", "enable_page_skip",
+	"batch_size", "enable_batch", "enable_page_skip", "enable_striped",
 	"max_parallel_workers", "parallel_scan_min_pages",
 }
 
@@ -651,7 +664,9 @@ func (db *DB) execAlterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
 		if err := t.heap.Schema().AddColumn(col); err != nil {
 			return nil, err
 		}
-		t.heap.AddColumnData()
+		if err := t.heap.AddColumnData(); err != nil {
+			return nil, err
+		}
 	case st.DropColumn != "":
 		idx := t.heap.Schema().ColumnIndex(st.DropColumn)
 		if idx < 0 {
@@ -660,7 +675,9 @@ func (db *DB) execAlterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
 		if err := t.heap.Schema().DropColumn(st.DropColumn); err != nil {
 			return nil, err
 		}
-		t.heap.DropColumnData(idx)
+		if err := t.heap.DropColumnData(idx); err != nil {
+			return nil, err
+		}
 	}
 	// Schema changed; statistics are stale.
 	t.stats = nil
@@ -692,6 +709,9 @@ func (db *DB) Analyze(name string) error {
 	t.mu.RUnlock()
 	t.mu.Lock()
 	t.stats = stats
+	// ANALYZE doubles as the compaction trigger: cold full pages freeze
+	// into column-striped segments (no-op without a segmenter).
+	t.heap.FreezeColdPages()
 	t.mu.Unlock()
 	// New statistics can change plan choice; cached plans are stale.
 	db.BumpCatalogEpoch()
@@ -812,6 +832,20 @@ func (db *DB) TotalSizeBytes() int64 {
 	for _, t := range db.tables {
 		t.mu.RLock()
 		total += t.heap.SizeBytes()
+		t.mu.RUnlock()
+	}
+	return total
+}
+
+// FrozenPages sums the column-striped (frozen) page count across all
+// tables — the segments_total figure of sinew_stats().
+func (db *DB) FrozenPages() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var total int64
+	for _, t := range db.tables {
+		t.mu.RLock()
+		total += int64(t.heap.NumFrozenPages())
 		t.mu.RUnlock()
 	}
 	return total

@@ -43,6 +43,12 @@ type RowBatch struct {
 	n     int
 	Cols  [][]types.Datum
 	Nulls []NullBitmap
+	// Segs, when non-nil, carries the column segments backing this batch:
+	// Segs[j] is the striped encoding of column j when the batch aliases a
+	// frozen heap page, nil for plain columns. Only striped scans set it;
+	// segment-aware operators (BatchMultiExtractIter.SegKernel) may read a
+	// column's values straight from the segment instead of Cols[j].
+	Segs []storage.ColumnSegment
 }
 
 // NewRowBatch returns an empty batch of the given width with capacity for
@@ -68,6 +74,7 @@ func (b *RowBatch) Width() int { return len(b.Cols) }
 // Reset empties the batch, keeping column capacity.
 func (b *RowBatch) Reset() {
 	b.n = 0
+	b.Segs = nil
 	for j := range b.Cols {
 		b.Cols[j] = b.Cols[j][:0]
 		for w := range b.Nulls[j] {
@@ -392,6 +399,13 @@ type BatchScanIter struct {
 	rowBuf []storage.Row
 	ctx    *EvalCtx
 	keep   []bool
+
+	// Striped page mode (EnableStriped): page-at-a-time reads that deliver
+	// frozen pages as column aliases plus their segments. See striped.go.
+	striped bool
+	shell   *RowBatch     // frozen-page shell; aliases, never pooled/Reset
+	own     *RowBatch     // owned transpose buffer for row-form pages
+	pageBuf []storage.Row // ReadPage row buffer (one full page)
 }
 
 // NewBatchScan returns a batch scan over all pages of h.
@@ -428,6 +442,9 @@ func (s *BatchScanIter) SetPageSkip(f func(*storage.PageSummary) bool) { s.chunk
 
 // NextBatch implements BatchIterator.
 func (s *BatchScanIter) NextBatch() (*RowBatch, error) {
+	if s.striped {
+		return s.nextStriped()
+	}
 	if s.rowBuf == nil {
 		s.rowBuf = make([]storage.Row, s.size)
 	}
@@ -468,6 +485,10 @@ func (s *BatchScanIter) Close() {
 	if s.batch != nil {
 		PutBatch(s.batch)
 		s.batch = nil
+	}
+	if s.own != nil {
+		PutBatch(s.own)
+		s.own = nil
 	}
 }
 
@@ -529,6 +550,12 @@ func compactBatch(b *RowBatch, keep []bool) int {
 type BatchFilterIter struct {
 	In   BatchIterator
 	Pred Expr
+	// Pooled borrows the output buffer from the batch pool and returns it
+	// on Close, so column capacity survives across queries. Only safe when
+	// producer and consumer share one goroutine and the consumer honors
+	// the batch-validity contract (the scan's hoisted striped filter);
+	// batches that cross a channel must keep the default private buffer.
+	Pooled bool
 
 	ctx  *EvalCtx
 	out  *RowBatch
@@ -555,7 +582,11 @@ func (f *BatchFilterIter) NextBatch() (*RowBatch, error) {
 		}
 		f.keep = keep
 		if f.out == nil {
-			f.out = NewRowBatch(in.Width(), in.Len())
+			if f.Pooled {
+				f.out = GetBatch(in.Width())
+			} else {
+				f.out = NewRowBatch(in.Width(), in.Len())
+			}
 		}
 		out := f.out
 		out.Reset()
@@ -564,16 +595,27 @@ func (f *BatchFilterIter) NextBatch() (*RowBatch, error) {
 			out.Nulls = append(out.Nulls, nil)
 		}
 		n := in.Len()
+		kept := 0
+		for i := 0; i < n; i++ {
+			if keep[i] {
+				kept++
+			}
+		}
 		for j := range in.Cols {
+			src := in.Cols[j]
 			col := out.Cols[j][:0]
-			for i := 0; i < n; i++ {
-				if keep[i] {
-					col = append(col, in.Cols[j][i])
+			// A column-pruned scan leaves unneeded columns empty; keep
+			// them empty rather than indexing past their length.
+			if len(src) == n {
+				for i := 0; i < n; i++ {
+					if keep[i] {
+						col = append(col, src[i])
+					}
 				}
 			}
 			out.SetCol(j, col)
-			out.n = len(col)
 		}
+		out.n = kept
 		if out.n > 0 {
 			return out, nil
 		}
@@ -581,7 +623,13 @@ func (f *BatchFilterIter) NextBatch() (*RowBatch, error) {
 }
 
 // Close implements BatchIterator.
-func (f *BatchFilterIter) Close() { f.In.Close() }
+func (f *BatchFilterIter) Close() {
+	f.In.Close()
+	if f.Pooled && f.out != nil {
+		PutBatch(f.out)
+		f.out = nil
+	}
+}
 
 // RowBudgeter is implemented by cardinality-preserving batch operators
 // that can skip work for rows a LIMIT above them will discard. A parent
@@ -727,9 +775,16 @@ type BatchMultiExtractIter struct {
 	DataIdx int
 	Kernel  MultiExtractKernel
 	K       int
+	// SegKernel, when set, handles batches whose data column carries a
+	// striped ColumnSegment (RowBatch.Segs, attached by striped scans):
+	// the requested keys are read from the segment's per-attribute vectors
+	// instead of decoding each record. A segment the kernel does not
+	// recognize falls back to Kernel over the materialized column.
+	SegKernel SegExtractKernel
 
 	out       *RowBatch
 	cols      [][]types.Datum
+	segs      []storage.ColumnSegment
 	budget    int64
 	budgetSet bool
 }
@@ -773,19 +828,46 @@ func (m *BatchMultiExtractIter) NextBatch() (*RowBatch, error) {
 	for j := 0; j < inW; j++ {
 		out.AliasCol(j, in, j)
 	}
-	n := in.Len()
-	if len(in.Cols[m.DataIdx]) != n {
-		return nil, fmt.Errorf("exec: multi-extract data column %d not materialized (%d of %d rows)",
-			m.DataIdx, len(in.Cols[m.DataIdx]), n)
+	// Segments pass through like columns do (appended extraction outputs
+	// are plain), so a further extraction stacked above still sees its data
+	// column striped.
+	out.Segs = nil
+	if in.Segs != nil {
+		if cap(m.segs) < outW {
+			m.segs = make([]storage.ColumnSegment, outW)
+		}
+		segs := m.segs[:outW]
+		copy(segs, in.Segs)
+		for j := len(in.Segs); j < outW; j++ {
+			segs[j] = nil
+		}
+		out.Segs = segs
 	}
+	n := in.Len()
 	for k := 0; k < m.K; k++ {
 		if cap(m.cols[k]) < n {
 			m.cols[k] = make([]types.Datum, n)
 		}
 		m.cols[k] = m.cols[k][:n]
 	}
-	if err := m.Kernel(in.Cols[m.DataIdx], m.cols); err != nil {
-		return nil, err
+	handled := false
+	if m.SegKernel != nil && m.DataIdx < len(in.Segs) {
+		if seg := in.Segs[m.DataIdx]; seg != nil && seg.NumRows() == n {
+			var err error
+			handled, err = m.SegKernel(seg, m.cols)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !handled {
+		if len(in.Cols[m.DataIdx]) != n {
+			return nil, fmt.Errorf("exec: multi-extract data column %d not materialized (%d of %d rows)",
+				m.DataIdx, len(in.Cols[m.DataIdx]), n)
+		}
+		if err := m.Kernel(in.Cols[m.DataIdx], m.cols); err != nil {
+			return nil, err
+		}
 	}
 	for k := 0; k < m.K; k++ {
 		out.SetCol(inW+k, m.cols[k])

@@ -17,6 +17,13 @@ type EvalCtx struct {
 	// batches (its content never changes), so constant arguments cost one
 	// allocation per query instead of one per batch.
 	consts map[*ConstExpr][]types.Datum
+	// predCol is a scratch result column armed by EvalPredBatch and
+	// consumed by at most one evalBatchFallback per predicate evaluation.
+	// Predicate columns are reduced to a keep mask immediately, so reusing
+	// the buffer across batches is safe there — but nowhere else: project
+	// results are retained as output columns.
+	predCol      []types.Datum
+	predColArmed bool
 }
 
 // NewEvalCtx returns a fresh evaluation context.
@@ -284,7 +291,20 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 // path that preserves short-circuit semantics.
 func evalBatchFallback(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 	n := b.Len()
-	out := make([]types.Datum, n)
+	var out []types.Datum
+	if ctx.predColArmed {
+		// Predicate evaluation: the result is folded into a keep mask
+		// before the next EvalBatch on this ctx, so a reused scratch
+		// column is safe. One consumer per predicate — a nested operand
+		// result must survive while its parent node computes.
+		ctx.predColArmed = false
+		if cap(ctx.predCol) < n {
+			ctx.predCol = make([]types.Datum, n)
+		}
+		out = ctx.predCol[:n]
+	} else {
+		out = make([]types.Datum, n)
+	}
 	row := ctx.scratchRow()
 	for i := 0; i < n; i++ {
 		row = b.Row(i, row)
@@ -304,7 +324,9 @@ func evalBatchFallback(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error)
 // enough.
 func EvalPredBatch(pred Expr, b *RowBatch, ctx *EvalCtx, keep []bool) ([]bool, error) {
 	n := b.Len()
+	ctx.predColArmed = true
 	col, err := EvalBatch(pred, b, ctx)
+	ctx.predColArmed = false
 	if err != nil {
 		return nil, err
 	}

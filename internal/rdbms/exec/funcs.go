@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
 	"github.com/sinewdata/sinew/internal/rdbms/types"
 )
 
@@ -73,6 +74,19 @@ type MultiExtractKernel func(data []types.Datum, out [][]types.Datum) error
 // dictionary lookups) and must not be shared across goroutines.
 type MultiExtractFactory func(reqs []MultiExtractReq) (MultiExtractKernel, error)
 
+// SegExtractKernel evaluates a fused multi-extraction straight against a
+// striped column segment (one frozen page of the data column), filling the
+// same out columns a MultiExtractKernel would. handled=false means the
+// kernel does not recognize the segment's concrete type; the caller falls
+// back to the row kernel over the materialized column. Results must agree
+// with the row kernel cell-for-cell.
+type SegExtractKernel func(seg storage.ColumnSegment, out [][]types.Datum) (handled bool, err error)
+
+// SegExtractFactory builds a segment kernel for a fixed request set. Like
+// MultiExtractFactory instances, kernels carry scratch state and must not
+// be shared across goroutines.
+type SegExtractFactory func(reqs []MultiExtractReq) (SegExtractKernel, error)
+
 // UDFBatchCtx is per-batch scratch state shared by every batch-aware UDF
 // call site in one pipeline. Cache is cleared at each batch boundary.
 type UDFBatchCtx struct {
@@ -91,6 +105,7 @@ type AttrResolver func(key string) []uint32
 type Registry struct {
 	funcs    map[string]*FuncDef
 	multi    map[string]MultiExtractFactory
+	striped  map[string]SegExtractFactory
 	resolver AttrResolver
 }
 
@@ -103,8 +118,9 @@ func (r *Registry) AttrResolverFn() AttrResolver { return r.resolver }
 // NewRegistry returns a registry preloaded with the built-in functions.
 func NewRegistry() *Registry {
 	r := &Registry{
-		funcs: make(map[string]*FuncDef),
-		multi: make(map[string]MultiExtractFactory),
+		funcs:   make(map[string]*FuncDef),
+		multi:   make(map[string]MultiExtractFactory),
+		striped: make(map[string]SegExtractFactory),
 	}
 	for _, f := range builtins() {
 		r.funcs[f.Name] = f
@@ -133,6 +149,20 @@ func (r *Registry) RegisterMultiExtract(family string, f MultiExtractFactory) {
 // registered.
 func (r *Registry) MultiExtract(family string) (MultiExtractFactory, bool) {
 	f, ok := r.multi[family]
+	return f, ok
+}
+
+// RegisterStripedExtract installs the segment-kernel factory of a function
+// family: the striped-scan counterpart of RegisterMultiExtract, consulted
+// when the data column arrives as a frozen-page ColumnSegment.
+func (r *Registry) RegisterStripedExtract(family string, f SegExtractFactory) {
+	r.striped[family] = f
+}
+
+// StripedExtract returns the segment-kernel factory of a family, if one is
+// registered.
+func (r *Registry) StripedExtract(family string) (SegExtractFactory, bool) {
+	f, ok := r.striped[family]
 	return f, ok
 }
 

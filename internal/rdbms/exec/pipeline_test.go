@@ -212,6 +212,174 @@ func TestPropertyParallelJoinMatchesSerial(t *testing.T) {
 	}
 }
 
+// vecSegment is a test ColumnSegment: a copied datum vector standing in
+// for the upper layer's striped record segments.
+type vecSegment struct {
+	vals []types.Datum
+	ids  []uint32
+}
+
+func (s *vecSegment) NumRows() int      { return len(s.vals) }
+func (s *vecSegment) AttrIDs() []uint32 { return s.ids }
+func (s *vecSegment) Values(dst []types.Datum) error {
+	copy(dst, s.vals)
+	return nil
+}
+
+// freezeCols installs a segmenter striping the listed columns and freezes
+// every full page, returning how many froze.
+func freezeCols(h *storage.Heap, stripe map[int]bool) int {
+	h.SetColumnSegmenter(func(col int, vals []types.Datum) (storage.ColumnSegment, error) {
+		if !stripe[col] {
+			return nil, nil
+		}
+		cp := make([]types.Datum, len(vals))
+		copy(cp, vals)
+		return &vecSegment{vals: cp, ids: []uint32{uint32(col)}}, nil
+	})
+	return h.FreezeColdPages()
+}
+
+// stripedChainBuild is chainBuild with the partition scan in striped page
+// mode, mirroring GatherNode.buildPartition over a segmented heap.
+func stripedChainBuild(h *storage.Heap, pred Expr, projs []Expr, size int) PipelineBuild {
+	return func(rg storage.PageRange) (BatchIterator, error) {
+		scan := NewBatchScanRange(h, nil, size, rg.Start, rg.End)
+		scan.EnableStriped()
+		var cur BatchIterator = scan
+		if pred != nil {
+			cur = &BatchFilterIter{In: cur, Pred: pred}
+		}
+		if projs != nil {
+			cur = &BatchProjectIter{In: cur, Exprs: projs}
+		}
+		return cur, nil
+	}
+}
+
+// TestPropertyStripedMatchesRow extends the three-way differential test
+// with the frozen-segment leg: over heaps whose full pages are frozen
+// into column segments, the row pipeline, the striped serial batch
+// pipeline, and the striped parallel pipeline must agree — before and
+// after an Update un-freezes a page mid-table, leaving a frozen/row mix.
+func TestPropertyStripedMatchesRow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		colTypes := []types.Type{types.Int, types.Text}
+		for n := r.Intn(3); n > 0; n-- {
+			colTypes = append(colTypes,
+				[]types.Type{types.Int, types.Float, types.Text, types.Bool}[r.Intn(4)])
+		}
+		rows := randBatchRows(r, colTypes, 128+r.Intn(400))
+		h, _ := heapOf(t, colTypes, rows)
+		stripe := map[int]bool{r.Intn(len(colTypes)): true}
+		if r.Intn(2) == 0 {
+			stripe[0] = true
+		}
+		frozen := freezeCols(h, stripe)
+		if frozen == 0 {
+			t.Fatalf("seed %d: no pages froze", seed)
+		}
+
+		pred := randPred(r, colTypes, 3, true)
+		projs := make([]Expr, 1+r.Intn(3))
+		for i := range projs {
+			if r.Intn(3) == 0 {
+				projs[i] = randTextExpr(r, colTypes, 2)
+			} else {
+				projs[i] = randNumExpr(r, colTypes, 2, true)
+			}
+		}
+		size := 1 + r.Intn(40)
+
+		check := func(phase string) {
+			want, err := Collect(&ProjectIter{Exprs: projs,
+				In: &FilterIter{Pred: pred, In: NewScan(h, nil)}})
+			if err != nil {
+				t.Fatalf("seed %d %s: row pipeline: %v", seed, phase, err)
+			}
+			scan := NewBatchScan(h, nil, size)
+			scan.EnableStriped()
+			// Pooled mirrors the serial planner path (ScanNode.OpenBatch
+			// hoists the scan predicate into a pooled BatchFilterIter).
+			striped := collectBatches(t, &BatchProjectIter{Exprs: projs,
+				In: &BatchFilterIter{Pred: pred, In: scan, Pooled: true}})
+			rowsEqual(t, striped, want)
+			for _, workers := range []int{2, 3} {
+				par := collectBatches(t, NewParallelPipeline(
+					h.Partitions(workers), stripedChainBuild(h, pred, projs, size)))
+				rowsEqual(t, par, want)
+			}
+		}
+		check("frozen")
+
+		// Update a row on a mid-table frozen page: it un-freezes back to
+		// row form and the scan now crosses a frozen/row mix.
+		id := storage.RowID{Page: frozen / 2, Slot: 3}
+		if _, err := h.Update(id, rows[len(rows)-1]); err != nil {
+			t.Fatalf("seed %d: un-freezing update: %v", seed, err)
+		}
+		if h.NumFrozenPages() != frozen-1 {
+			t.Fatalf("seed %d: update left %d frozen pages, want %d",
+				seed, h.NumFrozenPages(), frozen-1)
+		}
+		check("mixed")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStripedSegKernelFastPath pins the segment-aware extraction contract:
+// frozen pages reach the SegKernel with the page's segment and full row
+// count, row-tail pages fall back to the row Kernel, and a SegKernel that
+// declines (handled=false) falls back too.
+func TestStripedSegKernelFastPath(t *testing.T) {
+	colTypes := []types.Type{types.Int, types.Text}
+	rows := randBatchRows(rand.New(rand.NewSource(3)), colTypes, 300)
+	h, _ := heapOf(t, colTypes, rows)
+	if n := freezeCols(h, map[int]bool{1: true}); n != 2 {
+		t.Fatalf("frozen pages = %d, want 2", n)
+	}
+
+	kernel := func(data []types.Datum, out [][]types.Datum) error {
+		for i := range data {
+			out[0][i] = types.NewInt(int64(i))
+		}
+		return nil
+	}
+	segCalls, segDeclined := 0, false
+	segKernel := func(seg storage.ColumnSegment, out [][]types.Datum) (bool, error) {
+		if _, ok := seg.(*vecSegment); !ok {
+			t.Fatalf("SegKernel saw %T", seg)
+		}
+		if segDeclined {
+			return false, nil
+		}
+		segCalls++
+		for i := 0; i < seg.NumRows(); i++ {
+			out[0][i] = types.NewInt(int64(i))
+		}
+		return true, nil
+	}
+	run := func(segK SegExtractKernel) []storage.Row {
+		scan := NewBatchScan(h, nil, 64)
+		scan.EnableStriped()
+		return collectBatches(t, &BatchMultiExtractIter{
+			In: scan, DataIdx: 1, K: 1, Kernel: kernel, SegKernel: segK})
+	}
+
+	want := run(nil) // row Kernel everywhere
+	got := run(segKernel)
+	rowsEqual(t, got, want)
+	if segCalls != 2 {
+		t.Errorf("SegKernel handled %d pages, want 2 (frozen pages only)", segCalls)
+	}
+	segDeclined = true
+	rowsEqual(t, run(segKernel), want) // declining kernel falls back
+}
+
 // waitGoroutines polls until the goroutine count drops back to base
 // (worker shutdown is asynchronous after Close returns the merge side).
 func waitGoroutines(t *testing.T, base int) {

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"github.com/sinewdata/sinew/internal/rdbms/storage"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// This file implements the striped page mode of the batch scan: instead of
+// copying rows out of the heap and transposing them, the scan reads whole
+// pages (storage.HeapChunkIter.ReadPage) and turns each frozen page into a
+// batch whose columns alias the page's immutable vectors — zero per-row
+// work for plain columns, one cached materialization for segment columns —
+// with the underlying ColumnSegments attached via RowBatch.Segs so
+// segment-aware operators can skip the materialized datums entirely.
+// Row-form pages (the write-hot tail) are transposed into scan-owned
+// buffers exactly like the regular batch scan.
+//
+// The scan itself is filter-free by construction: compactBatch mutates
+// columns in place, which must never happen to batches aliasing a frozen
+// page. EnableStriped refuses a scan carrying a pushed-down predicate; the
+// planner instead hoists predicates into a BatchFilterIter above the
+// striped scan (ScanNode.OpenBatch), whose output batches are compacted
+// copies.
+
+// EnableStriped switches the scan to striped page mode. It must be called
+// before the first NextBatch and is ignored when the scan carries a
+// pushed-down filter (striped batches alias immutable page storage and
+// cannot be compacted in place).
+func (s *BatchScanIter) EnableStriped() {
+	if s.Filter != nil {
+		return
+	}
+	s.striped = true
+}
+
+// nextStriped is NextBatch in striped page mode.
+func (s *BatchScanIter) nextStriped() (*RowBatch, error) {
+	if s.pageBuf == nil {
+		s.pageBuf = make([]storage.Row, storage.PageCapacity)
+	}
+	for {
+		pv, ok := s.chunk.ReadPage(s.pageBuf)
+		if !ok {
+			return nil, nil
+		}
+		if pv.Frozen != nil {
+			return s.frozenBatch(pv.Frozen)
+		}
+		if len(pv.Rows) == 0 {
+			continue
+		}
+		// Row-form page: transpose into a scan-owned batch. The buffer is
+		// deliberately separate from the frozen-page shell — FillRows reuses
+		// column capacity, which must never overwrite aliased page vectors —
+		// and comes from the batch pool so column capacity survives across
+		// queries (Close returns it).
+		var b *RowBatch
+		if s.reuse {
+			if s.own == nil {
+				s.own = GetBatch(s.width)
+			}
+			b = s.own
+		} else {
+			b = GetBatch(s.width)
+		}
+		b.FillRows(pv.Rows, s.NeedCols)
+		b.Segs = nil
+		return b, nil
+	}
+}
+
+// frozenBatch wraps one frozen page as a batch: needed columns alias the
+// page's vectors (materializing and caching segment columns on first use),
+// and every segment-backed column is exposed through Segs. The shell is
+// never pooled and never Reset — both would corrupt the aliased storage.
+func (s *BatchScanIter) frozenBatch(fp *storage.FrozenPage) (*RowBatch, error) {
+	b := s.shell
+	if b == nil || !s.reuse {
+		b = &RowBatch{
+			Cols:  make([][]types.Datum, s.width),
+			Nulls: make([]NullBitmap, s.width),
+			Segs:  make([]storage.ColumnSegment, s.width),
+		}
+		if s.reuse {
+			s.shell = b
+		}
+	}
+	for j := 0; j < s.width; j++ {
+		b.Cols[j] = nil
+		b.Nulls[j] = nil
+		b.Segs[j] = nil
+	}
+	fill := func(j int) error {
+		vals, nulls, err := fp.ColVals(j)
+		if err != nil {
+			return err
+		}
+		b.Cols[j] = vals
+		b.Nulls[j] = NullBitmap(nulls)
+		return nil
+	}
+	if s.NeedCols == nil {
+		for j := 0; j < s.width; j++ {
+			if err := fill(j); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, j := range s.NeedCols {
+			if err := fill(j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for j := 0; j < s.width; j++ {
+		if _, _, seg := fp.Col(j); seg != nil {
+			b.Segs[j] = seg
+		}
+	}
+	b.n = fp.NumRows()
+	return b, nil
+}

@@ -151,7 +151,10 @@ func (p *Planner) fuseProject(pn *ProjectNode) {
 	colBase := childW
 	replaced := map[fuseSlotKey]*exec.ColExpr{}
 	for _, g := range groups {
-		if len(g.keys) < 2 {
+		// Fusing needs ≥2 keys to pay off on the row path (one decode for
+		// all keys); a single key still fuses over a striped-eligible scan,
+		// where only a MultiExtractNode can reach the segment vectors.
+		if len(g.keys) < 2 && !p.stripedFusable(g.gk.family, pn.Child) {
 			continue
 		}
 		factory, _ := p.Funcs.MultiExtract(g.gk.family)
@@ -180,6 +183,7 @@ func (p *Planner) fuseProject(pn *ProjectNode) {
 			DataIdx: g.gk.dataIdx,
 			Reqs:    reqs,
 			Factory: factory,
+			Family:  g.gk.family,
 			Source:  src,
 			BatchSize: func() int {
 				if pn.BatchSize > 0 {

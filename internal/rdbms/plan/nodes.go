@@ -90,6 +90,12 @@ type ScanNode struct {
 	// derived from (EXPLAIN only).
 	Skip      func() func(*storage.PageSummary) bool
 	SkipConds int
+	// Striped selects the striped page mode: frozen heap pages are
+	// delivered as column aliases with their segments attached
+	// (RowBatch.Segs), so the fused extraction above can read per-attribute
+	// vectors. Set by stripeScans on filterless batch scans of segmented
+	// heaps under a MultiExtractNode.
+	Striped bool
 }
 
 // Label implements Node.
@@ -142,10 +148,25 @@ func (s *ScanNode) OpenBatch() (exec.BatchIterator, bool) {
 	if s.Workers > 1 {
 		return exec.NewParallelScanColsSkip(s.Heap, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols, skip), true
 	}
-	it := exec.NewBatchScan(s.Heap, conjoinExec(s.Preds), s.BatchSize)
+	filter := conjoinExec(s.Preds)
+	// A striped scan must stay predicate-free (its batches alias frozen
+	// pages and cannot be compacted in place), so the filter is hoisted
+	// into a BatchFilterIter above it, whose output batches are compacted
+	// copies.
+	var hoisted exec.Expr
+	if s.Striped && filter != nil {
+		hoisted, filter = filter, nil
+	}
+	it := exec.NewBatchScan(s.Heap, filter, s.BatchSize)
 	it.NeedCols = s.NeedCols
 	if skip != nil {
 		it.SetPageSkip(skip)
+	}
+	if s.Striped {
+		it.EnableStriped()
+	}
+	if hoisted != nil {
+		return &exec.BatchFilterIter{In: it, Pred: hoisted, Pooled: true}, true
 	}
 	return it, true
 }
@@ -156,6 +177,9 @@ func (s *ScanNode) batchAnnotation() string {
 	}
 	if s.Workers > 1 {
 		return " (batch, parallel)"
+	}
+	if s.Striped {
+		return " (batch, striped)"
 	}
 	return " (batch)"
 }
@@ -265,6 +289,15 @@ type MultiExtractNode struct {
 	DataIdx int
 	Reqs    []exec.MultiExtractReq
 	Factory exec.MultiExtractFactory
+	// SegFactory, when non-nil, builds the segment-aware kernel used for
+	// batches that carry the data column as a striped ColumnSegment (set by
+	// stripeScans when the scan below is striped and the family registered
+	// a SegExtractFactory).
+	SegFactory exec.SegExtractFactory
+	// Family is the fused call family the node was built from (the
+	// FuseFamily of the rewritten calls); stripeScans resolves the segment
+	// factory with it.
+	Family string
 	// Source names the fused call family for EXPLAIN (e.g. the reservoir
 	// column the keys come from).
 	Source    string
@@ -299,15 +332,25 @@ func (m *MultiExtractNode) OpenBatch() (exec.BatchIterator, bool) {
 	if err != nil {
 		return &errBatchIter{err: err}, true
 	}
+	var segKernel exec.SegExtractKernel
+	if m.SegFactory != nil {
+		if segKernel, err = m.SegFactory(m.Reqs); err != nil {
+			return &errBatchIter{err: err}, true
+		}
+	}
 	return &exec.BatchMultiExtractIter{
-		In:      openBatch(m.Child, m.BatchSize),
-		DataIdx: m.DataIdx,
-		Kernel:  kernel,
-		K:       len(m.Reqs),
+		In:        openBatch(m.Child, m.BatchSize),
+		DataIdx:   m.DataIdx,
+		Kernel:    kernel,
+		SegKernel: segKernel,
+		K:         len(m.Reqs),
 	}, true
 }
 
 func (m *MultiExtractNode) batchAnnotation() string {
+	if m.SegFactory != nil {
+		return fmt.Sprintf(" (fused extract: %d keys, striped)", len(m.Reqs))
+	}
 	return fmt.Sprintf(" (fused extract: %d keys)", len(m.Reqs))
 }
 

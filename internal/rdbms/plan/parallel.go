@@ -74,10 +74,17 @@ func (g *GatherNode) batchAnnotation() string { return " (batch, parallel)" }
 // It runs on the worker goroutine, so per-worker scratch (scan eval
 // contexts, fused extraction kernels) is instantiated here.
 func (g *GatherNode) buildPartition(r storage.PageRange) (exec.BatchIterator, error) {
+	// Predicates stay pushed into the partition scans: batches cross a
+	// channel to the merger, so a hoisted BatchFilterIter (which reuses its
+	// output buffer) is not safe here. EnableStriped below no-ops on scans
+	// carrying a filter, so filtered parallel partitions stay row-form.
 	scan := exec.NewBatchScanRange(g.Scan.Heap, conjoinExec(g.Scan.Preds), g.Scan.BatchSize, r.Start, r.End)
 	scan.NeedCols = g.Scan.NeedCols
 	if g.Scan.Skip != nil {
 		scan.SetPageSkip(g.Scan.Skip())
+	}
+	if g.Scan.Striped {
+		scan.EnableStriped()
 	}
 	var cur exec.BatchIterator = scan
 	for _, op := range g.Ops {
@@ -91,7 +98,13 @@ func (g *GatherNode) buildPartition(r storage.PageRange) (exec.BatchIterator, er
 			if err != nil {
 				return nil, err
 			}
-			cur = &exec.BatchMultiExtractIter{In: cur, DataIdx: x.DataIdx, Kernel: kernel, K: len(x.Reqs)}
+			men := &exec.BatchMultiExtractIter{In: cur, DataIdx: x.DataIdx, Kernel: kernel, K: len(x.Reqs)}
+			if x.SegFactory != nil {
+				if men.SegKernel, err = x.SegFactory(x.Reqs); err != nil {
+					return nil, err
+				}
+			}
+			cur = men
 		default:
 			return nil, fmt.Errorf("plan: unparallelizable operator %T in gather chain", op)
 		}

@@ -394,6 +394,7 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 	}
 
 	p.fuseExtracts(cur)
+	p.stripeScans(cur)
 	pruneScanColumns(cur)
 	p.deriveSkips(cur)
 	cur = p.parallelize(cur)

@@ -65,6 +65,11 @@ type Config struct {
 	// EnablePageSkip turns strict sparse-key predicates into per-page
 	// attr-presence / min-max skip checks (storage page summaries).
 	EnablePageSkip bool
+	// EnableStriped routes filterless batch scans of segmented heaps
+	// through the striped page mode, feeding frozen-page column segments
+	// directly into fused extraction kernels. Session knob:
+	// SET enable_striped = on|off.
+	EnableStriped bool
 }
 
 // DefaultConfig returns Postgres-flavoured defaults.
@@ -86,6 +91,7 @@ func DefaultConfig() *Config {
 		ParallelScanMinPages: 4,
 		MaxParallelWorkers:   0,
 		EnablePageSkip:       true,
+		EnableStriped:        true,
 	}
 }
 

@@ -1,0 +1,96 @@
+package plan
+
+// This file implements the striped-scan routing pass. Every batch scan
+// over a heap with frozen column-striped pages switches into striped page
+// mode (frozen pages delivered as column aliases; predicates, if any, are
+// hoisted into a BatchFilterIter above the scan at open time). On top of
+// that, every MultiExtractNode chain sitting directly on a predicate-free
+// striped scan attaches the family's segment-kernel factory to each
+// MultiExtractNode whose data column is segment-backed at that scan. The
+// fused kernels then read per-attribute vectors out of the frozen pages
+// instead of decoding serialized records row by row; the heap's row-form
+// tail and foreign segment types fall back to the row kernel per batch, so
+// results are identical either way.
+
+// stripedEligible reports whether scans of this shape may run striped
+// with fused extraction reading segment vectors: predicate-free, so the
+// scan's batches stay page-aligned and keep their segments attached.
+func (p *Planner) stripedEligible(s *ScanNode) bool {
+	return p.scanStripes(s) && len(s.Preds) == 0
+}
+
+// scanStripes reports whether the scan itself may deliver frozen pages as
+// column aliases. Predicates do not disqualify it: they are hoisted into a
+// BatchFilterIter above the scan at open time (its output batches are
+// compacted copies, never aliases), which trades the full-page FillRows
+// transpose for a copy of only the surviving rows.
+func (p *Planner) scanStripes(s *ScanNode) bool {
+	return p.Cfg != nil && p.Cfg.EnableStriped && s.Batch && s.Heap.Segmented()
+}
+
+// stripedFusable reports whether a single-key extraction group over child
+// is still worth fusing: a striped-eligible scan with a registered segment
+// factory benefits even for one key, because only a MultiExtractNode can
+// reach the segment vectors.
+func (p *Planner) stripedFusable(family string, child Node) bool {
+	s, ok := child.(*ScanNode)
+	if !ok || !p.stripedEligible(s) {
+		return false
+	}
+	_, ok = p.Funcs.StripedExtract(family)
+	return ok
+}
+
+// stripeScans walks the plan and routes MultiExtract-over-scan chains
+// through the striped page mode.
+func (p *Planner) stripeScans(n Node) {
+	if n == nil {
+		return
+	}
+	if m, ok := n.(*MultiExtractNode); ok {
+		p.stripeChain(m)
+	}
+	if s, ok := n.(*ScanNode); ok && p.scanStripes(s) {
+		// Even without fused extraction above, striped page delivery beats
+		// the row transpose: frozen pages arrive as column aliases instead
+		// of per-row FillRows copies.
+		s.Striped = true
+	}
+	for _, c := range n.Children() {
+		// Avoid double-visiting inner MultiExtractNodes of a chain already
+		// handled by stripeChain; re-visiting is harmless (idempotent), so
+		// a plain recursive walk keeps this simple.
+		p.stripeScans(c)
+	}
+}
+
+// stripeChain handles one stack of MultiExtractNodes over a scan. Every
+// node in the stack gets the segment factory of its family — segments ride
+// along batch columns (RowBatch.Segs survives extraction pass-through), so
+// upper nodes of the stack see their data column striped too.
+func (p *Planner) stripeChain(top *MultiExtractNode) {
+	var chain []*MultiExtractNode
+	n := Node(top)
+	for {
+		m, ok := n.(*MultiExtractNode)
+		if !ok {
+			break
+		}
+		chain = append(chain, m)
+		n = m.Child
+	}
+	scan, ok := n.(*ScanNode)
+	if !ok || !p.stripedEligible(scan) {
+		return
+	}
+	routed := false
+	for _, m := range chain {
+		if f, ok := p.Funcs.StripedExtract(m.Family); ok {
+			m.SegFactory = f
+			routed = true
+		}
+	}
+	if routed {
+		scan.Striped = true
+	}
+}

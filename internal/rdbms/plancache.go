@@ -144,8 +144,8 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 
 // flagsKey folds the plan-shaping session settings into the cache key, so
 // SET enable_batch / batch_size / parallel_scan_min_pages /
-// max_parallel_workers / enable_page_skip force a re-plan rather than
-// replaying a plan built under different settings.
+// max_parallel_workers / enable_page_skip / enable_striped force a re-plan
+// rather than replaying a plan built under different settings.
 func (db *DB) flagsKey() string {
 	cfg := db.cfg
 	// Hand-rolled to keep the hot path free of fmt.
@@ -164,6 +164,11 @@ func (db *DB) flagsKey() string {
 		b = append(b, ",s1"...)
 	} else {
 		b = append(b, ",s0"...)
+	}
+	if cfg.EnableStriped {
+		b = append(b, ",c1"...)
+	} else {
+		b = append(b, ",c0"...)
 	}
 	return string(b)
 }

@@ -103,6 +103,9 @@ type page struct {
 	bytes int64 // estimated on-disk footprint of live rows
 	// sum is the page's skip summary (pageskip.go); nil when stale.
 	sum *PageSummary
+	// frozen is the page's column-striped form (segment.go); while set,
+	// rows is nil and row-path readers materialize lazily from it.
+	frozen *FrozenPage
 }
 
 // Heap is a mutable row store for one table.
@@ -119,6 +122,11 @@ type Heap struct {
 	// summarizers maps column index -> attribute summarizer for per-page
 	// skip summaries (pageskip.go).
 	summarizers map[int]AttrSummarizer
+	// segmenter stripes cold pages into column segments (segment.go);
+	// frozen counts the pages currently in striped form.
+	segmenter      ColumnSegmenter
+	freezeMinPages int
+	frozen         int
 }
 
 // NewHeap creates an empty heap over schema, reporting I/O to pager
@@ -158,7 +166,7 @@ func (h *Heap) Insert(row Row) error {
 		}
 	}
 	var p *page
-	if n := len(h.pages); n > 0 && len(h.pages[n-1].rows) < rowsPerPage {
+	if n := len(h.pages); n > 0 && h.pages[n-1].frozen == nil && len(h.pages[n-1].rows) < rowsPerPage {
 		p = h.pages[n-1]
 	} else {
 		p = &page{rows: make([]Row, 0, rowsPerPage), sum: newPageSummary()}
@@ -177,6 +185,11 @@ func (h *Heap) Insert(row Row) error {
 	h.bytes += fp
 	if h.pager != nil {
 		h.pager.recordWrite(fp)
+	}
+	// Load-time compaction: once the heap is past the size threshold,
+	// pages freeze as they fill (the write-hot tail stays row-form).
+	if len(p.rows) == rowsPerPage && h.segmenter != nil && len(h.pages) >= h.freezeMinPages {
+		h.freezePage(p)
 	}
 	return nil
 }
@@ -205,7 +218,7 @@ func (h *Heap) Scan(fn func(id RowID, row Row) bool) {
 		if h.pager != nil {
 			h.pager.recordRead(p.bytes)
 		}
-		for si, r := range p.rows {
+		for si, r := range h.pageRows(p) {
 			if r == nil {
 				continue // deleted
 			}
@@ -239,11 +252,12 @@ func (it *HeapIter) Next() (RowID, Row, bool) {
 		if it.slot == 0 {
 			it.pending += p.bytes
 		}
-		for it.slot < len(p.rows) {
+		rows := it.h.pageRows(p)
+		for it.slot < len(rows) {
 			s := it.slot
 			it.slot++
-			if p.rows[s] != nil {
-				return RowID{Page: it.page, Slot: s}, p.rows[s], true
+			if rows[s] != nil {
+				return RowID{Page: it.page, Slot: s}, rows[s], true
 			}
 		}
 		it.page++
@@ -322,6 +336,8 @@ type HeapChunkIter struct {
 	skip           func(*PageSummary) bool
 	skipped        int64 // pages skipped and already reported to the pager
 	pendingSkipped int64 // pages skipped but not yet reported
+	// frozen pages delivered striped via ReadPage, pending pager report.
+	pendingSegScanned int64
 }
 
 // SetSkip installs a page-skip predicate; must be called before the first
@@ -359,14 +375,15 @@ func (it *HeapChunkIter) ReadRows(dst []Row) int {
 			}
 			it.pending += p.bytes
 		}
-		for it.slot < len(p.rows) && n < len(dst) {
-			if r := p.rows[it.slot]; r != nil {
+		rows := it.h.pageRows(p)
+		for it.slot < len(rows) && n < len(dst) {
+			if r := rows[it.slot]; r != nil {
 				dst[n] = r
 				n++
 			}
 			it.slot++
 		}
-		if it.slot >= len(p.rows) {
+		if it.slot >= len(rows) {
 			it.page++
 			it.slot = 0
 		}
@@ -384,6 +401,12 @@ func (it *HeapChunkIter) flush() {
 		}
 		it.skipped += it.pendingSkipped
 		it.pendingSkipped = 0
+	}
+	if it.pendingSegScanned > 0 {
+		if it.h.pager != nil {
+			it.h.pager.recordSegScanned(it.pendingSegScanned)
+		}
+		it.pendingSegScanned = 0
 	}
 	if it.pending == 0 {
 		return
@@ -407,14 +430,14 @@ func (h *Heap) Get(id RowID) (Row, bool) {
 	if id.Page < 0 || id.Page >= len(h.pages) {
 		return nil, false
 	}
-	p := h.pages[id.Page]
-	if id.Slot < 0 || id.Slot >= len(p.rows) || p.rows[id.Slot] == nil {
+	rows := h.pageRows(h.pages[id.Page])
+	if id.Slot < 0 || id.Slot >= len(rows) || rows[id.Slot] == nil {
 		return nil, false
 	}
 	if h.pager != nil {
-		h.pager.recordRead(h.rowFootprint(p.rows[id.Slot]))
+		h.pager.recordRead(h.rowFootprint(rows[id.Slot]))
 	}
-	return p.rows[id.Slot], true
+	return rows[id.Slot], true
 }
 
 // Update atomically replaces the row at id. It returns the previous row for
@@ -462,6 +485,9 @@ func (h *Heap) Restore(id RowID, row Row) error {
 		return fmt.Errorf("storage: restore: bad page %d", id.Page)
 	}
 	p := h.pages[id.Page]
+	if err := h.unfreeze(p); err != nil {
+		return err
+	}
 	if id.Slot < 0 || id.Slot >= len(p.rows) {
 		return fmt.Errorf("storage: restore: bad slot %d", id.Slot)
 	}
@@ -477,11 +503,16 @@ func (h *Heap) Restore(id RowID, row Row) error {
 	return nil
 }
 
+// slot resolves a row for mutation, un-freezing the page first: writers
+// always see (and modify) row-form pages.
 func (h *Heap) slot(id RowID) (*page, Row, error) {
 	if id.Page < 0 || id.Page >= len(h.pages) {
 		return nil, nil, fmt.Errorf("storage: bad page %d", id.Page)
 	}
 	p := h.pages[id.Page]
+	if err := h.unfreeze(p); err != nil {
+		return nil, nil, err
+	}
 	if id.Slot < 0 || id.Slot >= len(p.rows) || p.rows[id.Slot] == nil {
 		return nil, nil, fmt.Errorf("storage: no live row at %d.%d", id.Page, id.Slot)
 	}
@@ -489,8 +520,13 @@ func (h *Heap) slot(id RowID) (*page, Row, error) {
 }
 
 // AddColumnData extends every row with a NULL for a newly added column and
-// adjusts footprints (the null bitmap may grow by a byte).
-func (h *Heap) AddColumnData() {
+// adjusts footprints (the null bitmap may grow by a byte). Frozen pages
+// are un-frozen first: a schema change re-shapes every row, so segments
+// keyed to the old width cannot survive it.
+func (h *Heap) AddColumnData() error {
+	if err := h.unfreezeAll(); err != nil {
+		return err
+	}
 	for _, p := range h.pages {
 		p.bytes = 0
 		for i, r := range p.rows {
@@ -502,10 +538,15 @@ func (h *Heap) AddColumnData() {
 		}
 	}
 	h.recomputeBytes()
+	return nil
 }
 
-// DropColumnData removes column idx from every row.
-func (h *Heap) DropColumnData(idx int) {
+// DropColumnData removes column idx from every row, un-freezing first
+// (see AddColumnData).
+func (h *Heap) DropColumnData(idx int) error {
+	if err := h.unfreezeAll(); err != nil {
+		return err
+	}
 	for _, p := range h.pages {
 		p.bytes = 0
 		p.sum = nil // column indices shift; summaries keyed by index are stale
@@ -522,6 +563,7 @@ func (h *Heap) DropColumnData(idx int) {
 	}
 	h.remapSummarizersOnDrop(idx)
 	h.recomputeBytes()
+	return nil
 }
 
 func (h *Heap) recomputeBytes() {
@@ -536,6 +578,7 @@ func (h *Heap) Truncate() {
 	h.pages = nil
 	h.nrows = 0
 	h.bytes = 0
+	h.frozen = 0
 }
 
 // Pager models storage I/O by counting bytes read and written. The harness
@@ -551,6 +594,10 @@ type Pager struct {
 	// workers launched.
 	pagesSkipped    int64
 	parallelWorkers int64
+	// Segment counters: frozen pages scanned striped, and frozen pages
+	// un-frozen back to rows by writes.
+	segScanned  int64
+	segUnfrozen int64
 }
 
 // NewPager returns a zeroed pager.
@@ -580,6 +627,26 @@ func (p *Pager) recordParallelWorkers(n int64) {
 	p.mu.Unlock()
 }
 
+func (p *Pager) recordSegScanned(n int64) {
+	p.mu.Lock()
+	p.segScanned += n
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordSegUnfrozen(n int64) {
+	p.mu.Lock()
+	p.segUnfrozen += n
+	p.mu.Unlock()
+}
+
+// SegStats returns the segment execution counters: frozen pages scanned
+// striped and frozen pages un-frozen by writes since the last Reset.
+func (p *Pager) SegStats() (segScanned, segUnfrozen int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.segScanned, p.segUnfrozen
+}
+
 // Stats returns cumulative bytes read and written.
 func (p *Pager) Stats() (read, written int64) {
 	p.mu.Lock()
@@ -600,5 +667,6 @@ func (p *Pager) Reset() {
 	p.mu.Lock()
 	p.bytesRead, p.bytesWritten = 0, 0
 	p.pagesSkipped, p.parallelWorkers = 0, 0
+	p.segScanned, p.segUnfrozen = 0, 0
 	p.mu.Unlock()
 }

@@ -105,11 +105,19 @@ func rangeTracked(t types.Type) bool {
 
 // noteRow folds one row into the summary (insert path and rebuild).
 func (h *Heap) noteRow(s *PageSummary, row Row) {
+	h.noteRowExcept(s, row, nil)
+}
+
+// noteRowExcept is noteRow with the attribute summarizers suppressed for
+// the columns in skipAttrs (freeze-time summaries take those columns'
+// attribute sets from the segment footer instead of per-record parses).
+// Range tracking is unaffected.
+func (h *Heap) noteRowExcept(s *PageSummary, row Row, skipAttrs map[int]bool) {
 	if !s.valid {
 		return
 	}
 	for col, fn := range h.summarizers {
-		if col >= len(row) {
+		if col >= len(row) || skipAttrs[col] {
 			continue
 		}
 		d := row[col]
@@ -175,11 +183,16 @@ func (h *Heap) InvalidateSummaries() {
 }
 
 // RebuildSummaries recomputes every page's skip summary from its live rows
-// (the ANALYZE path).
+// (the ANALYZE path). Frozen pages are immutable, so a summary built at
+// freeze time is still exact and kept; a frozen page whose summary was
+// invalidated (e.g. a summarizer change) rebuilds from its row-form view.
 func (h *Heap) RebuildSummaries() {
 	for _, p := range h.pages {
+		if p.frozen != nil && p.sum.usable() {
+			continue
+		}
 		s := newPageSummary()
-		for _, r := range p.rows {
+		for _, r := range h.pageRows(p) {
 			if r == nil {
 				continue
 			}

@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// fakeSegment is a trivial ColumnSegment for storage-level tests: it
+// copies the column's datums and plays them back.
+type fakeSegment struct {
+	vals []types.Datum
+}
+
+func (f *fakeSegment) NumRows() int      { return len(f.vals) }
+func (f *fakeSegment) AttrIDs() []uint32 { return nil }
+func (f *fakeSegment) Values(dst []types.Datum) error {
+	copy(dst, f.vals)
+	return nil
+}
+
+// stripeCol0 stripes only column 0.
+func stripeCol0(col int, vals []types.Datum) (ColumnSegment, error) {
+	if col != 0 {
+		return nil, nil
+	}
+	return &fakeSegment{vals: append([]types.Datum(nil), vals...)}, nil
+}
+
+func freezeTestHeap(t *testing.T, nrows int) (*Heap, *Pager) {
+	t.Helper()
+	schema, err := NewSchema(
+		Column{Name: "id", Typ: types.Int},
+		Column{Name: "txt", Typ: types.Text},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pager := NewPager()
+	h := NewHeap(schema, pager)
+	for i := 0; i < nrows; i++ {
+		row := Row{types.NewInt(int64(i)), types.NewText(fmt.Sprintf("row-%d", i))}
+		if err := h.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h, pager
+}
+
+func collectRows(h *Heap) []Row {
+	var out []Row
+	h.Scan(func(_ RowID, r Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out
+}
+
+func TestFreezeColdPages(t *testing.T) {
+	const nrows = 2*rowsPerPage + 44 // two full pages + a row tail
+	h, pager := freezeTestHeap(t, nrows)
+	before := collectRows(h)
+
+	h.SetColumnSegmenter(stripeCol0)
+	if got := h.FreezeColdPages(); got != 2 {
+		t.Fatalf("FreezeColdPages = %d, want 2 (full pages only)", got)
+	}
+	if !h.Segmented() || h.NumFrozenPages() != 2 {
+		t.Fatalf("Segmented=%v NumFrozenPages=%d", h.Segmented(), h.NumFrozenPages())
+	}
+	// Idempotent: already-frozen pages and the tail stay put.
+	if got := h.FreezeColdPages(); got != 0 {
+		t.Fatalf("second FreezeColdPages = %d, want 0", got)
+	}
+
+	// Row-path reads see identical content in identical order.
+	after := collectRows(h)
+	if len(after) != len(before) {
+		t.Fatalf("scan returned %d rows, want %d", len(after), len(before))
+	}
+	for i := range before {
+		for j := range before[i] {
+			if got, want := after[i][j].String(), before[i][j].String(); got != want {
+				t.Fatalf("row %d col %d: %q != %q after freeze", i, j, got, want)
+			}
+		}
+	}
+
+	// Point reads work on frozen pages without un-freezing.
+	if r, ok := h.Get(RowID{Page: 0, Slot: 7}); !ok || r[0].String() != "7" {
+		t.Fatalf("Get on frozen page: ok=%v row=%v", ok, r)
+	}
+	if h.NumFrozenPages() != 2 {
+		t.Fatal("Get must not un-freeze")
+	}
+
+	// ReadPage delivers frozen pages striped and the tail as rows.
+	it := h.IterateRange(0, h.NumPages())
+	buf := make([]Row, rowsPerPage)
+	var frozenSeen, rowPages int
+	for {
+		pv, ok := it.ReadPage(buf)
+		if !ok {
+			break
+		}
+		if pv.Frozen != nil {
+			frozenSeen++
+			if pv.Frozen.NumRows() != rowsPerPage {
+				t.Fatalf("frozen page NumRows = %d", pv.Frozen.NumRows())
+			}
+			vals, nulls, err := pv.Frozen.ColVals(0)
+			if err != nil || len(vals) != rowsPerPage {
+				t.Fatalf("ColVals: %v len=%d", err, len(vals))
+			}
+			for w := range nulls {
+				if nulls[w] != 0 {
+					t.Fatal("unexpected NULLs in frozen int column")
+				}
+			}
+		} else {
+			rowPages++
+			if len(pv.Rows) != 44 {
+				t.Fatalf("tail page has %d rows, want 44", len(pv.Rows))
+			}
+		}
+	}
+	it.Close()
+	if frozenSeen != 2 || rowPages != 1 {
+		t.Fatalf("ReadPage saw %d frozen, %d row pages", frozenSeen, rowPages)
+	}
+	if scanned, _ := pager.SegStats(); scanned != 2 {
+		t.Fatalf("segments scanned = %d, want 2", scanned)
+	}
+
+	// UPDATE un-freezes the touched page only.
+	if _, err := h.Update(RowID{Page: 0, Slot: 3}, Row{types.NewInt(-3), types.NewText("upd")}); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumFrozenPages() != 1 {
+		t.Fatalf("NumFrozenPages after update = %d, want 1", h.NumFrozenPages())
+	}
+	if _, unfrozen := pager.SegStats(); unfrozen != 1 {
+		t.Fatalf("segments unfrozen = %d, want 1", unfrozen)
+	}
+	if r, ok := h.Get(RowID{Page: 0, Slot: 3}); !ok || r[1].String() != "upd" {
+		t.Fatalf("updated row not visible: ok=%v r=%v", ok, r)
+	}
+
+	// Schema changes un-freeze everything.
+	if err := h.Schema().AddColumn(Column{Name: "extra", Typ: types.Int}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddColumnData(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumFrozenPages() != 0 {
+		t.Fatalf("NumFrozenPages after ALTER = %d, want 0", h.NumFrozenPages())
+	}
+	if r, ok := h.Get(RowID{Page: 1, Slot: 0}); !ok || len(r) != 3 || !r[2].IsNull() {
+		t.Fatalf("widened row wrong: %v", r)
+	}
+}
+
+func TestFreezeSkipsDirtyPages(t *testing.T) {
+	h, _ := freezeTestHeap(t, 2*rowsPerPage)
+	if _, err := h.Delete(RowID{Page: 0, Slot: 5}); err != nil {
+		t.Fatal(err)
+	}
+	h.SetColumnSegmenter(stripeCol0)
+	if got := h.FreezeColdPages(); got != 1 {
+		t.Fatalf("FreezeColdPages = %d, want 1 (page 0 has a hole)", got)
+	}
+}
+
+func TestLoadTimeFreezeThreshold(t *testing.T) {
+	schema, err := NewSchema(Column{Name: "id", Typ: types.Int})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHeap(schema, NewPager())
+	h.SetColumnSegmenter(stripeCol0)
+	h.SetFreezeMinPages(2)
+	for i := 0; i < 4*rowsPerPage; i++ {
+		if err := h.Insert(Row{types.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Page 0 filled while the heap was below threshold; pages 2 and 3
+	// (and page 1, which fills exactly as the heap reaches 2 pages)
+	// freeze as they fill.
+	if h.NumFrozenPages() < 2 {
+		t.Fatalf("NumFrozenPages = %d, want >= 2 from load-time freezing", h.NumFrozenPages())
+	}
+	if h.NumFrozenPages() == h.NumPages() {
+		t.Fatal("the below-threshold head should have stayed row-form")
+	}
+	// Iteration order survives mixed frozen/row pages.
+	rows := collectRows(h)
+	if len(rows) != 4*rowsPerPage {
+		t.Fatalf("scan returned %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].String() != fmt.Sprintf("%d", i) {
+			t.Fatalf("row %d out of order: %v", i, r)
+		}
+	}
+}

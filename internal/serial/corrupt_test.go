@@ -238,9 +238,10 @@ func specLabel(s MultiSpec) string {
 }
 
 // FuzzRecordReaders drives every read-side entry point — parseHeader,
-// ExtractByID, ExtractPath, Deserialize, MultiExtract — over fuzzer-chosen
-// bytes. The property under test is purely "no panic": errors and
-// not-found are both acceptable outcomes for garbage input.
+// ExtractByID, ExtractPath, Deserialize, MultiExtract, and the segment
+// decoder — over fuzzer-chosen bytes. The property under test is purely
+// "no panic": errors and not-found are both acceptable outcomes for
+// garbage input.
 func FuzzRecordReaders(f *testing.F) {
 	data, dict := buildTestRecord(f)
 	f.Add(data)
@@ -256,7 +257,20 @@ func FuzzRecordReaders(f *testing.F) {
 		binary.LittleEndian.PutUint32(bad[2*u32:], a0)
 	}
 	f.Add(bad)
+	// Segment-format seeds: a valid segment plus the corruption classes
+	// ParseSegment validates (truncated footer, poisoned offsets, corrupt
+	// presence bitmaps).
+	_, seg, _ := buildTestSegment(f)
+	f.Add(seg)
+	f.Add(seg[:len(seg)-u32]) // footer pointer gone
+	f.Add(seg[:len(seg)/2])   // truncated mid-columns
+	for _, off := range []int{2 * u32, 3 * u32, len(seg) - u32} {
+		badSeg := append([]byte(nil), seg...)
+		binary.LittleEndian.PutUint32(badSeg[off:], ^uint32(0))
+		f.Add(badSeg)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		probeAll(b, dict)
+		probeSegment(b, dict)
 	})
 }

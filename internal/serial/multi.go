@@ -1,8 +1,6 @@
 package serial
 
 import (
-	"sort"
-
 	"github.com/sinewdata/sinew/internal/jsonx"
 )
 
@@ -81,9 +79,14 @@ func PrepareMulti(reqs []MultiSpec, dict Dict) *PreparedMulti {
 		// Non-dotted paths with no dictionary entry can never match any
 		// record: they stay out of both lists and always yield found=false.
 	}
-	sort.SliceStable(pm.merge, func(a, b int) bool {
-		return pm.Specs[pm.merge[a]].id < pm.Specs[pm.merge[b]].id
-	})
+	// Insertion sort (stable, allocation-free): the merge list is a handful
+	// of specs and PrepareMulti runs once per query, where sort.SliceStable's
+	// closure and swapper show up in per-query allocation counts.
+	for i := 1; i < len(pm.merge); i++ {
+		for j := i; j > 0 && pm.Specs[pm.merge[j]].id < pm.Specs[pm.merge[j-1]].id; j-- {
+			pm.merge[j], pm.merge[j-1] = pm.merge[j-1], pm.merge[j]
+		}
+	}
 	return pm
 }
 

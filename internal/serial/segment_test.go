@@ -1,0 +1,377 @@
+package serial
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// buildTestSegment serializes a mixed-shape corpus (sparse keys, nested
+// objects, arrays, a NULL record, multi-typed keys) and stripes it.
+func buildTestSegment(t testing.TB) ([][]byte, []byte, *Dictionary) {
+	t.Helper()
+	dict := NewDictionary()
+	docs := []string{
+		`{"s":"hello","i":42,"f":2.5,"b":true,"o":{"x":"y","n":7},"a":[1,"two",null,3.5]}`,
+		`{"s":"other","extra":1,"i":-7}`,
+		`{"i":-1,"o":{"x":"z"},"f":-0.25,"b":false}`,
+		`{"multi":"text","sparse_9":"rare"}`,
+		`{"multi":99,"s":""}`,
+		`{}`,
+	}
+	records := make([][]byte, 0, len(docs)+1)
+	for _, d := range docs {
+		doc, err := jsonx.ParseDocument([]byte(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Serialize(doc, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, rec)
+	}
+	records = append(records, nil) // NULL record
+	seg, err := EncodeSegment(records, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records, seg, dict
+}
+
+// TestSegmentRoundTrip is the codec's differential test: every striped
+// vector must agree with row-format extraction, and the raw vector must
+// reproduce the input bytes exactly.
+func TestSegmentRoundTrip(t *testing.T) {
+	records, data, dict := buildTestSegment(t)
+	s, err := ParseSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRecords() != len(records) {
+		t.Fatalf("NumRecords = %d, want %d", s.NumRecords(), len(records))
+	}
+
+	for i, rec := range records {
+		if s.RecordNull(i) != (rec == nil) {
+			t.Errorf("record %d: RecordNull = %v", i, s.RecordNull(i))
+		}
+		got, ok := s.RecordBytes(i)
+		if rec == nil {
+			if ok {
+				t.Errorf("record %d: bytes for NULL record", i)
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(got, rec) {
+			t.Errorf("record %d: raw vector does not reproduce input", i)
+		}
+	}
+
+	// Presence bitmaps and typed vectors vs per-record row reads.
+	for _, attr := range dict.All() {
+		col, ok := s.Column(attr.ID)
+		vals := map[int]jsonx.Value{}
+		for i, rec := range records {
+			if rec == nil {
+				continue
+			}
+			v, found, err := ExtractByID(rec, attr.ID, dict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if found {
+				vals[i] = v
+			}
+		}
+		if !ok {
+			// Attribute only ever appears inside nested objects/arrays.
+			if len(vals) != 0 {
+				t.Errorf("attr %d (%s): no column but %d row hits", attr.ID, attr.Key, len(vals))
+			}
+			continue
+		}
+		if col.NumPresent() != len(vals) {
+			t.Errorf("attr %d (%s): NumPresent = %d, want %d", attr.ID, attr.Key, col.NumPresent(), len(vals))
+		}
+		for i := range records {
+			_, want := vals[i]
+			if col.Present(i) != want {
+				t.Errorf("attr %d (%s) record %d: Present = %v, want %v", attr.ID, attr.Key, i, col.Present(i), want)
+			}
+		}
+		seen := map[int]jsonx.Value{}
+		switch col.Encoding() {
+		case SegString:
+			err = col.Strings(func(row int, b []byte) { seen[row] = jsonx.StringValue(string(b)) })
+		case SegInt:
+			err = col.Ints(func(row int, v int64) { seen[row] = jsonx.IntValue(v) })
+		case SegFloat:
+			err = col.Floats(func(row int, v float64) { seen[row] = jsonx.FloatValue(v) })
+		case SegBool:
+			err = col.Bools(func(row int, v bool) { seen[row] = jsonx.BoolValue(v) })
+		case SegRaw:
+			err = col.Raws(func(row int, b []byte) {
+				v, derr := DecodeRaw(b, attr.Type, dict)
+				if derr != nil {
+					t.Errorf("attr %d row %d: %v", attr.ID, row, derr)
+					return
+				}
+				seen[row] = v
+			})
+		default:
+			t.Fatalf("attr %d: unexpected encoding %v", attr.ID, col.Encoding())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(vals) {
+			t.Errorf("attr %d (%s): streamed %d values, want %d", attr.ID, attr.Key, len(seen), len(vals))
+		}
+		for i, want := range vals {
+			if got, ok := seen[i]; !ok || got.String() != want.String() {
+				t.Errorf("attr %d (%s) record %d: vector %q, row %q", attr.ID, attr.Key, i, got.String(), want.String())
+			}
+		}
+	}
+
+	// AttrIDs ascending and matching the union of per-record IDs.
+	ids := s.AttrIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("AttrIDs not ascending: %v", ids)
+		}
+	}
+	union := map[uint32]bool{}
+	for _, rec := range records {
+		if rec == nil {
+			continue
+		}
+		ra, err := AttrIDs(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ra {
+			union[id] = true
+		}
+	}
+	if len(union) != len(ids) {
+		t.Errorf("AttrIDs has %d entries, union has %d", len(ids), len(union))
+	}
+	for _, id := range ids {
+		if !union[id] {
+			t.Errorf("AttrIDs lists %d, absent from every record", id)
+		}
+	}
+}
+
+// TestSegmentRanges pins the footer min/max metadata.
+func TestSegmentRanges(t *testing.T) {
+	dict := NewDictionary()
+	docs := []string{
+		`{"n":5,"x":1.5}`,
+		`{"n":-3,"x":9.25}`,
+		`{"n":12}`,
+	}
+	records := make([][]byte, len(docs))
+	for i, d := range docs {
+		doc, err := jsonx.ParseDocument([]byte(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if records[i], err = Serialize(doc, dict); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := EncodeSegment(records, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nid, _ := dict.IDOf("n", TypeInt)
+	col, ok := s.Column(nid)
+	if !ok {
+		t.Fatal("no column for n")
+	}
+	if lo, hi, ok := col.IntRange(); !ok || lo != -3 || hi != 12 {
+		t.Errorf("IntRange = %d..%d ok=%v, want -3..12", lo, hi, ok)
+	}
+	if _, _, ok := col.FloatRange(); ok {
+		t.Error("FloatRange on int column must report !ok")
+	}
+	xid, _ := dict.IDOf("x", TypeFloat)
+	xcol, ok := s.Column(xid)
+	if !ok {
+		t.Fatal("no column for x")
+	}
+	if lo, hi, ok := xcol.FloatRange(); !ok || lo != 1.5 || hi != 9.25 {
+		t.Errorf("FloatRange = %g..%g ok=%v, want 1.5..9.25", lo, hi, ok)
+	}
+}
+
+// TestSegmentEncodeErrors pins the encoder's rejection paths.
+func TestSegmentEncodeErrors(t *testing.T) {
+	dict := NewDictionary()
+	if _, err := EncodeSegment(nil, dict); err == nil {
+		t.Error("empty segment must be rejected")
+	}
+	if _, err := EncodeSegment([][]byte{{1, 2}}, dict); err == nil {
+		t.Error("garbage record must be rejected")
+	}
+	// A record whose attribute is missing from the dictionary.
+	other := NewDictionary()
+	doc, err := jsonx.ParseDocument([]byte(`{"k":"v"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Serialize(doc, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeSegment([][]byte{rec}, dict); err == nil {
+		t.Error("unknown attribute must be rejected")
+	}
+}
+
+// probeSegment exercises every segment read path; like probeAll, the only
+// requirement on arbitrary bytes is no panic.
+func probeSegment(data []byte, dict *Dictionary) {
+	s, err := ParseSegment(data)
+	if err != nil {
+		return
+	}
+	n := s.NumRecords()
+	for i := -1; i <= n; i++ {
+		_ = s.RecordNull(i)
+		_, _ = s.RecordBytes(i)
+	}
+	_ = s.AttrIDs()
+	for ci := 0; ci < s.NumAttrs(); ci++ {
+		col := s.ColumnAt(ci)
+		if got, ok := s.Column(col.ID()); !ok || got != col {
+			panic("segment column lookup disagrees with ColumnAt")
+		}
+		_ = col.NumPresent()
+		for i := -1; i <= n; i++ {
+			_ = col.Present(i)
+		}
+		_, _, _ = col.IntRange()
+		_, _, _ = col.FloatRange()
+		_ = col.Ints(func(int, int64) {})
+		_ = col.Floats(func(int, float64) {})
+		_ = col.Bools(func(int, bool) {})
+		_ = col.Strings(func(_ int, b []byte) { _ = len(b) })
+		_ = col.Raws(func(_ int, b []byte) {
+			_, _ = DecodeRaw(b, TypeObject, dict)
+			_, _ = DecodeRaw(b, TypeArray, dict)
+		})
+	}
+}
+
+// TestCorruptSegmentsNeverPanic hand-crafts the corruption classes the
+// segment parser validates: truncations, corrupt presence bitmaps, count
+// and length mismatches, bad footers.
+func TestCorruptSegmentsNeverPanic(t *testing.T) {
+	_, data, dict := buildTestSegment(t)
+
+	t.Run("truncations", func(t *testing.T) {
+		for n := 0; n <= len(data); n++ {
+			probeSegment(data[:n], dict)
+		}
+	})
+
+	t.Run("every-u32-poisoned", func(t *testing.T) {
+		// Overwrite each aligned u32 with extreme values; parse must
+		// reject or survive, never panic. Covers footer offsets, counts,
+		// ends arrays, and presence bitmap words.
+		for off := 0; off+u32 <= len(data); off += u32 {
+			for _, v := range []uint32{0, 1, ^uint32(0), uint32(len(data)), uint32(len(data) - 1)} {
+				bad := append([]byte(nil), data...)
+				binary.LittleEndian.PutUint32(bad[off:], v)
+				probeSegment(bad, dict)
+			}
+		}
+	})
+
+	t.Run("bit-flips", func(t *testing.T) {
+		for off := 0; off < len(data); off++ {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 0xff
+			probeSegment(bad, dict)
+		}
+	})
+
+	t.Run("footer-count-mismatch", func(t *testing.T) {
+		// Inflate each column's footer count: popcount check must reject.
+		footerOff := int(binary.LittleEndian.Uint32(data[len(data)-u32:]))
+		f := data[footerOff:]
+		ncols := int(binary.LittleEndian.Uint32(f[u32:]))
+		for ci := 0; ci < ncols; ci++ {
+			bad := append([]byte(nil), data...)
+			cntOff := footerOff + 5*u32 + ci*segColDirBytes + 4*u32
+			cnt := binary.LittleEndian.Uint32(bad[cntOff:])
+			binary.LittleEndian.PutUint32(bad[cntOff:], cnt+1)
+			if _, err := ParseSegment(bad); err == nil {
+				t.Errorf("column %d: inflated count must be rejected", ci)
+			}
+			probeSegment(bad, dict)
+		}
+	})
+
+	t.Run("presence-on-null-record", func(t *testing.T) {
+		// Set a presence bit on the NULL record (the last one): the
+		// parser must reject presence ∩ null.
+		s, err := ParseSegment(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nullRow := s.NumRecords() - 1
+		if !s.RecordNull(nullRow) {
+			t.Fatal("fixture's last record should be NULL")
+		}
+		footerOff := int(binary.LittleEndian.Uint32(data[len(data)-u32:]))
+		colOff := int(binary.LittleEndian.Uint32(data[footerOff+5*u32+2*u32:]))
+		bad := append([]byte(nil), data...)
+		word := binary.LittleEndian.Uint64(bad[colOff+(nullRow/64)*8:])
+		word |= 1 << uint(nullRow%64)
+		binary.LittleEndian.PutUint64(bad[colOff+(nullRow/64)*8:], word)
+		if _, err := ParseSegment(bad); err == nil {
+			t.Error("presence bit on NULL record must be rejected")
+		}
+		probeSegment(bad, dict)
+	})
+}
+
+// TestSegmentFloatRangeNaN: NaN values poison the footer range (a NaN
+// min/max would make skip decisions wrong).
+func TestSegmentFloatRangeNaN(t *testing.T) {
+	dict := NewDictionary()
+	doc := jsonx.NewDoc()
+	doc.Set("x", jsonx.FloatValue(math.NaN()))
+	rec, err := Serialize(doc, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSegment([][]byte{rec}, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := dict.IDOf("x", TypeFloat)
+	col, ok := s.Column(id)
+	if !ok {
+		t.Fatal("no column for x")
+	}
+	if _, _, ok := col.FloatRange(); ok {
+		t.Error("NaN-containing column must not report a range")
+	}
+}
