@@ -155,6 +155,9 @@ func command(db *core.DB, mat *core.Materializer, line string) error {
 		skipped, workers := db.RDBMS().Pager().ExecStats()
 		fmt.Printf("executor: %d pages skipped, %d parallel workers since last reset\n",
 			skipped, workers)
+		zoneSkipped, selBatches, parStriped := db.RDBMS().Pager().SelStats()
+		fmt.Printf("striped: %d segments skipped by zone maps, %d selection-vector batches, %d parallel striped scans\n",
+			zoneSkipped, selBatches, parStriped)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %s", fields[0])

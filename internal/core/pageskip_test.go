@@ -130,6 +130,105 @@ func TestAttrSkipSurvivesDictionaryGrowth(t *testing.T) {
 	}
 }
 
+// zoneDB loads documents whose zv attribute increases monotonically, so
+// every frozen page's segment zone map covers a tight, disjoint [min,max]
+// window. ANALYZE (the storage-layer call, not the schema analyzer)
+// freezes the full pages without materializing any key, so the predicate
+// stays on the virtual-key extraction path the zone maps serve.
+func zoneDB(t *testing.T, n int) *DB {
+	t.Helper()
+	db := Open(DefaultConfig())
+	if err := db.CreateCollection("events"); err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*jsonx.Doc, n)
+	for i := 0; i < n; i++ {
+		d, err := jsonx.ParseDocument([]byte(fmt.Sprintf(
+			`{"id":%d,"zv":%d}`, i, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = d
+	}
+	if _, err := db.LoadDocuments("events", docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RDBMS().Analyze("events"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestStripedZoneMapSkipping pins the zone-map half of page skipping: a
+// range probe on a virtual key present in every record (so attr-presence
+// skipping can never fire) must eliminate every frozen page whose segment
+// extrema exclude the range, while returning exactly the rows a
+// skip-disabled run returns.
+func TestStripedZoneMapSkipping(t *testing.T) {
+	db := zoneDB(t, 1024) // 8 full pages, zv spans [128p, 128p+127] on page p
+	const q = `SELECT id FROM events WHERE zv > 1000`
+
+	mustSet(t, db, `SET enable_page_skip = off`)
+	baseRows, baseSkipped := db.skipRun(t, q)
+	if baseSkipped != 0 {
+		t.Fatalf("skipped %d pages with skipping disabled", baseSkipped)
+	}
+	if baseRows != 23 { // zv in 1001..1023
+		t.Fatalf("probe matched %d rows, want 23", baseRows)
+	}
+
+	mustSet(t, db, `SET enable_page_skip = on`)
+	rows, skipped := db.skipRun(t, q)
+	if rows != baseRows {
+		t.Fatalf("zone skipping changed the result: %d rows vs %d", rows, baseRows)
+	}
+	// Pages 0..6 top out at zv=895; only the last page can hold zv > 1000.
+	if skipped < 7 {
+		t.Fatalf("skipped %d pages, want ≥7 via zone maps", skipped)
+	}
+	if got := statCounter(t, db, "segments_skipped_zonemap"); got < 7 {
+		t.Errorf("segments_skipped_zonemap = %d, want ≥7", got)
+	}
+
+	// A probe outside every page's range proves the whole table away.
+	rows0, skipped0 := db.skipRun(t, `SELECT id FROM events WHERE zv = 5000`)
+	if rows0 != 0 || skipped0 < 8 {
+		t.Fatalf("out-of-range probe: rows=%d (want 0) skipped=%d (want ≥8)", rows0, skipped0)
+	}
+
+	// Equality inside a single page's window keeps exactly that page.
+	rowsEq, skippedEq := db.skipRun(t, `SELECT id FROM events WHERE zv = 300`)
+	if rowsEq != 1 || skippedEq < 7 {
+		t.Fatalf("in-range probe: rows=%d (want 1) skipped=%d (want ≥7)", rowsEq, skippedEq)
+	}
+
+	// An UPDATE un-freezes its page: the segment (and its zones) are gone,
+	// so that page is scanned again while the others still skip, and the
+	// result stays exact.
+	if _, err := db.Query(`UPDATE events SET zv = 2000 WHERE id = 300`); err != nil {
+		t.Fatal(err)
+	}
+	rows1, skipped1 := db.skipRun(t, q)
+	if rows1 != baseRows+1 {
+		t.Fatalf("after update: %d rows, want %d", rows1, baseRows+1)
+	}
+	if skipped1 >= skipped {
+		t.Fatalf("update did not drop a zone skip (skipped %d → %d)", skipped, skipped1)
+	}
+
+	// Re-ANALYZE refreezes the page and rebuilds its zones; the updated
+	// row's new value widens that page's range, so it is scanned — the
+	// other six low pages skip again.
+	if err := db.RDBMS().Analyze("events"); err != nil {
+		t.Fatal(err)
+	}
+	rows2, skipped2 := db.skipRun(t, q)
+	if rows2 != baseRows+1 || skipped2 < 6 {
+		t.Fatalf("after analyze: rows=%d skipped=%d, want rows=%d skipped≥6",
+			rows2, skipped2, baseRows+1)
+	}
+}
+
 // TestSkipInvalidationOnUpdate pins conservative invalidation: an
 // in-place UPDATE nulls the touched pages' summaries (they may now be
 // stale), selections stay correct, and ANALYZE rebuilds the summaries so

@@ -31,6 +31,26 @@ type recordSegment struct {
 func (r *recordSegment) NumRows() int      { return r.seg.NumRecords() }
 func (r *recordSegment) AttrIDs() []uint32 { return r.seg.AttrIDs() }
 
+// AttrZones implements storage.ZoneMapped: the per-attribute presence
+// counts and numeric extrema the segment footer already carries become
+// page-summary zone maps, so range predicates on extracted keys can skip
+// whole frozen pages without touching the segment payload.
+func (r *recordSegment) AttrZones() []storage.AttrZone {
+	n := r.seg.NumAttrs()
+	out := make([]storage.AttrZone, 0, n)
+	for i := 0; i < n; i++ {
+		c := r.seg.ColumnAt(i)
+		z := storage.AttrZone{ID: c.ID(), Present: c.NumPresent()}
+		if lo, hi, ok := c.IntRange(); ok {
+			z.Min, z.Max, z.HasRange = types.NewInt(lo), types.NewInt(hi), true
+		} else if flo, fhi, fok := c.FloatRange(); fok {
+			z.Min, z.Max, z.HasRange = types.NewFloat(flo), types.NewFloat(fhi), true
+		}
+		out = append(out, z)
+	}
+	return out
+}
+
 // Values reconstructs the column's datums (the un-freeze path). The bytes
 // alias the segment, which outlives any row view built from it.
 func (r *recordSegment) Values(dst []types.Datum) error {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -13,6 +14,10 @@ import (
 // documents give three freezable pages plus a row-form tail).
 func segmentDB(t *testing.T) (*DB, int) {
 	t.Helper()
+	// The planner caps workers at GOMAXPROCS; raise it so the parallel
+	// legs genuinely parallelize even on single-CPU runners.
+	old := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
 	db := Open(DefaultConfig())
 	if err := db.CreateCollection("d"); err != nil {
 		t.Fatal(err)
@@ -121,11 +126,16 @@ func TestStripedSegmentDifferential(t *testing.T) {
 		`SELECT dyn, num FROM d`,
 		`SELECT name, num FROM d WHERE num >= 10`,
 		`SELECT COUNT(*) FROM d WHERE score IS NOT NULL`,
-		// Predicate hoisting: striped scans keep the filter in a
-		// BatchFilterIter above the scan, including string matches over
-		// extracted virtual keys.
+		// In-scan selection: striped scans compile these predicates into
+		// selection-vector kernels over the page's attribute vectors,
+		// including string matches over extracted virtual keys.
 		`SELECT * FROM d WHERE name = 'frosty' OR num < 5`,
 		`SELECT num FROM d WHERE "user.lang" = 'en' AND num >= 0`,
+		// Cardinality-changing consumers above selection-carrying batches.
+		// Unique ordered groups keep the LIMIT prefix deterministic across
+		// the serial and parallel legs.
+		`SELECT num, COUNT(*) FROM d WHERE num >= 5 GROUP BY num ORDER BY num LIMIT 7`,
+		`SELECT name, num FROM d WHERE num < 15 ORDER BY num, name LIMIT 9`,
 	}
 	runSegmentLegs(t, db, "frozen", queries)
 
@@ -163,8 +173,8 @@ func TestStripedExplainAnnotation(t *testing.T) {
 	if !strings.Contains(text, "striped") {
 		t.Errorf("EXPLAIN should show the striped scan:\n%s", text)
 	}
-	// Predicates do not disqualify striping: the filter is hoisted above
-	// the scan at open time, and the plan still advertises the mode.
+	// Predicates do not disqualify striping: they compile into the
+	// in-scan selection filter, and the plan advertises the sel path.
 	text, err = db.Explain(`SELECT name FROM d WHERE num >= 10`)
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +182,22 @@ func TestStripedExplainAnnotation(t *testing.T) {
 	if !strings.Contains(text, "striped") {
 		t.Errorf("EXPLAIN of a filtered scan should still show striped:\n%s", text)
 	}
-	mustSet(t, db, `SET enable_striped = off`)
+	if !strings.Contains(text, "sel") {
+		t.Errorf("EXPLAIN of a filtered striped scan should show the sel path:\n%s", text)
+	}
+	// A striped scan with a predicate stays striped under Gather: the
+	// partition scans evaluate the shared SelFilter in-scan.
+	mustSet(t, db, `SET max_parallel_workers = 4`, `SET parallel_scan_min_pages = 1`)
+	text, err = db.Explain(`SELECT name FROM d WHERE num >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parallel", "striped", "sel"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("parallel filtered EXPLAIN should show %q:\n%s", want, text)
+		}
+	}
+	mustSet(t, db, `SET max_parallel_workers = 1`, `SET enable_striped = off`)
 	text, err = db.Explain(`SELECT name, num FROM d`)
 	if err != nil {
 		t.Fatal(err)
@@ -228,5 +253,30 @@ func TestSinewStatsSegmentCounters(t *testing.T) {
 	}
 	if got := statCounter(t, db, "segments_total"); got >= int64(frozen) {
 		t.Errorf("segments_total = %d after un-freeze, want < %d", got, frozen)
+	}
+}
+
+// TestSinewStatsSelCounters checks the selection-vector observability
+// surface: filtered striped scans count the sel batches they emit, and
+// striped scans under a parallel gather are counted separately.
+func TestSinewStatsSelCounters(t *testing.T) {
+	db, _ := segmentDB(t)
+	mustSet(t, db, `SET enable_batch = on`, `SET enable_striped = on`,
+		`SET max_parallel_workers = 1`)
+	selBefore := statCounter(t, db, "sel_vector_batches")
+	if _, err := db.Query(`SELECT name, num FROM d WHERE num >= 10`); err != nil {
+		t.Fatal(err)
+	}
+	if got := statCounter(t, db, "sel_vector_batches"); got <= selBefore {
+		t.Errorf("sel_vector_batches stuck at %d after a filtered striped scan", got)
+	}
+
+	parBefore := statCounter(t, db, "parallel_striped_scans")
+	mustSet(t, db, `SET max_parallel_workers = 4`, `SET parallel_scan_min_pages = 1`)
+	if _, err := db.Query(`SELECT name, num FROM d WHERE num >= 10`); err != nil {
+		t.Fatal(err)
+	}
+	if got := statCounter(t, db, "parallel_striped_scans"); got <= parBefore {
+		t.Errorf("parallel_striped_scans stuck at %d after a parallel striped scan", got)
 	}
 }

@@ -185,6 +185,12 @@ func (db *DB) registerUDFs() {
 			if args[0].Typ != types.Bytes {
 				return types.Datum{}, fmt.Errorf("sinew_tojson: want bytea, got %v", args[0].Typ)
 			}
+			// Streaming render first: one pass over the record, one text
+			// allocation. Declined records (duplicate keys, corruption)
+			// take the document path, which owns the canonical error.
+			if buf, err := serial.AppendJSON(nil, args[0].Bs, db.dict()); err == nil {
+				return types.NewText(string(buf)), nil
+			}
 			doc, err := serial.Deserialize(args[0].Bs, db.dict())
 			if err != nil {
 				return types.Datum{}, err
@@ -297,10 +303,12 @@ func (db *DB) registerUDFs() {
 			s := db.rdb.PlanCacheStats()
 			skipped, workers := db.rdb.Pager().ExecStats()
 			segScanned, segUnfrozen := db.rdb.Pager().SegStats()
+			zoneSkipped, selBatches, parStriped := db.rdb.Pager().SelStats()
 			return types.NewText(fmt.Sprintf(
-				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d segments_total=%d segments_scanned=%d segment_pages_unfrozen=%d",
+				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d segments_total=%d segments_scanned=%d segment_pages_unfrozen=%d segments_skipped_zonemap=%d sel_vector_batches=%d parallel_striped_scans=%d",
 				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch, skipped, workers,
-				db.rdb.FrozenPages(), segScanned, segUnfrozen)), nil
+				db.rdb.FrozenPages(), segScanned, segUnfrozen,
+				zoneSkipped, selBatches, parStriped)), nil
 		},
 	})
 

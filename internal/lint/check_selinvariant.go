@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SelInvariant enforces the selection-vector convention on RowBatch
+// consumers. A batch with a non-nil Sel stores its logical rows at
+// physical indices Sel[0..Len()): Len() counts logical rows, the column
+// slices keep their physical length, and every columnar read must map the
+// logical index through the selection vector. A function that iterates a
+// batch by Len() while reading its columns physically (b.Cols[...] or
+// b.Row(...)) silently processes filtered-out rows the moment a
+// selection-carrying batch reaches it — results are wrong only for sel
+// batches, so plain dense tests never catch it. Such a function must
+// either consult the batch's Sel (directly or via the selIdx helper) or
+// iterate PhysLen() instead.
+type SelInvariant struct{}
+
+// ID implements Check.
+func (*SelInvariant) ID() string { return "sel-invariant" }
+
+// Doc implements Check.
+func (*SelInvariant) Doc() string {
+	return "RowBatch columns read under Len() must be indexed through Sel (or iterate PhysLen)"
+}
+
+// selUse accumulates how one RowBatch-typed variable is touched inside a
+// single function body.
+type selUse struct {
+	lenPos   token.Pos // first b.Len() use
+	usesLen  bool      // iterates/derives the logical row count
+	readsPhy bool      // reads columns physically: b.Cols or b.Row
+	selAware bool      // consults b.Sel or b.PhysLen
+}
+
+// Run implements Check.
+func (c *SelInvariant) Run(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			uses := make(map[types.Object]*selUse)
+			// selIdx anywhere in the body is the idiomatic mapping helper;
+			// its sel argument ties the loop to a selection vector, so the
+			// whole function is treated as sel-aware.
+			funcAware := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.Ident:
+					if x.Name == "selIdx" {
+						funcAware = true
+					}
+				case *ast.SelectorExpr:
+					id, ok := x.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := pkg.Info.Uses[id]
+					if obj == nil || !isRowBatchType(obj.Type()) {
+						return true
+					}
+					u := uses[obj]
+					if u == nil {
+						u = &selUse{}
+						uses[obj] = u
+					}
+					switch x.Sel.Name {
+					case "Len":
+						if !u.usesLen {
+							u.usesLen, u.lenPos = true, x.Sel.Pos()
+						}
+					case "Cols", "Row":
+						u.readsPhy = true
+					case "Sel", "PhysLen":
+						u.selAware = true
+					}
+				}
+				return true
+			})
+			if funcAware {
+				continue
+			}
+			for obj, u := range uses {
+				if u.usesLen && u.readsPhy && !u.selAware {
+					pass.Reportf(u.lenPos,
+						"%s reads RowBatch %q columns under Len() without consulting Sel: logical row i lives at Sel[i] on selection-carrying batches (index via selIdx/Sel or iterate PhysLen)",
+						fd.Name.Name, obj.Name())
+				}
+			}
+		}
+	}
+}
+
+// isRowBatchType reports whether t is (a pointer to) a named type called
+// RowBatch — the executor's column-major batch carrying the selection
+// vector contract.
+func isRowBatchType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "RowBatch"
+}

@@ -76,6 +76,7 @@ func Registry() []Check {
 		&EnumSwitch{},
 		&PlanCacheKey{},
 		&UncheckedError{},
+		&SelInvariant{},
 	}
 }
 

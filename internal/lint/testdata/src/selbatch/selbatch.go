@@ -1,0 +1,88 @@
+// Package selbatch seeds positive and negative cases for the
+// sinew/sel-invariant check.
+package selbatch
+
+// Datum is a stand-in value cell.
+type Datum struct{ V int64 }
+
+// RowBatch mirrors the executor's column-major batch: when Sel is
+// non-nil, logical row i lives at physical index Sel[i] of every column.
+type RowBatch struct {
+	Cols [][]Datum
+	Sel  []int32
+	n    int
+}
+
+// Len is the logical row count.
+func (b *RowBatch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// PhysLen is the physical row count.
+func (b *RowBatch) PhysLen() int { return b.n }
+
+// Row copies physical row i.
+func (b *RowBatch) Row(i int) []Datum {
+	out := make([]Datum, len(b.Cols))
+	for j := range b.Cols {
+		out[j] = b.Cols[j][i]
+	}
+	return out
+}
+
+// selIdx maps a logical row index through an optional selection vector.
+func selIdx(sel []int32, i int) int {
+	if sel == nil {
+		return i
+	}
+	return int(sel[i])
+}
+
+// SumDense iterates logical rows but indexes the column physically:
+// flagged — a selection-carrying batch would sum filtered-out rows.
+func SumDense(b *RowBatch) int64 {
+	var s int64
+	for i := 0; i < b.Len(); i++ { // want `sel-invariant: SumDense reads RowBatch "b" columns under Len\(\)`
+		s += b.Cols[0][i].V
+	}
+	return s
+}
+
+// CopyDense uses the physical Row accessor under Len(): flagged.
+func CopyDense(b *RowBatch) [][]Datum {
+	out := make([][]Datum, 0, b.Len()) // want `sel-invariant: CopyDense reads RowBatch "b" columns under Len\(\)`
+	for i := 0; i < b.Len(); i++ {
+		out = append(out, b.Row(i))
+	}
+	return out
+}
+
+// SumSel maps logical rows through the selection vector: no finding.
+func SumSel(b *RowBatch) int64 {
+	var s int64
+	for i := 0; i < b.Len(); i++ {
+		s += b.Cols[0][selIdx(b.Sel, i)].V
+	}
+	return s
+}
+
+// SumPhysical iterates the physical rows directly: no finding.
+func SumPhysical(b *RowBatch) int64 {
+	var s int64
+	for i := 0; i < b.PhysLen(); i++ {
+		s += b.Cols[0][i].V
+	}
+	return s
+}
+
+// FillOutput sizes a dense output batch it owns by the input's logical
+// length; per-variable tracking keeps the two batches apart: no finding.
+func FillOutput(in, out *RowBatch) {
+	for i := 0; i < in.Len(); i++ {
+		out.Cols[0][i] = Datum{V: 1}
+	}
+	out.n = in.Len()
+}

@@ -43,7 +43,14 @@ func (h *BatchHashAggIter) NextBatch() (*RowBatch, error) {
 	}
 	width := len(h.GroupBy) + len(h.Aggs)
 	if h.out == nil {
-		h.out = NewRowBatch(width, size)
+		// Selective queries leave far fewer groups than the batch size;
+		// sizing the output by the remaining groups keeps a five-group
+		// aggregate from allocating a full-size batch every execution.
+		capHint := size
+		if rem := len(h.groups) - h.pos; rem < capHint {
+			capHint = rem
+		}
+		h.out = NewRowBatch(width, capHint)
 	}
 	b := h.out
 	b.Reset()
@@ -101,7 +108,9 @@ func (h *BatchHashAggIter) run() {
 			}
 		}
 		n := in.Len()
-		for i := 0; i < n; i++ {
+		sel := in.Sel
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			keyBuf = keyBuf[:0]
 			for _, col := range keyCols {
 				keyBuf = col[i].HashKey(keyBuf)

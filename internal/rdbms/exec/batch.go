@@ -49,6 +49,14 @@ type RowBatch struct {
 	// segment-aware operators (BatchMultiExtractIter.SegKernel) may read a
 	// column's values straight from the segment instead of Cols[j].
 	Segs []storage.ColumnSegment
+	// Sel, when non-nil, is the batch's selection vector: the logical rows
+	// are Cols[j][Sel[0]], Cols[j][Sel[1]], ... in that order, and Len()
+	// reports len(Sel). Columns always keep their full physical length
+	// (PhysLen rows) so filtered batches can alias immutable frozen-page
+	// vectors without compaction. Operators reading columns must either
+	// iterate through Sel (selIdx) or be materializing boundaries that
+	// compact the batch to dense form.
+	Sel []int32
 }
 
 // NewRowBatch returns an empty batch of the given width with capacity for
@@ -65,8 +73,30 @@ func NewRowBatch(width, capHint int) *RowBatch {
 	return b
 }
 
-// Len returns the number of rows in the batch.
-func (b *RowBatch) Len() int { return b.n }
+// Len returns the number of logical rows in the batch: the selection
+// length when a selection vector is attached, the physical row count
+// otherwise.
+func (b *RowBatch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// PhysLen returns the physical row count of the batch's columns,
+// independent of any selection vector. Kernels that run over every stored
+// row (segment extraction, column materialization) size their outputs by
+// it; Sel entries index into [0, PhysLen).
+func (b *RowBatch) PhysLen() int { return b.n }
+
+// selIdx maps logical row si to its physical index through sel; the
+// identity when no selection vector is attached.
+func selIdx(sel []int32, si int) int {
+	if sel != nil {
+		return int(sel[si])
+	}
+	return si
+}
 
 // Width returns the number of columns.
 func (b *RowBatch) Width() int { return len(b.Cols) }
@@ -75,6 +105,7 @@ func (b *RowBatch) Width() int { return len(b.Cols) }
 func (b *RowBatch) Reset() {
 	b.n = 0
 	b.Segs = nil
+	b.Sel = nil
 	for j := range b.Cols {
 		b.Cols[j] = b.Cols[j][:0]
 		for w := range b.Nulls[j] {
@@ -350,9 +381,10 @@ func (a *BatchToRow) Next() (storage.Row, bool, error) {
 	w := a.batch.Width()
 	row := storage.Row(a.arena[a.used : a.used+w : a.used+w])
 	a.used += w
+	i := selIdx(a.batch.Sel, a.pos)
 	for j := 0; j < w; j++ {
-		if col := a.batch.Cols[j]; a.pos < len(col) {
-			row[j] = col[a.pos]
+		if col := a.batch.Cols[j]; i < len(col) {
+			row[j] = col[i]
 		} else {
 			row[j] = types.Datum{} // column pruned away by the scan
 		}
@@ -406,6 +438,14 @@ type BatchScanIter struct {
 	shell   *RowBatch     // frozen-page shell; aliases, never pooled/Reset
 	own     *RowBatch     // owned transpose buffer for row-form pages
 	pageBuf []storage.Row // ReadPage row buffer (one full page)
+
+	// In-scan selection filtering (selfilter.go): the compiled filter, its
+	// per-scan state, and the count of selection-carrying batches emitted
+	// (flushed to the heap's stats on Close).
+	sf         *SelFilter
+	selState   *selScanState
+	heap       *storage.Heap
+	selBatches int64
 }
 
 // NewBatchScan returns a batch scan over all pages of h.
@@ -427,6 +467,7 @@ func NewBatchScanRange(h *storage.Heap, filter Expr, size, start, end int) *Batc
 		nrows:  h.NumRows(),
 		reuse:  true,
 		ctx:    NewEvalCtx(),
+		heap:   h,
 	}
 }
 
@@ -482,6 +523,10 @@ func (s *BatchScanIter) NextBatch() (*RowBatch, error) {
 // Close implements BatchIterator.
 func (s *BatchScanIter) Close() {
 	s.chunk.Close()
+	if s.selBatches > 0 && s.heap != nil {
+		s.heap.RecordSelBatches(s.selBatches)
+		s.selBatches = 0
+	}
 	if s.batch != nil {
 		PutBatch(s.batch)
 		s.batch = nil
@@ -504,7 +549,11 @@ func (s *BatchScanIter) SizeHint() (int64, bool) {
 }
 
 // compactBatch keeps only rows with keep[i] set, in order, and returns the
-// surviving count.
+// surviving count. It requires a dense batch: both callers compact a
+// scan-owned batch straight out of FillRows, before any selection vector
+// can exist, so logical and physical indices coincide.
+//
+//lint:ignore sinew/sel-invariant dense-only helper: callers compact scan-owned FillRows batches that never carry Sel
 func compactBatch(b *RowBatch, keep []bool) int {
 	n := b.Len()
 	k := 0
@@ -595,9 +644,10 @@ func (f *BatchFilterIter) NextBatch() (*RowBatch, error) {
 			out.Nulls = append(out.Nulls, nil)
 		}
 		n := in.Len()
+		sel := in.Sel
 		kept := 0
-		for i := 0; i < n; i++ {
-			if keep[i] {
+		for si := 0; si < n; si++ {
+			if keep[si] {
 				kept++
 			}
 		}
@@ -605,11 +655,13 @@ func (f *BatchFilterIter) NextBatch() (*RowBatch, error) {
 			src := in.Cols[j]
 			col := out.Cols[j][:0]
 			// A column-pruned scan leaves unneeded columns empty; keep
-			// them empty rather than indexing past their length.
-			if len(src) == n {
-				for i := 0; i < n; i++ {
-					if keep[i] {
-						col = append(col, src[i])
+			// them empty rather than indexing past their length. The keep
+			// mask is logical, so a selection-carrying input is compacted
+			// through its Sel here (the output is always dense).
+			if len(src) == in.PhysLen() {
+				for si := 0; si < n; si++ {
+					if keep[si] {
+						col = append(col, src[selIdx(sel, si)])
 					}
 				}
 			}
@@ -641,10 +693,16 @@ type RowBudgeter interface {
 	SetRowBudget(n int64)
 }
 
-// truncateBatch trims b to at most n rows (pruned empty columns are left
-// untouched).
+// truncateBatch trims b to at most n logical rows (pruned empty columns
+// are left untouched). A selection-carrying batch is trimmed by shortening
+// its selection vector; the physical columns stay intact because they may
+// alias immutable frozen-page storage.
 func truncateBatch(b *RowBatch, n int64) {
 	if n < 0 || int64(b.Len()) <= n {
+		return
+	}
+	if b.Sel != nil {
+		b.Sel = b.Sel[:n]
 		return
 	}
 	for j := range b.Cols {
@@ -715,7 +773,11 @@ func (p *BatchProjectIter) NextBatch() (*RowBatch, error) {
 		}
 		out.SetCol(j, col)
 	}
-	out.n = in.Len()
+	// Projection preserves the physical layout: output columns are aliases
+	// or PhysLen-sized evaluation results, so the input's selection vector
+	// carries over verbatim.
+	out.n = in.PhysLen()
+	out.Sel = in.Sel
 	return out, nil
 }
 
@@ -843,7 +905,10 @@ func (m *BatchMultiExtractIter) NextBatch() (*RowBatch, error) {
 		}
 		out.Segs = segs
 	}
-	n := in.Len()
+	// Kernels fill every physical row: a selection-carrying batch keeps its
+	// columns (and the backing segment) at full page length, and extraction
+	// over rows the selection dropped is harmless — they are valid records.
+	n := in.PhysLen()
 	for k := 0; k < m.K; k++ {
 		if cap(m.cols[k]) < n {
 			m.cols[k] = make([]types.Datum, n)
@@ -873,6 +938,7 @@ func (m *BatchMultiExtractIter) NextBatch() (*RowBatch, error) {
 		out.SetCol(inW+k, m.cols[k])
 	}
 	out.n = n
+	out.Sel = in.Sel
 	return out, nil
 }
 

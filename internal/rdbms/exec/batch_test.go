@@ -47,7 +47,9 @@ func collectBatches(t *testing.T, it BatchIterator) []storage.Row {
 			t.Fatal("BatchIterator emitted an empty batch")
 		}
 		for i := 0; i < b.Len(); i++ {
-			out = append(out, b.Row(i, nil))
+			// Row is a physical accessor: logical row i lives at Sel[i]
+			// when the batch carries a selection vector.
+			out = append(out, b.Row(selIdx(b.Sel, i), nil))
 		}
 	}
 }

@@ -51,8 +51,15 @@ func (c *EvalCtx) BeginBatch() {
 // The returned slice may alias a column of b (ColExpr is free); callers
 // must copy before mutating. On error the first failing row in row order —
 // of the first failing child, for eager nodes — is reported.
+//
+// Result columns are physically indexed: they hold PhysLen entries and
+// only the positions a selection vector references are written, so parent
+// nodes index them exactly like columns of b. Rows outside the selection
+// are never evaluated.
 func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 	n := b.Len()
+	sel := b.Sel
+	phys := b.PhysLen()
 	switch x := e.(type) {
 	case *ColExpr:
 		return b.Cols[x.Idx], nil
@@ -62,14 +69,14 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 			ctx.consts = make(map[*ConstExpr][]types.Datum)
 		}
 		col := ctx.consts[x]
-		if len(col) < n {
-			col = make([]types.Datum, n)
+		if len(col) < phys {
+			col = make([]types.Datum, phys)
 			for i := range col {
 				col[i] = x.Val
 			}
 			ctx.consts[x] = col
 		}
-		return col[:n], nil
+		return col[:phys], nil
 
 	case *BinExpr:
 		if x.Op == "AND" || x.Op == "OR" {
@@ -83,16 +90,18 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]types.Datum, n)
+		out := make([]types.Datum, phys)
 		switch x.Op {
 		case "=", "<>", "<", "<=", ">", ">=":
-			for i := 0; i < n; i++ {
+			for si := 0; si < n; si++ {
+				i := selIdx(sel, si)
 				if out[i], err = evalComparison(x.Op, l[i], r[i]); err != nil {
 					return nil, err
 				}
 			}
 		case "||":
-			for i := 0; i < n; i++ {
+			for si := 0; si < n; si++ {
+				i := selIdx(sel, si)
 				if l[i].IsNull() || r[i].IsNull() {
 					out[i] = types.NewNull(types.Text)
 					continue
@@ -108,7 +117,8 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 				out[i] = types.NewText(ls.S + rs.S)
 			}
 		default:
-			for i := 0; i < n; i++ {
+			for si := 0; si < n; si++ {
+				i := selIdx(sel, si)
 				if out[i], err = evalArith(x.Op, l[i], r[i]); err != nil {
 					return nil, err
 				}
@@ -121,8 +131,9 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]types.Datum, n)
-		for i := 0; i < n; i++ {
+		out := make([]types.Datum, phys)
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			t, isNull, err := truth(in[i])
 			if err != nil {
 				return nil, err
@@ -140,8 +151,9 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]types.Datum, n)
-		for i := 0; i < n; i++ {
+		out := make([]types.Datum, phys)
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			v := in[i]
 			switch {
 			case v.IsNull():
@@ -163,8 +175,9 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]types.Datum, n)
-		for i := 0; i < n; i++ {
+		out := make([]types.Datum, phys)
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			out[i] = types.NewBool(in[i].IsNull() != x.Not)
 		}
 		return out, nil
@@ -182,8 +195,9 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]types.Datum, n)
-		for i := 0; i < n; i++ {
+		out := make([]types.Datum, phys)
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			geLo, err := evalComparison(">=", xs[i], lo[i])
 			if err != nil {
 				return nil, err
@@ -214,8 +228,9 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]types.Datum, n)
-		for i := 0; i < n; i++ {
+		out := make([]types.Datum, phys)
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			if xs[i].IsNull() || ps[i].IsNull() {
 				out[i] = types.NewNull(types.Bool)
 				continue
@@ -241,8 +256,9 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]types.Datum, n)
-		for i := 0; i < n; i++ {
+		out := make([]types.Datum, phys)
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			if out[i], err = types.Cast(in[i], x.To); err != nil {
 				return nil, err
 			}
@@ -258,15 +274,19 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 			}
 			cols[k] = col
 		}
-		out := make([]types.Datum, n)
-		if x.Def.EvalBatch != nil {
+		out := make([]types.Datum, phys)
+		if x.Def.EvalBatch != nil && sel == nil {
+			// Vectorized UDFs see whole argument columns; on a
+			// selection-carrying batch they would evaluate (and could fail
+			// on) deselected rows, so those batches take the per-row loop.
 			if err := x.Def.EvalBatch(&ctx.udf, cols, out); err != nil {
 				return nil, err
 			}
 			return out, nil
 		}
 		args := ctx.args(len(x.Args))
-		for i := 0; i < n; i++ {
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			for k := range cols {
 				args[k] = cols[k][i]
 			}
@@ -291,6 +311,8 @@ func EvalBatch(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 // path that preserves short-circuit semantics.
 func evalBatchFallback(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error) {
 	n := b.Len()
+	sel := b.Sel
+	phys := b.PhysLen()
 	var out []types.Datum
 	if ctx.predColArmed {
 		// Predicate evaluation: the result is folded into a keep mask
@@ -298,15 +320,16 @@ func evalBatchFallback(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error)
 		// column is safe. One consumer per predicate — a nested operand
 		// result must survive while its parent node computes.
 		ctx.predColArmed = false
-		if cap(ctx.predCol) < n {
-			ctx.predCol = make([]types.Datum, n)
+		if cap(ctx.predCol) < phys {
+			ctx.predCol = make([]types.Datum, phys)
 		}
-		out = ctx.predCol[:n]
+		out = ctx.predCol[:phys]
 	} else {
-		out = make([]types.Datum, n)
+		out = make([]types.Datum, phys)
 	}
 	row := ctx.scratchRow()
-	for i := 0; i < n; i++ {
+	for si := 0; si < n; si++ {
+		i := selIdx(sel, si)
 		row = b.Row(i, row)
 		v, err := e.Eval(row)
 		if err != nil {
@@ -318,12 +341,14 @@ func evalBatchFallback(e Expr, b *RowBatch, ctx *EvalCtx) ([]types.Datum, error)
 	return out, nil
 }
 
-// EvalPredBatch evaluates pred over the batch as a selection mask: keep[i]
-// is true when the predicate is TRUE for row i (NULL and FALSE both drop
-// the row, matching EvalBool). The keep buffer is reused when large
-// enough.
+// EvalPredBatch evaluates pred over the batch as a selection mask: keep[si]
+// is true when the predicate is TRUE for logical row si (NULL and FALSE
+// both drop the row, matching EvalBool). The mask is logically indexed —
+// keep[si] pairs with b.Sel[si] on a selection-carrying batch. The keep
+// buffer is reused when large enough.
 func EvalPredBatch(pred Expr, b *RowBatch, ctx *EvalCtx, keep []bool) ([]bool, error) {
 	n := b.Len()
+	sel := b.Sel
 	ctx.predColArmed = true
 	col, err := EvalBatch(pred, b, ctx)
 	ctx.predColArmed = false
@@ -334,12 +359,12 @@ func EvalPredBatch(pred Expr, b *RowBatch, ctx *EvalCtx, keep []bool) ([]bool, e
 		keep = make([]bool, n)
 	}
 	keep = keep[:n]
-	for i := 0; i < n; i++ {
-		t, isNull, err := truth(col[i])
+	for si := 0; si < n; si++ {
+		t, isNull, err := truth(col[selIdx(sel, si)])
 		if err != nil {
 			return nil, err
 		}
-		keep[i] = t && !isNull
+		keep[si] = t && !isNull
 	}
 	return keep, nil
 }

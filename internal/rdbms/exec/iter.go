@@ -189,13 +189,14 @@ func CollectBatches(it BatchIterator) ([]storage.Row, error) {
 			out = append(out, storage.Row(arena[used:used+w:used+w]))
 			used += w
 		}
+		sel := b.Sel
 		for j := 0; j < w; j++ {
 			col := b.Cols[j]
-			if len(col) < n {
+			if len(col) < b.PhysLen() {
 				continue // column pruned away by the scan: cells stay zero
 			}
-			for i := 0; i < n; i++ {
-				arena[base+i*w+j] = col[i]
+			for si := 0; si < n; si++ {
+				arena[base+si*w+j] = col[selIdx(sel, si)]
 			}
 		}
 	}

@@ -27,6 +27,9 @@ type ParallelScanIter struct {
 type parallelItem struct {
 	b   *RowBatch
 	err error
+	// pool, when non-nil, is the producing worker's private batch pool; the
+	// merger hands the consumed batch back to it (releaseBatch).
+	pool *workerBatchPool
 }
 
 // NewParallelScan starts workers scanning h's partitions concurrently.
@@ -47,6 +50,17 @@ func NewParallelScanCols(h *storage.Heap, filter Expr, size, workers int, cols [
 // NewParallelScanColsSkip is NewParallelScanCols with a page-skip
 // predicate installed on every partition scan before workers start.
 func NewParallelScanColsSkip(h *storage.Heap, filter Expr, size, workers int, cols []int, skip func(*storage.PageSummary) bool) *ParallelScanIter {
+	return NewParallelScanStriped(h, filter, size, workers, cols, skip, false, nil)
+}
+
+// NewParallelScanStriped is NewParallelScanColsSkip with striped page mode
+// enabled on every partition scan: frozen pages arrive as column aliases,
+// filtered through the shared compiled SelFilter (each partition
+// instantiates its own kernel/selection state on its worker goroutine).
+// Because partition batches cross the merge channel, the scans run in
+// no-reuse mode — frozen-page shells and selection buffers are allocated
+// fresh per page.
+func NewParallelScanStriped(h *storage.Heap, filter Expr, size, workers int, cols []int, skip func(*storage.PageSummary) bool, striped bool, sf *SelFilter) *ParallelScanIter {
 	ranges := h.Partitions(workers)
 	if len(ranges) == 0 {
 		ranges = []storage.PageRange{{Start: 0, End: 0}}
@@ -73,6 +87,12 @@ func NewParallelScanColsSkip(h *storage.Heap, filter Expr, size, workers int, co
 		// Batches cross the channel to another goroutine, so the producer
 		// must not recycle them.
 		s.setNoReuse()
+		if striped {
+			if sf != nil {
+				s.SetSelFilter(sf)
+			}
+			s.EnableStriped()
+		}
 		p.scans[i] = s
 		p.wg.Add(1)
 		go p.worker(i, s)

@@ -36,11 +36,93 @@ import (
 // extraction kernels, eval contexts) must be created inside it.
 type PipelineBuild func(part storage.PageRange) (BatchIterator, error)
 
-// cloneBatch deep-copies b into a pooled batch. Workers clone the top-of-
-// pipeline batch before sending it across the merge channel, because
-// inner operators (project, multi-extract) recycle their output shells.
-func cloneBatch(b *RowBatch) *RowBatch {
-	out := GetBatch(b.Width())
+// workerBatchPool is one gather worker's private recycling loop for the
+// output batches it sends across the merge channel: the merger returns a
+// consumed batch to the worker that produced it instead of the global
+// sync.Pool, so channel-crossing batches never race with another worker's
+// recycling and column capacity stays worker-local. Overflow (or a worker
+// that already exited) falls back to the global pool.
+type workerBatchPool struct {
+	free chan *RowBatch
+}
+
+func newWorkerBatchPool() *workerBatchPool {
+	return &workerBatchPool{free: make(chan *RowBatch, 4)}
+}
+
+// get returns a recycled batch resized to width, or a global-pool batch
+// when the local loop is empty.
+func (p *workerBatchPool) get(width int) *RowBatch {
+	select {
+	case b := <-p.free:
+		for len(b.Cols) < width {
+			b.Cols = append(b.Cols, nil)
+			b.Nulls = append(b.Nulls, nil)
+		}
+		b.Cols = b.Cols[:width]
+		b.Nulls = b.Nulls[:width]
+		b.Reset()
+		return b
+	default:
+		return GetBatch(width)
+	}
+}
+
+// put hands a consumed batch back to the worker's loop (global pool when
+// full).
+func (p *workerBatchPool) put(b *RowBatch) {
+	if b == nil {
+		return
+	}
+	select {
+	case p.free <- b:
+	default:
+		PutBatch(b)
+	}
+}
+
+// releaseBatch returns a merged-stream batch to its producing worker's
+// pool, or the global pool for batches without one.
+func releaseBatch(b *RowBatch, pool *workerBatchPool) {
+	if b == nil {
+		return
+	}
+	if pool != nil {
+		pool.put(b)
+		return
+	}
+	PutBatch(b)
+}
+
+// cloneBatch deep-copies b into a batch from the worker's pool. Workers
+// clone the top-of-pipeline batch before sending it across the merge
+// channel, because inner operators (project, multi-extract) recycle their
+// output shells and striped scans alias frozen-page vectors. A
+// selection-carrying batch is compacted through its selection here, so
+// batches crossing the channel are always dense copies.
+func cloneBatch(b *RowBatch, pool *workerBatchPool) *RowBatch {
+	var out *RowBatch
+	if pool != nil {
+		out = pool.get(b.Width())
+	} else {
+		out = GetBatch(b.Width())
+	}
+	if sel := b.Sel; sel != nil {
+		n := b.Len()
+		for j := range b.Cols {
+			src := b.Cols[j]
+			col := out.Cols[j][:0]
+			// Pruned columns stay empty, exactly like the dense path.
+			if len(src) == b.PhysLen() {
+				for si := 0; si < n; si++ {
+					col = append(col, src[sel[si]])
+				}
+			}
+			out.SetCol(j, col)
+		}
+		out.n = n
+		return out
+	}
 	for j := range b.Cols {
 		out.Cols[j] = append(out.Cols[j][:0], b.Cols[j]...)
 		if cap(out.Nulls[j]) < len(b.Nulls[j]) {
@@ -60,9 +142,10 @@ type ParallelPipelineIter struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
-	cur    int
-	last   *RowBatch
-	closed bool
+	cur      int
+	last     *RowBatch
+	lastPool *workerBatchPool
+	closed   bool
 }
 
 // NewParallelPipeline starts one worker per partition. An empty partition
@@ -92,6 +175,7 @@ func (p *ParallelPipelineIter) worker(i int, r storage.PageRange, build Pipeline
 		return
 	}
 	defer src.Close()
+	pool := newWorkerBatchPool()
 	for {
 		b, err := src.NextBatch()
 		if err != nil {
@@ -104,11 +188,11 @@ func (p *ParallelPipelineIter) worker(i int, r storage.PageRange, build Pipeline
 		if b == nil {
 			return
 		}
-		out := cloneBatch(b)
+		out := cloneBatch(b, pool)
 		select {
-		case p.parts[i] <- parallelItem{b: out}:
+		case p.parts[i] <- parallelItem{b: out, pool: pool}:
 		case <-p.stop:
-			PutBatch(out)
+			pool.put(out)
 			return
 		}
 	}
@@ -119,8 +203,8 @@ func (p *ParallelPipelineIter) worker(i int, r storage.PageRange, build Pipeline
 // contract that batches are valid only until the next call.
 func (p *ParallelPipelineIter) NextBatch() (*RowBatch, error) {
 	if p.last != nil {
-		PutBatch(p.last)
-		p.last = nil
+		releaseBatch(p.last, p.lastPool)
+		p.last, p.lastPool = nil, nil
 	}
 	for p.cur < len(p.parts) {
 		item, ok := <-p.parts[p.cur]
@@ -131,7 +215,7 @@ func (p *ParallelPipelineIter) NextBatch() (*RowBatch, error) {
 		if item.err != nil {
 			return nil, item.err
 		}
-		p.last = item.b
+		p.last, p.lastPool = item.b, item.pool
 		return item.b, nil
 	}
 	return nil, nil
@@ -257,7 +341,9 @@ func accumulateGroups(src BatchIterator, groupBy []Expr, aggs []*AggSpec, stop <
 			}
 		}
 		n := in.Len()
-		for i := 0; i < n; i++ {
+		sel := in.Sel
+		for si := 0; si < n; si++ {
+			i := selIdx(sel, si)
 			keyBuf = keyBuf[:0]
 			for _, col := range keyCols {
 				keyBuf = col[i].HashKey(keyBuf)
@@ -414,13 +500,14 @@ type ParallelHashJoinIter struct {
 	table   map[string][]storage.Row
 	started bool
 
-	parts  []chan parallelItem
-	stop   chan struct{}
-	wg     sync.WaitGroup
-	cur    int
-	last   *RowBatch
-	closed bool
-	err    error
+	parts    []chan parallelItem
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	cur      int
+	last     *RowBatch
+	lastPool *workerBatchPool
+	closed   bool
+	err      error
 }
 
 // NewParallelHashJoin prepares a partitioned-probe join. outWidth is the
@@ -504,24 +591,25 @@ func (p *ParallelHashJoinIter) worker(i int, r storage.PageRange) {
 	keyCols := make([][]types.Datum, len(p.ProbeKeys))
 	var keyBuf []byte
 	var rowBuf storage.Row
-	ob := GetBatch(p.outWidth)
+	pool := newWorkerBatchPool()
+	ob := pool.get(p.outWidth)
 	send := func() bool {
 		if ob.Len() == 0 {
 			return true
 		}
 		select {
-		case p.parts[i] <- parallelItem{b: ob}:
-			ob = GetBatch(p.outWidth)
+		case p.parts[i] <- parallelItem{b: ob, pool: pool}:
+			ob = pool.get(p.outWidth)
 			return true
 		case <-p.stop:
-			PutBatch(ob)
+			pool.put(ob)
 			ob = nil
 			return false
 		}
 	}
 	fail := func(err error) {
 		if ob != nil {
-			PutBatch(ob)
+			pool.put(ob)
 			ob = nil
 		}
 		select {
@@ -538,7 +626,7 @@ func (p *ParallelHashJoinIter) worker(i int, r storage.PageRange) {
 		if in == nil {
 			send()
 			if ob != nil {
-				PutBatch(ob)
+				pool.put(ob)
 			}
 			return
 		}
@@ -550,7 +638,9 @@ func (p *ParallelHashJoinIter) worker(i int, r storage.PageRange) {
 			}
 		}
 		n := in.Len()
-		for r := 0; r < n; r++ {
+		sel := in.Sel
+		for si := 0; si < n; si++ {
+			r := selIdx(sel, si)
 			keyBuf = keyBuf[:0]
 			null := false
 			for _, col := range keyCols {
@@ -603,8 +693,8 @@ func (p *ParallelHashJoinIter) NextBatch() (*RowBatch, error) {
 		return nil, p.err
 	}
 	if p.last != nil {
-		PutBatch(p.last)
-		p.last = nil
+		releaseBatch(p.last, p.lastPool)
+		p.last, p.lastPool = nil, nil
 	}
 	for p.cur < len(p.parts) {
 		item, ok := <-p.parts[p.cur]
@@ -615,7 +705,7 @@ func (p *ParallelHashJoinIter) NextBatch() (*RowBatch, error) {
 		if item.err != nil {
 			return nil, item.err
 		}
-		p.last = item.b
+		p.last, p.lastPool = item.b, item.pool
 		return item.b, nil
 	}
 	return nil, nil

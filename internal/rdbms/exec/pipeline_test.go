@@ -257,6 +257,25 @@ func stripedChainBuild(h *storage.Heap, pred Expr, projs []Expr, size int) Pipel
 	}
 }
 
+// selChainBuild mirrors GatherNode.buildPartition over a striped scan
+// whose predicate is compiled into the in-scan selection filter: the
+// SelFilter is shared across partitions, per-partition state instantiates
+// on the worker goroutine.
+func selChainBuild(h *storage.Heap, pred Expr, projs []Expr, size int, sf *SelFilter) PipelineBuild {
+	return func(rg storage.PageRange) (BatchIterator, error) {
+		scan := NewBatchScanRange(h, pred, size, rg.Start, rg.End)
+		if sf != nil {
+			scan.SetSelFilter(sf)
+		}
+		scan.EnableStriped()
+		var cur BatchIterator = scan
+		if projs != nil {
+			cur = &BatchProjectIter{In: cur, Exprs: projs}
+		}
+		return cur, nil
+	}
+}
+
 // TestPropertyStripedMatchesRow extends the three-way differential test
 // with the frozen-segment leg: over heaps whose full pages are frozen
 // into column segments, the row pipeline, the striped serial batch
@@ -300,15 +319,29 @@ func TestPropertyStripedMatchesRow(t *testing.T) {
 			}
 			scan := NewBatchScan(h, nil, size)
 			scan.EnableStriped()
-			// Pooled mirrors the serial planner path (ScanNode.OpenBatch
-			// hoists the scan predicate into a pooled BatchFilterIter).
+			// A hoisted filter above a striped scan remains a supported
+			// operator shape (residual predicates land there).
 			striped := collectBatches(t, &BatchProjectIter{Exprs: projs,
 				In: &BatchFilterIter{Pred: pred, In: scan, Pooled: true}})
 			rowsEqual(t, striped, want)
+			// The planner path proper: predicates compiled into the in-scan
+			// selection filter, survivors carried by a selection vector.
+			sf := CompileSelFilter([]Expr{pred}, len(colTypes), nil, nil)
+			selScan := NewBatchScan(h, pred, size)
+			selScan.SetSelFilter(sf)
+			selScan.EnableStriped()
+			selLeg := collectBatches(t, &BatchProjectIter{Exprs: projs, In: selScan})
+			rowsEqual(t, selLeg, want)
 			for _, workers := range []int{2, 3} {
 				par := collectBatches(t, NewParallelPipeline(
 					h.Partitions(workers), stripedChainBuild(h, pred, projs, size)))
 				rowsEqual(t, par, want)
+				selPar := collectBatches(t, NewParallelPipeline(
+					h.Partitions(workers), selChainBuild(h, pred, projs, size, sf)))
+				rowsEqual(t, selPar, want)
+				scanPar := collectBatches(t, &BatchProjectIter{Exprs: projs,
+					In: NewParallelScanStriped(h, pred, size, workers, nil, nil, true, sf)})
+				rowsEqual(t, scanPar, want)
 			}
 		}
 		check("frozen")
@@ -327,6 +360,117 @@ func TestPropertyStripedMatchesRow(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStripedSelConsumers drives selection-carrying batches from
+// in-scan sel filters through the operators that change or consume
+// cardinality — LIMIT, GROUP BY aggregation, and hash joins — comparing
+// serial and parallel striped legs against the row pipeline, on all-frozen
+// and mixed frozen/row-form heaps.
+func TestPropertyStripedSelConsumers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		colTypes := []types.Type{types.Int, types.Text, types.Float}
+		rows := randBatchRows(r, colTypes, 200+r.Intn(300))
+		h, _ := heapOf(t, colTypes, rows)
+		stripe := map[int]bool{0: true}
+		if r.Intn(2) == 0 {
+			stripe[2] = true
+		}
+		frozen := freezeCols(h, stripe)
+		if frozen == 0 {
+			t.Fatalf("seed %d: no pages froze", seed)
+		}
+		pred := randPred(r, colTypes, 2, true)
+		sf := CompileSelFilter([]Expr{pred}, len(colTypes), nil, nil)
+		size := 1 + r.Intn(40)
+		selScan := func() *BatchScanIter {
+			s := NewBatchScan(h, pred, size)
+			s.SetSelFilter(sf)
+			s.EnableStriped()
+			return s
+		}
+
+		check := func(phase string) {
+			// LIMIT: truncateBatch trims a selection-carrying batch by
+			// shortening Sel. Serial striped scans emit in heap order and
+			// the parallel merge preserves partition order, so both legs
+			// see the same prefix as the row pipeline.
+			n := int64(1 + r.Intn(50))
+			wantL, err := Collect(&LimitIter{N: n,
+				In: &FilterIter{Pred: pred, In: NewScan(h, nil)}})
+			if err != nil {
+				t.Fatalf("seed %d %s: row limit: %v", seed, phase, err)
+			}
+			gotL := collectBatches(t, &BatchLimitIter{N: n, In: selScan()})
+			rowsEqual(t, gotL, wantL)
+			gotLP := collectBatches(t, &BatchLimitIter{N: n,
+				In: NewParallelScanStriped(h, pred, size, 3, nil, nil, true, sf)})
+			rowsEqual(t, gotLP, wantL)
+
+			// GROUP BY over sel batches, serial and two-phase parallel.
+			groupBy := []Expr{col(0, types.Int)}
+			aggs := func() []*AggSpec {
+				return []*AggSpec{
+					{Kind: AggCountStar},
+					{Kind: AggSum, Arg: col(0, types.Int)},
+					{Kind: AggMax, Arg: col(1, types.Text)},
+				}
+			}
+			wantA, err := Collect(&HashAggIter{GroupBy: groupBy, Aggs: aggs(),
+				In: &FilterIter{Pred: pred, In: NewScan(h, nil)}})
+			if err != nil {
+				t.Fatalf("seed %d %s: row agg: %v", seed, phase, err)
+			}
+			gotA := collectBatches(t, &BatchHashAggIter{
+				In: selScan(), GroupBy: groupBy, Aggs: aggs()})
+			if canonical(gotA) != canonical(wantA) {
+				t.Fatalf("seed %d %s: striped sel agg disagrees with row agg", seed, phase)
+			}
+			parA := collectBatches(t, NewParallelHashAgg(
+				h.Partitions(3), selChainBuild(h, pred, nil, size, sf),
+				groupBy, aggs(), false, size))
+			if canonical(parA) != canonical(wantA) {
+				t.Fatalf("seed %d %s: parallel striped sel agg disagrees", seed, phase)
+			}
+
+			// Hash joins probing from sel batches, serial and partitioned.
+			build := make([]storage.Row, 1+r.Intn(20))
+			for i := range build {
+				build[i] = storage.Row{
+					types.NewInt(int64(r.Intn(9) - 4)), types.NewInt(int64(i))}
+			}
+			keys := []Expr{col(0, types.Int)}
+			wantJ, err := Collect(&HashJoinIter{
+				Probe: &FilterIter{Pred: pred, In: NewScan(h, nil)},
+				Build: sliceIter(build...), ProbeKeys: keys, BuildKeys: keys})
+			if err != nil {
+				t.Fatalf("seed %d %s: row join: %v", seed, phase, err)
+			}
+			gotJ, err := Collect(&HashJoinIter{
+				Probe: &BatchToRow{In: selScan()},
+				Build: sliceIter(build...), ProbeKeys: keys, BuildKeys: keys})
+			if err != nil {
+				t.Fatalf("seed %d %s: striped sel join: %v", seed, phase, err)
+			}
+			rowsEqual(t, gotJ, wantJ)
+			parJ := collectBatches(t, NewParallelHashJoin(
+				h.Partitions(2), selChainBuild(h, pred, nil, size, sf),
+				sliceIter(build...), keys, keys, nil, size, len(colTypes)+2))
+			rowsEqual(t, parJ, wantJ)
+		}
+		check("frozen")
+
+		id := storage.RowID{Page: frozen / 2, Slot: 5}
+		if _, err := h.Update(id, rows[0]); err != nil {
+			t.Fatalf("seed %d: un-freezing update: %v", seed, err)
+		}
+		check("mixed")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
 	}
 }

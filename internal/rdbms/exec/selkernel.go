@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// This file compiles the common conjunct shapes of a SelFilter — a column
+// compared against a constant, BETWEEN two constants, or IS NULL — into
+// direct kernels that walk the page's column vector once and write the
+// keep mask in place. The generic EvalPredBatch path materializes a
+// broadcast column per constant and a result column per node, copying
+// ~100-byte datums at every step; for the single-conjunct scans that
+// dominate point and range queries those allocations are most of the scan
+// cost. A kernel touches only the datums the selection references and
+// allocates nothing.
+//
+// Semantics contract: a kernel must drop exactly the rows EvalPredBatch
+// would drop (NULL and FALSE) and must fail on exactly the predicates the
+// generic path would fail on (incomparable types). A kernel error does not
+// need to reproduce the row path's error value: evalConjuncts replays the
+// page through the original conjunction on any error, and that outcome is
+// authoritative.
+
+// selKernelFn evaluates one compiled conjunct against the scan's view
+// batch, writing keep[si] for each logical row si (mapped through
+// view.Sel). Any error sends the page to the replay path.
+type selKernelFn func(view *RowBatch, keep []bool) error
+
+// compileSelKernel returns a direct kernel for pred, or nil when the shape
+// is not recognized and the conjunct must evaluate through EvalPredBatch.
+// pred is the rewritten conjunct: extraction atoms are already slot
+// ColExprs, so kernels cover extraction predicates too.
+func compileSelKernel(pred Expr) selKernelFn {
+	switch x := pred.(type) {
+	case *BinExpr:
+		switch x.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+		default:
+			return nil
+		}
+		if col, ok := x.L.(*ColExpr); ok {
+			if c, ok := x.R.(*ConstExpr); ok {
+				return cmpKernel(x.Op, col.Idx, c.Val, false)
+			}
+		}
+		if col, ok := x.R.(*ColExpr); ok {
+			if c, ok := x.L.(*ConstExpr); ok {
+				return cmpKernel(x.Op, col.Idx, c.Val, true)
+			}
+		}
+	case *BetweenExpr:
+		col, okX := x.X.(*ColExpr)
+		lo, okLo := x.Lo.(*ConstExpr)
+		hi, okHi := x.Hi.(*ConstExpr)
+		if okX && okLo && okHi {
+			return betweenKernel(col.Idx, lo.Val, hi.Val, x.Not)
+		}
+	case *IsNullExpr:
+		if col, ok := x.X.(*ColExpr); ok {
+			return isNullKernel(col.Idx, x.Not)
+		}
+	}
+	return nil
+}
+
+// cmpSel mirrors types.Compare on datum pointers, without the by-value
+// copies: -1/0/+1 for comparable non-NULL datums, ok=false when the pair
+// is incomparable (the caller errors into replay, where types.Compare
+// produces the canonical error). Array comparison is delegated — it
+// recurses and is never hot.
+func cmpSel(a, b *types.Datum) (int, bool) {
+	at, bt := a.Typ, b.Typ
+	if at == types.Int && bt == types.Int {
+		switch {
+		case a.I < b.I:
+			return -1, true
+		case a.I > b.I:
+			return 1, true
+		}
+		return 0, true
+	}
+	anum := at == types.Int || at == types.Float
+	bnum := bt == types.Int || bt == types.Float
+	if anum && bnum {
+		af, bf := a.F, b.F
+		if at == types.Int {
+			af = float64(a.I)
+		}
+		if bt == types.Int {
+			bf = float64(b.I)
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	if at != bt {
+		return 0, false
+	}
+	switch at {
+	case types.Bool:
+		switch {
+		case !a.B && b.B:
+			return -1, true
+		case a.B && !b.B:
+			return 1, true
+		}
+		return 0, true
+	case types.Text:
+		switch {
+		case a.S < b.S:
+			return -1, true
+		case a.S > b.S:
+			return 1, true
+		}
+		return 0, true
+	case types.Array:
+		if c, err := types.Compare(*a, *b); err == nil {
+			return c, true
+		}
+		return 0, false
+	default:
+		// Bytes and anything newer keep the generic path: incomparable
+		// here only means "replay", never a wrong answer.
+		return 0, false
+	}
+}
+
+// errSelKernelCmp is the replay trigger for incomparable operands. Never
+// surfaced: the replay pass reproduces the row path's own error.
+var errSelKernelCmp = fmt.Errorf("exec: selection kernel: incomparable operands")
+
+// cmpKernel compiles `col <op> const` (flip reverses the operand order).
+// A NULL constant makes every comparison NULL, which the predicate mask
+// drops — the kernel short-circuits to an all-false mask.
+func cmpKernel(op string, idx int, val types.Datum, flip bool) selKernelFn {
+	var lt, eq, gt bool // mask outcome by comparison sign
+	switch op {
+	case "=":
+		eq = true
+	case "<>":
+		lt, gt = true, true
+	case "<":
+		lt = true
+	case "<=":
+		lt, eq = true, true
+	case ">":
+		gt = true
+	case ">=":
+		gt, eq = true, true
+	}
+	if flip {
+		lt, gt = gt, lt
+	}
+	constNull := val.IsNull()
+	return func(view *RowBatch, keep []bool) error {
+		vals := view.Cols[idx]
+		sel := view.Sel
+		n := view.Len()
+		if constNull {
+			for si := 0; si < n; si++ {
+				keep[si] = false
+			}
+			return nil
+		}
+		if val.Typ == types.Text {
+			// Point probes over text columns (the common dictionary-string
+			// equality) compare inline; rows of any other type replay.
+			for si := 0; si < n; si++ {
+				d := &vals[selIdx(sel, si)]
+				if d.IsNull() {
+					keep[si] = false
+					continue
+				}
+				if d.Typ != types.Text {
+					return errSelKernelCmp
+				}
+				switch {
+				case d.S == val.S:
+					keep[si] = eq
+				case d.S < val.S:
+					keep[si] = lt
+				default:
+					keep[si] = gt
+				}
+			}
+			return nil
+		}
+		for si := 0; si < n; si++ {
+			d := &vals[selIdx(sel, si)]
+			if d.IsNull() {
+				keep[si] = false
+				continue
+			}
+			c, ok := cmpSel(d, &val)
+			if !ok {
+				return errSelKernelCmp
+			}
+			switch {
+			case c < 0:
+				keep[si] = lt
+			case c > 0:
+				keep[si] = gt
+			default:
+				keep[si] = eq
+			}
+		}
+		return nil
+	}
+}
+
+// betweenKernel compiles `col [NOT] BETWEEN lo AND hi` with BetweenExpr's
+// three-valued semantics: a definitely-false bound yields NOT (so NOT
+// BETWEEN keeps the row), any remaining NULL bound yields NULL (dropped).
+func betweenKernel(idx int, lo, hi types.Datum, not bool) selKernelFn {
+	loNull, hiNull := lo.IsNull(), hi.IsNull()
+	return func(view *RowBatch, keep []bool) error {
+		vals := view.Cols[idx]
+		sel := view.Sel
+		n := view.Len()
+		for si := 0; si < n; si++ {
+			d := &vals[selIdx(sel, si)]
+			var geLo, leHi, geLoNull, leHiNull bool
+			if loNull || d.IsNull() {
+				geLoNull = true
+			} else {
+				c, ok := cmpSel(d, &lo)
+				if !ok {
+					return errSelKernelCmp
+				}
+				geLo = c >= 0
+			}
+			if hiNull || d.IsNull() {
+				leHiNull = true
+			} else {
+				c, ok := cmpSel(d, &hi)
+				if !ok {
+					return errSelKernelCmp
+				}
+				leHi = c <= 0
+			}
+			switch {
+			case geLoNull || leHiNull:
+				if (!geLoNull && !geLo) || (!leHiNull && !leHi) {
+					keep[si] = not
+				} else {
+					keep[si] = false // NULL
+				}
+			default:
+				keep[si] = (geLo && leHi) != not
+			}
+		}
+		return nil
+	}
+}
+
+// isNullKernel compiles `col IS [NOT] NULL`.
+func isNullKernel(idx int, not bool) selKernelFn {
+	return func(view *RowBatch, keep []bool) error {
+		vals := view.Cols[idx]
+		sel := view.Sel
+		n := view.Len()
+		for si := 0; si < n; si++ {
+			keep[si] = vals[selIdx(sel, si)].IsNull() != not
+		}
+		return nil
+	}
+}

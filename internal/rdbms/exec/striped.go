@@ -2,7 +2,6 @@ package exec
 
 import (
 	"github.com/sinewdata/sinew/internal/rdbms/storage"
-	"github.com/sinewdata/sinew/internal/rdbms/types"
 )
 
 // This file implements the striped page mode of the batch scan: instead of
@@ -15,23 +14,31 @@ import (
 // Row-form pages (the write-hot tail) are transposed into scan-owned
 // buffers exactly like the regular batch scan.
 //
-// The scan itself is filter-free by construction: compactBatch mutates
-// columns in place, which must never happen to batches aliasing a frozen
-// page. EnableStriped refuses a scan carrying a pushed-down predicate; the
-// planner instead hoists predicates into a BatchFilterIter above the
-// striped scan (ScanNode.OpenBatch), whose output batches are compacted
-// copies.
+// Frozen-page batches alias immutable page storage and must never be
+// compacted in place, so a pushed-down filter is applied by attaching a
+// selection vector instead (selfilter.go): the planner compiles the
+// conjuncts into a SelFilter evaluated page by page against the column
+// vectors, and surviving rows are published through RowBatch.Sel with the
+// aliased columns untouched. Row-form pages are scan-owned copies and
+// filter by ordinary in-place compaction.
 
 // EnableStriped switches the scan to striped page mode. It must be called
-// before the first NextBatch and is ignored when the scan carries a
-// pushed-down filter (striped batches alias immutable page storage and
-// cannot be compacted in place).
+// before the first NextBatch. A scan carrying a pushed-down filter
+// evaluates it in-scan through its SelFilter (SetSelFilter); when the
+// planner did not compile one, a degenerate single-conjunct SelFilter is
+// synthesized so frozen pages still filter via selection vectors.
 func (s *BatchScanIter) EnableStriped() {
-	if s.Filter != nil {
-		return
+	if s.Filter != nil && s.sf == nil {
+		s.sf = CompileSelFilter([]Expr{s.Filter}, s.width, nil, nil)
 	}
 	s.striped = true
 }
+
+// SetSelFilter installs the plan-compiled in-scan filter. Call before
+// EnableStriped; the SelFilter's conjunction must be equivalent to the
+// scan's Filter expression (Filter remains the row-form page and replay
+// predicate).
+func (s *BatchScanIter) SetSelFilter(sf *SelFilter) { s.sf = sf }
 
 // nextStriped is NextBatch in striped page mode.
 func (s *BatchScanIter) nextStriped() (*RowBatch, error) {
@@ -44,6 +51,16 @@ func (s *BatchScanIter) nextStriped() (*RowBatch, error) {
 			return nil, nil
 		}
 		if pv.Frozen != nil {
+			if s.sf != nil {
+				b, err := s.frozenSelBatch(pv.Frozen)
+				if err != nil {
+					return nil, err
+				}
+				if b == nil {
+					continue // page fully filtered out
+				}
+				return b, nil
+			}
 			return s.frozenBatch(pv.Frozen)
 		}
 		if len(pv.Rows) == 0 {
@@ -65,6 +82,19 @@ func (s *BatchScanIter) nextStriped() (*RowBatch, error) {
 		}
 		b.FillRows(pv.Rows, s.NeedCols)
 		b.Segs = nil
+		if s.Filter != nil {
+			// Row-form pages are scan-owned copies: filter by ordinary
+			// in-place compaction, like the non-striped batch scan.
+			s.ctx.BeginBatch()
+			keep, err := EvalPredBatch(s.Filter, b, s.ctx, s.keep)
+			if err != nil {
+				return nil, err
+			}
+			s.keep = keep
+			if compactBatch(b, keep) == 0 {
+				continue
+			}
+		}
 		return b, nil
 	}
 }
@@ -74,22 +104,7 @@ func (s *BatchScanIter) nextStriped() (*RowBatch, error) {
 // and every segment-backed column is exposed through Segs. The shell is
 // never pooled and never Reset — both would corrupt the aliased storage.
 func (s *BatchScanIter) frozenBatch(fp *storage.FrozenPage) (*RowBatch, error) {
-	b := s.shell
-	if b == nil || !s.reuse {
-		b = &RowBatch{
-			Cols:  make([][]types.Datum, s.width),
-			Nulls: make([]NullBitmap, s.width),
-			Segs:  make([]storage.ColumnSegment, s.width),
-		}
-		if s.reuse {
-			s.shell = b
-		}
-	}
-	for j := 0; j < s.width; j++ {
-		b.Cols[j] = nil
-		b.Nulls[j] = nil
-		b.Segs[j] = nil
-	}
+	b := s.frozenShell()
 	fill := func(j int) error {
 		vals, nulls, err := fp.ColVals(j)
 		if err != nil {

@@ -93,9 +93,14 @@ type ScanNode struct {
 	// Striped selects the striped page mode: frozen heap pages are
 	// delivered as column aliases with their segments attached
 	// (RowBatch.Segs), so the fused extraction above can read per-attribute
-	// vectors. Set by stripeScans on filterless batch scans of segmented
-	// heaps under a MultiExtractNode.
+	// vectors. Set by stripeScans on batch scans of segmented heaps.
 	Striped bool
+	// SelFilter is the in-scan compiled form of Preds for striped scans:
+	// ranked conjuncts evaluated page by page against frozen-page column
+	// vectors, emitting selection vectors instead of compacted copies
+	// (see stripeScans / exec.CompileSelFilter). Nil when Preds is empty
+	// or the scan is not striped.
+	SelFilter *exec.SelFilter
 }
 
 // Label implements Node.
@@ -146,27 +151,24 @@ func (s *ScanNode) OpenBatch() (exec.BatchIterator, bool) {
 		skip = s.Skip()
 	}
 	if s.Workers > 1 {
-		return exec.NewParallelScanColsSkip(s.Heap, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols, skip), true
+		if s.Striped {
+			s.Heap.RecordParallelStriped(1)
+		}
+		return exec.NewParallelScanStriped(s.Heap, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols, skip, s.Striped, s.SelFilter), true
 	}
-	filter := conjoinExec(s.Preds)
-	// A striped scan must stay predicate-free (its batches alias frozen
-	// pages and cannot be compacted in place), so the filter is hoisted
-	// into a BatchFilterIter above it, whose output batches are compacted
-	// copies.
-	var hoisted exec.Expr
-	if s.Striped && filter != nil {
-		hoisted, filter = filter, nil
-	}
-	it := exec.NewBatchScan(s.Heap, filter, s.BatchSize)
+	it := exec.NewBatchScan(s.Heap, conjoinExec(s.Preds), s.BatchSize)
 	it.NeedCols = s.NeedCols
 	if skip != nil {
 		it.SetPageSkip(skip)
 	}
 	if s.Striped {
+		// A striped scan evaluates its predicates in-scan: frozen pages
+		// alias immutable column vectors and filter via selection vectors
+		// (exec.SelFilter); row-form pages compact in place.
+		if s.SelFilter != nil {
+			it.SetSelFilter(s.SelFilter)
+		}
 		it.EnableStriped()
-	}
-	if hoisted != nil {
-		return &exec.BatchFilterIter{In: it, Pred: hoisted, Pooled: true}, true
 	}
 	return it, true
 }
@@ -176,9 +178,15 @@ func (s *ScanNode) batchAnnotation() string {
 		return ""
 	}
 	if s.Workers > 1 {
+		if s.Striped {
+			return " (batch, parallel, striped)"
+		}
 		return " (batch, parallel)"
 	}
 	if s.Striped {
+		if len(s.Preds) > 0 {
+			return " (batch, striped, sel)"
+		}
 		return " (batch, striped)"
 	}
 	return " (batch)"

@@ -39,7 +39,16 @@ type skipCond struct {
 	// key), while during one execution the statement's table locks keep new
 	// IDs off the scanned pages. Otherwise: a range test "col op val must
 	// hold for some row".
+	// zone: skip the page when, for EVERY attribute ID the dictionary maps
+	// key to, the page either lacks the ID outright or carries a segment
+	// zone map proving no present value can satisfy "atom op val". Zone
+	// conditions only exist for typed extraction atoms compared against
+	// constants; they extend attr conditions from "key absent" to "key
+	// present but out of range", using the min/max the segment footer
+	// already stores (the freeze-time analogue of Sinew's catalog
+	// statistics).
 	attr bool
+	zone bool
 	col  int
 	key  string
 	op   string
@@ -86,7 +95,7 @@ func (p *Planner) deriveScanSkip(s *ScanNode, extra []exec.Expr) {
 	if len(conds) == 0 {
 		return
 	}
-	s.Skip = makeSkip(conds, resolver)
+	s.Skip = makeSkip(conds, resolver, s.Heap)
 	s.SkipConds = len(conds)
 }
 
@@ -97,12 +106,21 @@ func (p *Planner) deriveScanSkip(s *ScanNode, extra []exec.Expr) {
 // cached plan still sees the live dictionary. Any single condition
 // proving exclusion suffices: each derives from a top-level conjunct, and
 // one always-false conjunct kills the whole AND.
-func makeSkip(conds []skipCond, resolver exec.AttrResolver) func() func(*storage.PageSummary) bool {
+func makeSkip(conds []skipCond, resolver exec.AttrResolver, h *storage.Heap) func() func(*storage.PageSummary) bool {
 	return func() func(*storage.PageSummary) bool {
 		resolved := make([][]uint32, len(conds))
+		// Per-ID singleton slices for the zone test's LacksAllAttrs probes,
+		// allocated at open: the page test may be shared across parallel
+		// partition scans, so it must not write shared scratch.
+		singles := make([][][]uint32, len(conds))
 		for i, c := range conds {
-			if c.attr {
+			if c.attr || c.zone {
 				resolved[i] = resolver(c.key)
+			}
+			if c.zone {
+				for _, id := range resolved[i] {
+					singles[i] = append(singles[i], []uint32{id})
+				}
 			}
 		}
 		return func(sum *storage.PageSummary) bool {
@@ -113,39 +131,89 @@ func makeSkip(conds []skipCond, resolver exec.AttrResolver) func() func(*storage
 					}
 					continue
 				}
+				if c.zone {
+					ids := resolved[i]
+					if len(ids) == 0 {
+						continue
+					}
+					excluded := true
+					for j, id := range ids {
+						if sum.LacksAllAttrs(c.col, singles[i][j]) {
+							continue
+						}
+						z, ok := sum.AttrZone(c.col, id)
+						if !ok || !zoneExcludes(z, c.op, c.val) {
+							excluded = false
+							break
+						}
+					}
+					if excluded {
+						if h != nil {
+							h.RecordZoneSkips(1)
+						}
+						return true
+					}
+					continue
+				}
 				min, max, ok := sum.ColRange(c.col)
 				if !ok {
 					continue
 				}
-				switch c.op {
-				case "=":
-					if lt, err := types.Compare(c.val, min); err == nil && lt < 0 {
-						return true
-					}
-					if gt, err := types.Compare(c.val, max); err == nil && gt > 0 {
-						return true
-					}
-				case "<":
-					if r, err := types.Compare(min, c.val); err == nil && r >= 0 {
-						return true
-					}
-				case "<=":
-					if r, err := types.Compare(min, c.val); err == nil && r > 0 {
-						return true
-					}
-				case ">":
-					if r, err := types.Compare(max, c.val); err == nil && r <= 0 {
-						return true
-					}
-				case ">=":
-					if r, err := types.Compare(max, c.val); err == nil && r < 0 {
-						return true
-					}
+				if rangeExcludes(min, max, c.op, c.val) {
+					return true
 				}
 			}
 			return false
 		}
 	}
+}
+
+// rangeExcludes reports whether a [min, max] value range proves that no
+// value in it satisfies "value op val". Incomparable datums prove
+// nothing (Compare errors are conservative no-skips).
+func rangeExcludes(min, max types.Datum, op string, val types.Datum) bool {
+	switch op {
+	case "=":
+		if lt, err := types.Compare(val, min); err == nil && lt < 0 {
+			return true
+		}
+		if gt, err := types.Compare(val, max); err == nil && gt > 0 {
+			return true
+		}
+	case "<":
+		if r, err := types.Compare(min, val); err == nil && r >= 0 {
+			return true
+		}
+	case "<=":
+		if r, err := types.Compare(min, val); err == nil && r > 0 {
+			return true
+		}
+	case ">":
+		if r, err := types.Compare(max, val); err == nil && r <= 0 {
+			return true
+		}
+	case ">=":
+		if r, err := types.Compare(max, val); err == nil && r < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// zoneExcludes reports whether one attribute's zone map proves no row of
+// the page can satisfy "atom op val" through this attribute ID. A zone
+// with zero present values excludes trivially (the atom is NULL wherever
+// it would resolve via this ID); otherwise the footer min/max must
+// exclude the range. Zones without ranges (strings, bools, nested
+// values, NaN-poisoned floats) prove nothing.
+func zoneExcludes(z storage.AttrZone, op string, val types.Datum) bool {
+	if z.Present == 0 {
+		return true
+	}
+	if !z.HasRange {
+		return false
+	}
+	return rangeExcludes(z.Min, z.Max, op, val)
 }
 
 // condsP derives exclusion conditions from conjunct e using property P:
@@ -165,6 +233,11 @@ func condsP(e exec.Expr, resolver exec.AttrResolver) []skipCond {
 					conds = append(conds, rc)
 				} else if rc, ok := rangeCond(x.R, x.L, flipOp(x.Op)); ok {
 					conds = append(conds, rc)
+				}
+				if zc, ok := zoneCond(x.L, x.R, x.Op, resolver); ok {
+					conds = append(conds, zc)
+				} else if zc, ok := zoneCond(x.R, x.L, flipOp(x.Op), resolver); ok {
+					conds = append(conds, zc)
 				}
 			}
 			return conds
@@ -188,6 +261,12 @@ func condsP(e exec.Expr, resolver exec.AttrResolver) []skipCond {
 		}
 		if rc, ok := rangeCond(x.X, x.Hi, "<="); ok {
 			conds = append(conds, rc)
+		}
+		if zc, ok := zoneCond(x.X, x.Lo, ">=", resolver); ok {
+			conds = append(conds, zc)
+		}
+		if zc, ok := zoneCond(x.X, x.Hi, "<=", resolver); ok {
+			conds = append(conds, zc)
 		}
 		return conds
 	case *exec.InListExpr:
@@ -255,6 +334,23 @@ func extractionAtom(x *exec.CallExpr, resolver exec.AttrResolver) (col int, key 
 		return 0, "", false
 	}
 	return ce.Idx, ke.Val.S, true
+}
+
+// zoneCond matches extraction-atom-vs-constant comparisons for segment
+// zone-map pruning. Any-probe extractions are excluded: they return the
+// textual form of whatever typed attribute matches, so the footer's
+// numeric extrema do not bound the atom's comparison behaviour.
+func zoneCond(l, r exec.Expr, op string, resolver exec.AttrResolver) (skipCond, bool) {
+	call, okc := l.(*exec.CallExpr)
+	k, okk := r.(*exec.ConstExpr)
+	if !okc || !okk || k.Val.IsNull() || call.Def == nil || call.Def.FuseAny {
+		return skipCond{}, false
+	}
+	col, key, ok := extractionAtom(call, resolver)
+	if !ok {
+		return skipCond{}, false
+	}
+	return skipCond{zone: true, col: col, key: key, op: op, val: k.Val}, true
 }
 
 // rangeCond matches col-vs-constant comparisons for min/max pruning.

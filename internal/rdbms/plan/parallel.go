@@ -68,22 +68,35 @@ func (g *GatherNode) Details() []string {
 // Children implements Node.
 func (g *GatherNode) Children() []Node { return []Node{g.Input} }
 
-func (g *GatherNode) batchAnnotation() string { return " (batch, parallel)" }
+func (g *GatherNode) batchAnnotation() string {
+	if g.Scan != nil && g.Scan.Striped {
+		if len(g.Scan.Preds) > 0 {
+			return " (batch, parallel, striped, sel)"
+		}
+		return " (batch, parallel, striped)"
+	}
+	return " (batch, parallel)"
+}
 
 // buildPartition constructs one worker's operator chain over a page range.
 // It runs on the worker goroutine, so per-worker scratch (scan eval
 // contexts, fused extraction kernels) is instantiated here.
 func (g *GatherNode) buildPartition(r storage.PageRange) (exec.BatchIterator, error) {
-	// Predicates stay pushed into the partition scans: batches cross a
-	// channel to the merger, so a hoisted BatchFilterIter (which reuses its
-	// output buffer) is not safe here. EnableStriped below no-ops on scans
-	// carrying a filter, so filtered parallel partitions stay row-form.
+	// Predicates stay pushed into the partition scans; a striped partition
+	// evaluates them in-scan via its SelFilter (the compiled filter is
+	// immutable and shared, per-partition kernel/selection state is
+	// instantiated lazily on this worker goroutine). Worker-local batch
+	// pools in the mergers make selection-carrying and filtered batches
+	// safe to hand across the gather channel.
 	scan := exec.NewBatchScanRange(g.Scan.Heap, conjoinExec(g.Scan.Preds), g.Scan.BatchSize, r.Start, r.End)
 	scan.NeedCols = g.Scan.NeedCols
 	if g.Scan.Skip != nil {
 		scan.SetPageSkip(g.Scan.Skip())
 	}
 	if g.Scan.Striped {
+		if g.Scan.SelFilter != nil {
+			scan.SetSelFilter(g.Scan.SelFilter)
+		}
 		scan.EnableStriped()
 	}
 	var cur exec.BatchIterator = scan
@@ -117,6 +130,9 @@ func (g *GatherNode) OpenBatch() (exec.BatchIterator, bool) {
 	parts := g.Scan.Heap.Partitions(g.Workers)
 	if len(parts) > 1 {
 		g.Scan.Heap.RecordParallelWorkers(len(parts))
+		if g.Scan.Striped {
+			g.Scan.Heap.RecordParallelStriped(1)
+		}
 	}
 	switch {
 	case g.Agg != nil:

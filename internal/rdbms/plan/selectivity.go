@@ -65,9 +65,10 @@ type Config struct {
 	// EnablePageSkip turns strict sparse-key predicates into per-page
 	// attr-presence / min-max skip checks (storage page summaries).
 	EnablePageSkip bool
-	// EnableStriped routes filterless batch scans of segmented heaps
-	// through the striped page mode, feeding frozen-page column segments
-	// directly into fused extraction kernels. Session knob:
+	// EnableStriped routes batch scans of segmented heaps through the
+	// striped page mode: frozen-page column segments feed fused extraction
+	// kernels directly, and scan predicates compile into in-scan
+	// selection-vector filters over the segment vectors. Session knob:
 	// SET enable_striped = on|off.
 	EnableStriped bool
 }

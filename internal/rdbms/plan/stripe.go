@@ -1,31 +1,46 @@
 package plan
 
+import "github.com/sinewdata/sinew/internal/rdbms/exec"
+
 // This file implements the striped-scan routing pass. Every batch scan
 // over a heap with frozen column-striped pages switches into striped page
 // mode (frozen pages delivered as column aliases; predicates, if any, are
-// hoisted into a BatchFilterIter above the scan at open time). On top of
-// that, every MultiExtractNode chain sitting directly on a predicate-free
-// striped scan attaches the family's segment-kernel factory to each
-// MultiExtractNode whose data column is segment-backed at that scan. The
-// fused kernels then read per-attribute vectors out of the frozen pages
-// instead of decoding serialized records row by row; the heap's row-form
-// tail and foreign segment types fall back to the row kernel per batch, so
-// results are identical either way.
+// compiled into an in-scan exec.SelFilter whose ranked conjuncts run
+// directly against the page vectors and emit selection vectors). On top of
+// that, every MultiExtractNode chain sitting directly on a striped scan
+// attaches the family's segment-kernel factory to each MultiExtractNode
+// whose data column is segment-backed at that scan. The fused kernels then
+// read per-attribute vectors out of the frozen pages instead of decoding
+// serialized records row by row; the heap's row-form tail and foreign
+// segment types fall back to the row kernel per batch, so results are
+// identical either way.
 
-// stripedEligible reports whether scans of this shape may run striped
-// with fused extraction reading segment vectors: predicate-free, so the
-// scan's batches stay page-aligned and keep their segments attached.
+// stripedEligible reports whether scans of this shape may run striped with
+// fused extraction reading segment vectors. Predicates no longer
+// disqualify the scan: filtered batches keep their page-aliased columns
+// (and attached segments) and carry the surviving rows in a selection
+// vector.
 func (p *Planner) stripedEligible(s *ScanNode) bool {
-	return p.scanStripes(s) && len(s.Preds) == 0
+	return p.scanStripes(s)
 }
 
 // scanStripes reports whether the scan itself may deliver frozen pages as
-// column aliases. Predicates do not disqualify it: they are hoisted into a
-// BatchFilterIter above the scan at open time (its output batches are
-// compacted copies, never aliases), which trades the full-page FillRows
-// transpose for a copy of only the surviving rows.
+// column aliases.
 func (p *Planner) scanStripes(s *ScanNode) bool {
 	return p.Cfg != nil && p.Cfg.EnableStriped && s.Batch && s.Heap.Segmented()
+}
+
+// stripeScan marks one scan striped and compiles its pushed-down
+// predicates into the in-scan selection filter. Extraction atoms inside
+// the conjuncts resolve their kernel factories through the session
+// registry, so a predicate like json_int(data,'age') > 30 reads the
+// segment's attribute vector instead of parsing records.
+func (p *Planner) stripeScan(s *ScanNode) {
+	s.Striped = true
+	if len(s.Preds) > 0 && s.SelFilter == nil {
+		width := len(s.Heap.Schema().Cols)
+		s.SelFilter = exec.CompileSelFilter(s.Preds, width, p.Funcs.StripedExtract, p.Funcs.MultiExtract)
+	}
 }
 
 // stripedFusable reports whether a single-key extraction group over child
@@ -54,7 +69,7 @@ func (p *Planner) stripeScans(n Node) {
 		// Even without fused extraction above, striped page delivery beats
 		// the row transpose: frozen pages arrive as column aliases instead
 		// of per-row FillRows copies.
-		s.Striped = true
+		p.stripeScan(s)
 	}
 	for _, c := range n.Children() {
 		// Avoid double-visiting inner MultiExtractNodes of a chain already
@@ -91,6 +106,6 @@ func (p *Planner) stripeChain(top *MultiExtractNode) {
 		}
 	}
 	if routed {
-		scan.Striped = true
+		p.stripeScan(scan)
 	}
 }

@@ -598,6 +598,12 @@ type Pager struct {
 	// un-frozen back to rows by writes.
 	segScanned  int64
 	segUnfrozen int64
+	// Selection-vector execution counters: frozen pages eliminated by
+	// segment zone maps, selection-carrying batches emitted by striped
+	// scans, and striped scans run under a parallel gather.
+	zoneSkipped     int64
+	selBatches      int64
+	parallelStriped int64
 }
 
 // NewPager returns a zeroed pager.
@@ -639,6 +645,34 @@ func (p *Pager) recordSegUnfrozen(n int64) {
 	p.mu.Unlock()
 }
 
+func (p *Pager) recordZoneSkipped(n int64) {
+	p.mu.Lock()
+	p.zoneSkipped += n
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordSelBatches(n int64) {
+	p.mu.Lock()
+	p.selBatches += n
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordParallelStriped(n int64) {
+	p.mu.Lock()
+	p.parallelStriped += n
+	p.mu.Unlock()
+}
+
+// SelStats returns the selection-vector execution counters: frozen pages
+// eliminated by segment zone maps, selection-carrying batches emitted by
+// striped scans, and striped scans run under a parallel gather since the
+// last Reset.
+func (p *Pager) SelStats() (zoneSkipped, selBatches, parallelStriped int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.zoneSkipped, p.selBatches, p.parallelStriped
+}
+
 // SegStats returns the segment execution counters: frozen pages scanned
 // striped and frozen pages un-frozen by writes since the last Reset.
 func (p *Pager) SegStats() (segScanned, segUnfrozen int64) {
@@ -668,5 +702,6 @@ func (p *Pager) Reset() {
 	p.bytesRead, p.bytesWritten = 0, 0
 	p.pagesSkipped, p.parallelWorkers = 0, 0
 	p.segScanned, p.segUnfrozen = 0, 0
+	p.zoneSkipped, p.selBatches, p.parallelStriped = 0, 0, 0
 	p.mu.Unlock()
 }

@@ -41,6 +41,7 @@ type PageSummary struct {
 	valid  bool
 	attrs  map[int][]uint32 // column index -> sorted attr IDs present
 	ranges map[int]*colRange
+	zones  map[int]map[uint32]AttrZone // column index -> attr ID -> zone map
 }
 
 func newPageSummary() *PageSummary {
@@ -82,6 +83,45 @@ func (s *PageSummary) ColRange(col int) (min, max types.Datum, ok bool) {
 		return types.Datum{}, types.Datum{}, false
 	}
 	return r.min, r.max, true
+}
+
+// AttrZone returns the zone map of attribute id within column col, when
+// the page is frozen and its segment footer recorded one. ok=false means
+// "no zone known" — callers must not skip on it.
+func (s *PageSummary) AttrZone(col int, id uint32) (AttrZone, bool) {
+	if !s.usable() {
+		return AttrZone{}, false
+	}
+	z, ok := s.zones[col][id]
+	return z, ok
+}
+
+// setZones installs the zone maps of one segment-striped column.
+func (s *PageSummary) setZones(col int, zs []AttrZone) {
+	if len(zs) == 0 {
+		return
+	}
+	if s.zones == nil {
+		s.zones = make(map[int]map[uint32]AttrZone)
+	}
+	m := make(map[uint32]AttrZone, len(zs))
+	for _, z := range zs {
+		m[z.ID] = z
+	}
+	s.zones[col] = m
+}
+
+// attachZones copies the per-attribute zone maps out of a frozen page's
+// segment columns into the summary (freeze time and ANALYZE rebuilds).
+func (s *PageSummary) attachZones(fp *FrozenPage) {
+	if !s.usable() || fp == nil {
+		return
+	}
+	for j := range fp.cols {
+		if zm, ok := fp.cols[j].Seg.(ZoneMapped); ok {
+			s.setZones(j, zm.AttrZones())
+		}
+	}
 }
 
 // insertAttr adds id to the sorted set for col.
@@ -202,6 +242,7 @@ func (h *Heap) RebuildSummaries() {
 			}
 		}
 		if s.valid {
+			s.attachZones(p.frozen)
 			p.sum = s
 		} else {
 			p.sum = nil
@@ -235,5 +276,29 @@ func (h *Heap) remapSummarizersOnDrop(idx int) {
 func (h *Heap) RecordParallelWorkers(n int) {
 	if h.pager != nil && n > 0 {
 		h.pager.recordParallelWorkers(int64(n))
+	}
+}
+
+// RecordZoneSkips counts frozen pages a scan eliminated via segment zone
+// maps (min/max/null-count metadata) before decoding them.
+func (h *Heap) RecordZoneSkips(n int64) {
+	if h.pager != nil && n > 0 {
+		h.pager.recordZoneSkipped(n)
+	}
+}
+
+// RecordSelBatches counts selection-carrying batches emitted by striped
+// scans (in-scan predicate evaluation over aliased frozen pages).
+func (h *Heap) RecordSelBatches(n int64) {
+	if h.pager != nil && n > 0 {
+		h.pager.recordSelBatches(n)
+	}
+}
+
+// RecordParallelStriped counts striped scans run under a parallel gather
+// (one count per multi-partition striped scan, not per partition).
+func (h *Heap) RecordParallelStriped(n int64) {
+	if h.pager != nil && n > 0 {
+		h.pager.recordParallelStriped(n)
 	}
 }

@@ -36,6 +36,26 @@ type ColumnSegment interface {
 // a plain vector; an error vetoes freezing the page (the rows stay).
 type ColumnSegmenter func(col int, vals []types.Datum) (ColumnSegment, error)
 
+// AttrZone is the zone map of one striped attribute vector within a
+// ColumnSegment: how many records carry the attribute (Present) and, for
+// ordered numeric encodings, the min/max of its values. A zone with
+// HasRange unset still proves presence counts; Min/Max are only
+// meaningful when HasRange is set.
+type AttrZone struct {
+	ID       uint32
+	Present  int
+	Min, Max types.Datum
+	HasRange bool
+}
+
+// ZoneMapped is implemented by ColumnSegments that expose per-attribute
+// zone maps (the serial segment footer's min/max and presence counts).
+// Freezing attaches the zones to the page summary, so scans skip whole
+// frozen pages on attribute-level range predicates before decoding them.
+type ZoneMapped interface {
+	AttrZones() []AttrZone
+}
+
 // DefaultFreezeMinPages is the load-time compaction threshold: once a heap
 // has at least this many pages, pages freeze as they fill. Below it only
 // ANALYZE (FreezeColdPages) compacts, keeping small hot tables row-form.
@@ -259,6 +279,10 @@ func (h *Heap) freezePage(p *page) bool {
 			p.sum = nil
 		}
 	}
+	// Zone maps attach whether the summary was just built or carried over
+	// from incremental inserts: the page is immutable from here on, so the
+	// footer extrema stay exact until un-freeze invalidates the summary.
+	p.sum.attachZones(fp)
 	p.frozen = fp
 	p.rows = nil
 	h.frozen++

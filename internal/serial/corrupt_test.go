@@ -3,6 +3,7 @@ package serial
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"testing"
 
 	"github.com/sinewdata/sinew/internal/jsonx"
@@ -149,6 +150,94 @@ func TestCorruptRecordsNeverPanic(t *testing.T) {
 	})
 }
 
+// segDirEntry locates the footer directory entry of attribute id within an
+// encoded segment, returning its byte offset into seg.
+func segDirEntry(t testing.TB, seg []byte, id uint32) int {
+	t.Helper()
+	footerOff := int(binary.LittleEndian.Uint32(seg[len(seg)-u32:]))
+	f := seg[footerOff : len(seg)-u32]
+	ncols := int(binary.LittleEndian.Uint32(f[u32:]))
+	for ci := 0; ci < ncols; ci++ {
+		off := footerOff + 5*u32 + ci*segColDirBytes
+		if binary.LittleEndian.Uint32(seg[off:]) == id {
+			return off
+		}
+	}
+	t.Fatalf("attribute %d not in segment footer", id)
+	return 0
+}
+
+// corruptZoneMutants poisons the zone-map metadata of a valid segment in
+// every way the planner's page skipping would be unsound to trust:
+// inverted extrema, NaN bounds, range flags on unordered encodings,
+// presence-count overflow, and a truncated presence bitmap.
+func corruptZoneMutants(t testing.TB, seg []byte, dict *Dictionary) map[string][]byte {
+	t.Helper()
+	clone := func() []byte { return append([]byte(nil), seg...) }
+	m := make(map[string][]byte)
+
+	idInt, ok := dict.IDOf("i", TypeInt)
+	if !ok {
+		t.Fatal("test segment lacks int attribute i")
+	}
+	di := segDirEntry(t, seg, idInt)
+	negMax := int64(-1000)
+	bad := clone()
+	binary.LittleEndian.PutUint64(bad[di+6*u32:], 1000)             // min = 1000
+	binary.LittleEndian.PutUint64(bad[di+6*u32+8:], uint64(negMax)) // max = -1000
+	m["int-min-gt-max"] = bad
+
+	idF, ok := dict.IDOf("f", TypeFloat)
+	if !ok {
+		t.Fatal("test segment lacks float attribute f")
+	}
+	df := segDirEntry(t, seg, idF)
+	bad = clone()
+	binary.LittleEndian.PutUint64(bad[df+6*u32:], math.Float64bits(2.0))
+	binary.LittleEndian.PutUint64(bad[df+6*u32+8:], math.Float64bits(-2.0))
+	m["float-min-gt-max"] = bad
+	bad = clone()
+	binary.LittleEndian.PutUint64(bad[df+6*u32:], math.Float64bits(math.NaN()))
+	m["float-nan-min"] = bad
+
+	idS, ok := dict.IDOf("s", TypeString)
+	if !ok {
+		t.Fatal("test segment lacks string attribute s")
+	}
+	ds := segDirEntry(t, seg, idS)
+	bad = clone()
+	flags := binary.LittleEndian.Uint32(bad[ds+5*u32:])
+	binary.LittleEndian.PutUint32(bad[ds+5*u32:], flags|segFlagHasRange)
+	m["range-flag-on-string"] = bad
+
+	bad = clone()
+	binary.LittleEndian.PutUint32(bad[di+4*u32:], ^uint32(0)>>1)
+	m["present-count-overflow"] = bad
+
+	bad = clone()
+	binary.LittleEndian.PutUint32(bad[di+3*u32:], 0) // section length 0 < bitmap
+	m["truncated-presence-bitmap"] = bad
+
+	return m
+}
+
+// TestCorruptSegmentZoneMaps pins the zone-map corruption contract: every
+// mutant must be rejected by ParseSegment (page skipping trusts the
+// footer extrema, so accepting them would silently drop rows) and must
+// not panic any read path.
+func TestCorruptSegmentZoneMaps(t *testing.T) {
+	_, seg, dict := buildTestSegment(t)
+	if _, err := ParseSegment(seg); err != nil {
+		t.Fatalf("pristine segment rejected: %v", err)
+	}
+	for name, bad := range corruptZoneMutants(t, seg, dict) {
+		if _, err := ParseSegment(bad); err == nil {
+			t.Errorf("%s: corrupt zone map accepted", name)
+		}
+		probeSegment(bad, dict)
+	}
+}
+
 // TestMultiExtractMatchesExtractPath is the kernel's differential test:
 // for every (path, type) combination over a mixed-shape corpus, the fused
 // merge must agree with the one-key ExtractPath it replaces, and the Any
@@ -267,6 +356,11 @@ func FuzzRecordReaders(f *testing.F) {
 	for _, off := range []int{2 * u32, 3 * u32, len(seg) - u32} {
 		badSeg := append([]byte(nil), seg...)
 		binary.LittleEndian.PutUint32(badSeg[off:], ^uint32(0))
+		f.Add(badSeg)
+	}
+	// Adversarial zone maps: inverted/NaN extrema, misplaced range flags,
+	// count overflow, truncated bitmaps.
+	for _, badSeg := range corruptZoneMutants(f, seg, dict) {
 		f.Add(badSeg)
 	}
 	f.Fuzz(func(t *testing.T, b []byte) {

@@ -577,6 +577,28 @@ func ParseSegment(data []byte) (*Segment, error) {
 		default:
 			return nil, fmt.Errorf("serial: segment attr %d unknown encoding %d", col.id, uint8(col.enc))
 		}
+		// Zone-map sanity: the range flag is only meaningful on numeric
+		// vectors with at least one value, and min must not exceed max. Page
+		// skipping trusts these extrema to prove rows absent, so a corrupt
+		// footer here would silently drop rows instead of erroring later.
+		if col.hasRange {
+			if col.count == 0 {
+				return nil, fmt.Errorf("serial: segment attr %d has a value range but no values", col.id)
+			}
+			switch col.enc {
+			case SegInt:
+				if int64(col.minBits) > int64(col.maxBits) {
+					return nil, fmt.Errorf("serial: segment attr %d int range min exceeds max", col.id)
+				}
+			case SegFloat:
+				lo, hi := math.Float64frombits(col.minBits), math.Float64frombits(col.maxBits)
+				if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+					return nil, fmt.Errorf("serial: segment attr %d float range invalid", col.id)
+				}
+			default:
+				return nil, fmt.Errorf("serial: segment attr %d range flag on %s encoding", col.id, col.enc)
+			}
+		}
 		s.cols = append(s.cols, col)
 	}
 	return s, nil

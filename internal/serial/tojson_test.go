@@ -1,0 +1,211 @@
+package serial
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sinewdata/sinew/internal/jsonx"
+)
+
+// docPathJSON is the reference rendering: the document round trip the
+// streaming writer must reproduce byte-for-byte.
+func docPathJSON(t *testing.T, data []byte, dict Dict) string {
+	t.Helper()
+	doc, err := Deserialize(data, dict)
+	if err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	return jsonx.ObjectValue(doc).String()
+}
+
+func TestAppendJSONMatchesDocumentPath(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"a":1}`,
+		`{"url":"www.x.com","hits":22,"avg":128.5,"ok":true,"user":{"id":7,"lang":"en"},"tags":[1,"a",null,false]}`,
+		`{"s":""}`,
+		`{"esc":"quote\" back\\ nl\n tab\t cr\r ctl\u0001"}`,
+		`{"unicode":"héllo wörld ☃"}`,
+		`{"f1":1.0,"f2":-0.5,"f3":1e300,"f4":-2.5e-11,"f5":3.0,"f6":123456789.25}`,
+		`{"neg":-9223372036854775808,"pos":9223372036854775807,"zero":0}`,
+		`{"arr":[],"nested":[[1,2],["a"],[]],"objs":[{"x":1},{"y":"z"}]}`,
+		`{"deep":{"a":{"b":{"c":[true,null,{"d":0.125}]}}}}`,
+		`{"b1":true,"b2":false}`,
+	}
+	dict := NewDictionary()
+	for _, src := range cases {
+		data, err := Serialize(doc(t, src), dict)
+		if err != nil {
+			t.Fatalf("Serialize %q: %v", src, err)
+		}
+		want := docPathJSON(t, data, dict)
+		got, err := AppendJSON(nil, data, dict)
+		if err != nil {
+			t.Errorf("AppendJSON %q: %v", src, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("AppendJSON mismatch for %q:\n got %s\nwant %s", src, got, want)
+		}
+	}
+}
+
+func TestAppendJSONSpecialFloats(t *testing.T) {
+	// Inf/NaN cannot come from parsed JSON but can arrive through the
+	// Value API; whatever jsonx renders, the streaming writer must echo.
+	dict := NewDictionary()
+	d := jsonx.NewDoc()
+	d.Set("inf", jsonx.FloatValue(math.Inf(1)))
+	d.Set("ninf", jsonx.FloatValue(math.Inf(-1)))
+	d.Set("negzero", jsonx.FloatValue(math.Copysign(0, -1)))
+	data, err := Serialize(d, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := docPathJSON(t, data, dict)
+	got, err := AppendJSON(nil, data, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("special floats:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestAppendJSONDuplicateKeyFallsBack(t *testing.T) {
+	// Two attribute IDs sharing one key (same key, different types) is
+	// representable in the record format even though Serialize never emits
+	// it. The streaming writer must decline so the caller's document path
+	// (first position, last value) stays authoritative.
+	dict := NewDictionary()
+	idInt := dict.IDFor("k", TypeInt)
+	idStr := dict.IDFor("k", TypeString)
+	lo, hi := idInt, idStr
+	loVal := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	hiVal := []byte("text")
+	if lo > hi {
+		lo, hi = hi, lo
+		loVal, hiVal = hiVal, loVal
+	}
+	var rec []byte
+	rec = binary.LittleEndian.AppendUint32(rec, 2)
+	rec = binary.LittleEndian.AppendUint32(rec, lo)
+	rec = binary.LittleEndian.AppendUint32(rec, hi)
+	rec = binary.LittleEndian.AppendUint32(rec, 0)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(loVal)))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(loVal)+len(hiVal)))
+	rec = append(rec, loVal...)
+	rec = append(rec, hiVal...)
+
+	if _, err := Deserialize(rec, dict); err != nil {
+		t.Fatalf("document path should accept duplicate keys: %v", err)
+	}
+	if _, err := AppendJSON(nil, rec, dict); err == nil {
+		t.Error("AppendJSON should decline duplicate-key records")
+	}
+}
+
+func TestAppendJSONCorruptRecords(t *testing.T) {
+	dict := NewDictionary()
+	data, _ := Serialize(mustDocT(t, `{"a":1,"s":"xy","arr":[1,null]}`), dict)
+	for cut := 0; cut < len(data); cut++ {
+		// Truncations must error or render; never panic.
+		_, _ = AppendJSON(nil, data[:cut], dict)
+	}
+	if _, err := AppendJSON(nil, []byte{}, dict); err == nil {
+		t.Error("empty record should error")
+	}
+}
+
+func TestPropertyAppendJSONMatchesDocumentPath(t *testing.T) {
+	dict := NewDictionary()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := jsonx.NewDoc()
+		keys := []string{"a", "b", "c", "dd", "ee", "sparse_1", "nested", "arr"}
+		for _, k := range keys {
+			if r.Intn(3) == 0 {
+				continue
+			}
+			d.Set(k, randJSONValue(r, 2))
+		}
+		data, err := Serialize(d, dict)
+		if err != nil {
+			return false
+		}
+		got, err := AppendJSON(nil, data, dict)
+		if err != nil {
+			return false
+		}
+		doc, err := Deserialize(data, dict)
+		if err != nil {
+			return false
+		}
+		return string(got) == jsonx.ObjectValue(doc).String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randJSONValue draws a serializable value; depth bounds nesting.
+func randJSONValue(r *rand.Rand, depth int) jsonx.Value {
+	max := 5
+	if depth > 0 {
+		max = 7
+	}
+	switch r.Intn(max) {
+	case 0:
+		return jsonx.IntValue(r.Int63() - r.Int63())
+	case 1:
+		f := r.NormFloat64() * math.Pow(10, float64(r.Intn(40)-20))
+		if r.Intn(4) == 0 {
+			f = float64(r.Intn(10)) // integral: exercises the ".0" suffix
+		}
+		return jsonx.FloatValue(f)
+	case 2:
+		return jsonx.StringValue(randEscString(r))
+	case 3:
+		return jsonx.BoolValue(r.Intn(2) == 0)
+	case 4:
+		return jsonx.StringValue("")
+	case 5:
+		sub := jsonx.NewDoc()
+		for i := 0; i < r.Intn(3); i++ {
+			sub.Set(string(rune('x'+i)), randJSONValue(r, depth-1))
+		}
+		return jsonx.ObjectValue(sub)
+	default:
+		n := r.Intn(4)
+		elems := make([]jsonx.Value, 0, n)
+		for i := 0; i < n; i++ {
+			if r.Intn(5) == 0 {
+				elems = append(elems, jsonx.NullValue())
+			} else {
+				elems = append(elems, randJSONValue(r, depth-1))
+			}
+		}
+		return jsonx.ArrayValue(elems...)
+	}
+}
+
+// randEscString mixes printable ASCII with characters that need escaping.
+func randEscString(r *rand.Rand) string {
+	b := make([]byte, r.Intn(20))
+	for i := range b {
+		switch r.Intn(6) {
+		case 0:
+			b[i] = byte(r.Intn(32)) // control characters
+		case 1:
+			b[i] = '"'
+		case 2:
+			b[i] = '\\'
+		default:
+			b[i] = byte(32 + r.Intn(90))
+		}
+	}
+	return string(b)
+}
