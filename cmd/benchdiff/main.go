@@ -1,9 +1,10 @@
 // Command benchdiff compares two benchmark reports produced by
-// `sinewbench -json` and fails (exit 1) when any Figure 6 query regressed
-// beyond the tolerance in either ns/op or allocs/op. `make bench-diff`
-// uses it to gate PRs on the perf trajectory:
+// `sinewbench -json` and fails (exit 1) when any Figure 6 query — or
+// either leg (virtual/physical) of any Table 5 row — regressed beyond the
+// tolerance in ns/op or allocs/op. `make bench-diff` uses it to gate PRs
+// on the perf trajectory:
 //
-//	benchdiff -baseline BENCH_PR3.json -new BENCH_PR6.json -tolerance 10
+//	benchdiff -baseline BENCH_PR7.json -new BENCH_PR8.json -tolerance 10
 //
 // When -baseline is omitted, the newest BENCH_PR*.json beside the -new
 // report (highest PR number, the -new file itself excluded) is used, so
@@ -13,7 +14,10 @@
 // Queries present in only one report are reported but do not fail the
 // diff (the query set can grow across PRs). Alloc counts below the noise
 // floor (-minallocs) are exempt from the allocs gate: a jump from 3 to 5
-// allocations is measurement noise, not a regression.
+// allocations is measurement noise, not a regression. Symmetrically,
+// queries whose baseline runs under the -minns floor are exempt from the
+// ns gate: at tens of microseconds per op, scheduler and timer jitter on a
+// shared box exceeds any percentage tolerance worth enforcing.
 package main
 
 import (
@@ -34,9 +38,18 @@ type queryBench struct {
 	AllocsPerOp int64  `json:"allocs_per_op"`
 }
 
+type table5Bench struct {
+	SQL             string `json:"sql"`
+	VirtualNsPerOp  int64  `json:"virtual_ns_per_op"`
+	VirtualAllocs   int64  `json:"virtual_allocs_per_op"`
+	PhysicalNsPerOp int64  `json:"physical_ns_per_op"`
+	PhysicalAllocs  int64  `json:"physical_allocs_per_op"`
+}
+
 type report struct {
-	Records      int          `json:"records"`
-	Figure6Sinew []queryBench `json:"figure6_sinew"`
+	Records      int           `json:"records"`
+	Figure6Sinew []queryBench  `json:"figure6_sinew"`
+	Table5       []table5Bench `json:"table5"`
 }
 
 func load(path string) (*report, error) {
@@ -108,9 +121,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		basePath  = fs.String("baseline", "", "baseline report (default: newest BENCH_PR*.json beside -new, excluding -new itself)")
 		oldPath   = fs.String("old", "", "deprecated alias for -baseline")
-		newPath   = fs.String("new", "BENCH_PR6.json", "candidate report")
+		newPath   = fs.String("new", "BENCH_PR8.json", "candidate report")
 		tolerance = fs.Float64("tolerance", 10, "max allowed regression in percent")
 		minAllocs = fs.Int64("minallocs", 64, "allocs/op noise floor below which the allocs gate is skipped")
+		minNs     = fs.Int64("minns", 50000, "baseline ns/op noise floor below which the ns gate is skipped")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -165,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nsD := pct(o.NsPerOp, n.NsPerOp)
 		alD := pct(o.AllocsPerOp, n.AllocsPerOp)
 		mark := ""
-		if nsD > *tolerance {
+		if nsD > *tolerance && o.NsPerOp >= *minNs {
 			mark, failed = "  REGRESSION(ns)", true
 		}
 		if alD > *tolerance && o.AllocsPerOp >= *minAllocs {
@@ -182,6 +196,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, q := range dropped {
 		fmt.Fprintf(stdout, "%-5s dropped from new report\n", q)
 	}
+
+	// Table 5 rows are gated too (keyed by SQL; rows new in the candidate
+	// report are exempt): both the virtual- and physical-column legs must
+	// stay within tolerance, so ORDER-BY-heavy rows cannot quietly regress.
+	oldT5 := make(map[string]table5Bench, len(oldRep.Table5))
+	for _, q := range oldRep.Table5 {
+		oldT5[q.SQL] = q
+	}
+	for _, n := range newRep.Table5 {
+		o, ok := oldT5[n.SQL]
+		if !ok {
+			fmt.Fprintf(stdout, "table5 %-60q  (new row)\n", n.SQL)
+			continue
+		}
+		type leg struct {
+			name           string
+			oldNs, newNs   int64
+			oldAll, newAll int64
+		}
+		for _, l := range []leg{
+			{"virtual", o.VirtualNsPerOp, n.VirtualNsPerOp, o.VirtualAllocs, n.VirtualAllocs},
+			{"physical", o.PhysicalNsPerOp, n.PhysicalNsPerOp, o.PhysicalAllocs, n.PhysicalAllocs},
+		} {
+			nsD := pct(l.oldNs, l.newNs)
+			alD := pct(l.oldAll, l.newAll)
+			mark := ""
+			if nsD > *tolerance && l.oldNs >= *minNs {
+				mark, failed = "  REGRESSION(ns)", true
+			}
+			if alD > *tolerance && l.oldAll >= *minAllocs {
+				mark, failed = mark+"  REGRESSION(allocs)", true
+			}
+			fmt.Fprintf(stdout, "table5 %-60q %-8s %12d %12d %+7.1f%%   %8d %8d %+7.1f%%%s\n",
+				n.SQL, l.name, l.oldNs, l.newNs, nsD, l.oldAll, l.newAll, alD, mark)
+		}
+	}
+
 	if failed {
 		fmt.Fprintf(stderr, "benchdiff: FAIL — regression beyond %.0f%% tolerance\n", *tolerance)
 		return 1

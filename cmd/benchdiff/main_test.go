@@ -84,12 +84,21 @@ func TestRegressionFails(t *testing.T) {
 	  ]
 	}`)
 	var out, errb bytes.Buffer
-	code := run([]string{"-old", oldP, "-new", newP, "-tolerance", "10"}, &out, &errb)
+	code := run([]string{"-old", oldP, "-new", newP, "-tolerance", "10", "-minns", "0"}, &out, &errb)
 	if code != 1 {
 		t.Fatalf("run() = %d, want 1 for a 50%% ns/op regression", code)
 	}
 	if !strings.Contains(out.String(), "REGRESSION(ns)") {
 		t.Errorf("q1 should be marked REGRESSION(ns):\n%s", out.String())
+	}
+
+	// The same regression is exempt under the -minns noise floor: at
+	// microsecond scale the ns gate is all timer jitter.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-old", oldP, "-new", newP, "-tolerance", "10", "-minns", "50000"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run() = %d, want 0 with baseline below the ns noise floor\n%s", code, out.String())
 	}
 }
 
@@ -179,5 +188,57 @@ func TestRecordCountMismatch(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "not comparable") {
 		t.Errorf("stderr should explain the mismatch: %q", errb.String())
+	}
+}
+
+// Table 5 rows are gated per leg: a regression in either the virtual or
+// the physical timing fails, a row new in the candidate report is exempt.
+func TestTable5Gate(t *testing.T) {
+	oldP := writeReport(t, "old.json", `{
+	  "records": 1000,
+	  "figure6_sinew": [],
+	  "table5": [
+	    {"sql": "SELECT * FROM t ORDER BY k", "virtual_ns_per_op": 1000,
+	     "virtual_allocs_per_op": 500, "physical_ns_per_op": 900,
+	     "physical_allocs_per_op": 400}
+	  ]
+	}`)
+	newP := writeReport(t, "new.json", `{
+	  "records": 1000,
+	  "figure6_sinew": [],
+	  "table5": [
+	    {"sql": "SELECT * FROM t ORDER BY k", "virtual_ns_per_op": 1000,
+	     "virtual_allocs_per_op": 500, "physical_ns_per_op": 2000,
+	     "physical_allocs_per_op": 400},
+	    {"sql": "SELECT * FROM t ORDER BY k LIMIT 5", "virtual_ns_per_op": 10,
+	     "virtual_allocs_per_op": 5, "physical_ns_per_op": 10,
+	     "physical_allocs_per_op": 5}
+	  ]
+	}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-old", oldP, "-new", newP, "-minns", "0"}, &out, &errb); code != 1 {
+		t.Fatalf("run() = %d, want 1 for a table5 physical regression\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION(ns)") {
+		t.Errorf("output should mark the regressed leg:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "(new row)") {
+		t.Errorf("the row absent from the baseline should be exempt:\n%s", out.String())
+	}
+
+	// Within tolerance both legs pass.
+	okP := writeReport(t, "ok.json", `{
+	  "records": 1000,
+	  "figure6_sinew": [],
+	  "table5": [
+	    {"sql": "SELECT * FROM t ORDER BY k", "virtual_ns_per_op": 1010,
+	     "virtual_allocs_per_op": 500, "physical_ns_per_op": 910,
+	     "physical_allocs_per_op": 400}
+	  ]
+	}`)
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-old", oldP, "-new", okP}, &out, &errb); code != 0 {
+		t.Fatalf("run() = %d, want 0 within tolerance\nstdout: %s", code, out.String())
 	}
 }

@@ -158,6 +158,9 @@ func command(db *core.DB, mat *core.Materializer, line string) error {
 		zoneSkipped, selBatches, parStriped := db.RDBMS().Pager().SelStats()
 		fmt.Printf("striped: %d segments skipped by zone maps, %d selection-vector batches, %d parallel striped scans\n",
 			zoneSkipped, selBatches, parStriped)
+		sortBatches, topnShort, mergeParts := db.RDBMS().Pager().SortStats()
+		fmt.Printf("sort: %d batches sorted, %d top-n short circuits, %d sorted-merge partitions\n",
+			sortBatches, topnShort, mergeParts)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %s", fields[0])

@@ -50,6 +50,15 @@ type PlanCacheBench struct {
 	SpeedupX        float64 `json:"speedup_x"`
 }
 
+// table5ReportQueries extends the report's Table 5 section beyond the
+// paper's three queries with a bounded ORDER BY, so the Top-N trajectory
+// is tracked by the same regression gate. The experiment table (Table5)
+// keeps the paper's exact query set.
+func table5ReportQueries() []string {
+	return append(Table5Queries(),
+		`SELECT * FROM tweets ORDER BY "user.friends_count" DESC LIMIT 10`)
+}
+
 // Report is the full BENCH_PR2.json payload.
 type Report struct {
 	Records      int              `json:"records"`
@@ -59,18 +68,22 @@ type Report struct {
 	PlanCache    []PlanCacheBench `json:"plan_cache"`
 }
 
-// benchQuery measures one statement as the median ns/op of three
-// independent testing.Benchmark runs. A single run's window is ~1s, so one
-// GC pause or scheduler stall can swing a query by ±15% on a small runner;
-// the median discards one bad window without biasing the result downward
-// the way min-of-N would. Allocs/op is deterministic and taken once.
+// benchQuery measures one statement as the minimum ns/op of five
+// independent testing.Benchmark runs. Each run's window is ~1s; on a
+// shared runner, noisy-neighbor stalls last whole seconds and poison a
+// majority of windows, so a median still swings ±30% between invocations.
+// Interference is strictly one-sided (contention only ever adds time), so
+// the minimum is the stable estimator of what the query costs when the
+// machine is available — the same statistic the Table 5 experiment uses —
+// and five windows give it a chance to land in a quiet stretch. Allocs/op
+// is deterministic and taken once.
 func benchQuery(db *core.DB, sql string) (ns, allocs int64, err error) {
 	if _, err = db.Query(sql); err != nil {
 		return 0, 0, err
 	}
 	var inner error
-	var samples [3]int64
-	for t := range samples {
+	best := int64(0)
+	for t := 0; t < 5; t++ {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -83,21 +96,14 @@ func benchQuery(db *core.DB, sql string) (ns, allocs int64, err error) {
 		if inner != nil {
 			return 0, 0, inner
 		}
-		samples[t] = r.NsPerOp()
+		if ns := r.NsPerOp(); best == 0 || ns < best {
+			best = ns
+		}
 		if t == 0 {
 			allocs = r.AllocsPerOp()
 		}
 	}
-	if samples[0] > samples[1] {
-		samples[0], samples[1] = samples[1], samples[0]
-	}
-	if samples[1] > samples[2] {
-		samples[1], samples[2] = samples[2], samples[1]
-	}
-	if samples[0] > samples[1] {
-		samples[0], samples[1] = samples[1], samples[0]
-	}
-	return samples[1], allocs, nil
+	return best, allocs, nil
 }
 
 // BuildReport loads the NoBench and Twitter fixtures at scale n and
@@ -165,9 +171,17 @@ func BuildReport(n int, seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	t5 := make([]Table5Bench, 0, len(Table5Queries()))
+	// Freeze page statistics before the virtual leg: the physical leg below
+	// re-analyzes after materializing, so without this the virtual side runs
+	// un-striped scans and the comparison conflates column layout with
+	// statistics freshness.
+	if err := tw.Sinew.RDBMS().Analyze("tweets"); err != nil {
+		return nil, err
+	}
+	t5Queries := table5ReportQueries()
+	t5 := make([]Table5Bench, 0, len(t5Queries))
 	virtBytes := tw.Sinew.DatabaseSizeBytes()
-	for _, sql := range Table5Queries() {
+	for _, sql := range t5Queries {
 		ns, allocs, err := benchQuery(tw.Sinew, sql)
 		if err != nil {
 			return nil, fmt.Errorf("table5 virtual %q: %w", sql, err)
@@ -187,7 +201,7 @@ func BuildReport(n int, seed int64) (*Report, error) {
 		return nil, err
 	}
 	physBytes := tw.Sinew.DatabaseSizeBytes()
-	for i, sql := range Table5Queries() {
+	for i, sql := range t5Queries {
 		ns, allocs, err := benchQuery(tw.Sinew, sql)
 		if err != nil {
 			return nil, fmt.Errorf("table5 physical %q: %w", sql, err)

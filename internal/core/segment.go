@@ -108,6 +108,10 @@ func (db *DB) reservoirSegmenter() storage.ColumnSegmenter {
 	}
 }
 
+// strSpan locates one packed string value inside a kernel's string-vector
+// scratch buffer: out[row] gets buffer[off:off+n].
+type strSpan struct{ row, off, n int }
+
 // stripedExtractFactory builds the segment-side kernel of the
 // "sinew_extract" family (exec.SegExtractFactory). It must agree
 // cell-for-cell with the row kernel registered in registerUDFs:
@@ -175,6 +179,12 @@ func (db *DB) stripedExtractFactory(reqs []exec.MultiExtractReq) (exec.SegExtrac
 	vals := make([]jsonx.Value, len(reqs))
 	found := make([]bool, len(reqs))
 	var fb []uint64
+	// String-vector scratch: per-value byte slices are packed into one
+	// buffer and converted with a single string allocation per column, the
+	// datums slicing substrings out of it. Kernels are per-worker (the
+	// factory runs once per scan goroutine), so the scratch is unshared.
+	var strBuf []byte
+	var strSpans []strSpan
 
 	return func(cs storage.ColumnSegment, out [][]types.Datum) (bool, error) {
 		rs, ok := cs.(*recordSegment)
@@ -228,9 +238,17 @@ func (db *DB) stripedExtractFactory(reqs []exec.MultiExtractReq) (exec.SegExtrac
 			var err, cbErr error
 			switch v.want {
 			case serial.TypeString:
+				strBuf, strSpans = strBuf[:0], strSpans[:0]
 				err = col.Strings(func(row int, b []byte) {
-					outK[row] = types.NewText(string(b))
+					strSpans = append(strSpans, strSpan{row: row, off: len(strBuf), n: len(b)})
+					strBuf = append(strBuf, b...)
 				})
+				if err == nil {
+					all := string(strBuf)
+					for _, sp := range strSpans {
+						outK[sp.row] = types.NewText(all[sp.off : sp.off+sp.n])
+					}
+				}
 			case serial.TypeInt:
 				err = col.Ints(func(row int, x int64) {
 					outK[row] = types.NewInt(x)

@@ -2,12 +2,20 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/sinewdata/sinew/internal/jsonx"
 	"github.com/sinewdata/sinew/internal/rdbms/exec"
 	"github.com/sinewdata/sinew/internal/rdbms/types"
 	"github.com/sinewdata/sinew/internal/serial"
 )
+
+// tojsonBufPool recycles sinew_tojson's render buffer. The UDF closure is
+// shared across parallel pipeline workers, so the scratch cannot live in
+// the closure; a pool keeps the per-row append-growth allocations (a ~1 KB
+// document regrows its buffer several times from empty) down to one
+// amortized buffer per worker.
+var tojsonBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // Cost constants for the optimizer (abstract units per call). Extraction
 // from Sinew's format is one binary search plus a memory dereference
@@ -188,9 +196,16 @@ func (db *DB) registerUDFs() {
 			// Streaming render first: one pass over the record, one text
 			// allocation. Declined records (duplicate keys, corruption)
 			// take the document path, which owns the canonical error.
-			if buf, err := serial.AppendJSON(nil, args[0].Bs, db.dict()); err == nil {
-				return types.NewText(string(buf)), nil
+			scratch := tojsonBufPool.Get().(*[]byte)
+			buf, err := serial.AppendJSON((*scratch)[:0], args[0].Bs, db.dict())
+			if err == nil {
+				out := types.NewText(string(buf))
+				*scratch = buf
+				tojsonBufPool.Put(scratch)
+				return out, nil
 			}
+			*scratch = buf
+			tojsonBufPool.Put(scratch)
 			doc, err := serial.Deserialize(args[0].Bs, db.dict())
 			if err != nil {
 				return types.Datum{}, err
@@ -304,11 +319,13 @@ func (db *DB) registerUDFs() {
 			skipped, workers := db.rdb.Pager().ExecStats()
 			segScanned, segUnfrozen := db.rdb.Pager().SegStats()
 			zoneSkipped, selBatches, parStriped := db.rdb.Pager().SelStats()
+			sortBatches, topnShort, mergeParts := db.rdb.Pager().SortStats()
 			return types.NewText(fmt.Sprintf(
-				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d segments_total=%d segments_scanned=%d segment_pages_unfrozen=%d segments_skipped_zonemap=%d sel_vector_batches=%d parallel_striped_scans=%d",
+				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d segments_total=%d segments_scanned=%d segment_pages_unfrozen=%d segments_skipped_zonemap=%d sel_vector_batches=%d parallel_striped_scans=%d sort_batches=%d topn_short_circuits=%d sorted_merge_partitions=%d",
 				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch, skipped, workers,
 				db.rdb.FrozenPages(), segScanned, segUnfrozen,
-				zoneSkipped, selBatches, parStriped)), nil
+				zoneSkipped, selBatches, parStriped,
+				sortBatches, topnShort, mergeParts)), nil
 		},
 	})
 

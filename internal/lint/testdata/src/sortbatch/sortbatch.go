@@ -1,0 +1,128 @@
+// Package sortbatch seeds the batch sort / Top-N / hash-join operator
+// shapes for sinew/close-propagation and sinew/sel-invariant: a blocking
+// operator that drains and closes its input in build() but must still
+// forward Close, a join owning two closable children, and key gathers
+// that must map logical rows through the selection vector.
+package sortbatch
+
+// Datum is a stand-in value cell.
+type Datum struct{ V int64 }
+
+// RowBatch mirrors the executor's column-major batch: when Sel is
+// non-nil, logical row i lives at physical index Sel[i] of every column.
+type RowBatch struct {
+	Cols [][]Datum
+	Sel  []int32
+	n    int
+}
+
+// Len is the logical row count.
+func (b *RowBatch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// PhysLen is the physical row count.
+func (b *RowBatch) PhysLen() int { return b.n }
+
+// selIdx maps a logical row index through an optional selection vector.
+func selIdx(sel []int32, i int) int {
+	if sel == nil {
+		return i
+	}
+	return int(sel[i])
+}
+
+// source is a stand-in batch input.
+type source struct{ open bool }
+
+func (s *source) NextBatch() *RowBatch { return nil }
+func (s *source) Close()               { s.open = false }
+
+// SortIter drains its input during build (closing it there) and still
+// forwards Close for the early-abandon path: no finding. Its key gather
+// maps logical rows through the selection vector: no finding.
+type SortIter struct {
+	In   *source
+	keys []Datum
+}
+
+func (s *SortIter) NextBatch() *RowBatch {
+	s.build(&RowBatch{})
+	return nil
+}
+
+func (s *SortIter) build(in *RowBatch) {
+	for i := 0; i < in.Len(); i++ {
+		s.keys = append(s.keys, in.Cols[0][selIdx(in.Sel, i)])
+	}
+	s.In.Close()
+}
+
+func (s *SortIter) Close() { s.In.Close() }
+
+// LeakySortIter relies on build() having closed the input and never
+// forwards Close — abandoning it before the first NextBatch leaks: flagged.
+type LeakySortIter struct {
+	In   *source
+	done bool
+}
+
+func (l *LeakySortIter) NextBatch() *RowBatch { return nil }
+
+func (l *LeakySortIter) Close() { // want `LeakySortIter\.Close does not release field "In"`
+	l.done = true
+}
+
+// HalfClosedJoin owns both sides of a hash join but Close only releases
+// the probe side: the build input is flagged.
+type HalfClosedJoin struct {
+	Probe *source
+	Build *source
+}
+
+func (j *HalfClosedJoin) NextBatch() *RowBatch { return nil }
+
+func (j *HalfClosedJoin) Close() { // want `HalfClosedJoin\.Close does not release field "Build"`
+	j.Probe.Close()
+}
+
+// Join closes both children: no finding. The probe-side key gather maps
+// through the selection vector: no finding.
+type Join struct {
+	Probe *source
+	Build *source
+	keys  []Datum
+}
+
+func (j *Join) NextBatch() *RowBatch { return nil }
+
+func (j *Join) probe(in *RowBatch) {
+	for i := 0; i < in.Len(); i++ {
+		j.keys = append(j.keys, in.Cols[0][selIdx(in.Sel, i)])
+	}
+}
+
+func (j *Join) Close() {
+	j.Probe.Close()
+	j.Build.Close()
+}
+
+// TopNDense accumulates heap keys by indexing columns physically while
+// iterating logical rows: flagged — a selection-carrying batch would pull
+// filtered-out rows into the heap.
+func TopNDense(b *RowBatch, n int) []Datum {
+	var heap []Datum
+	for i := 0; i < b.Len() && len(heap) < n; i++ { // want `sel-invariant: TopNDense reads RowBatch "b" columns under Len\(\)`
+		heap = append(heap, b.Cols[0][i])
+	}
+	return heap
+}
+
+// MergeHeads compares partition head rows at explicit physical positions
+// tracked by the caller: no finding.
+func MergeHeads(a, b *RowBatch, pa, pb int) bool {
+	return a.Cols[0][pa].V < b.Cols[0][pb].V
+}

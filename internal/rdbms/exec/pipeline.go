@@ -493,11 +493,12 @@ type ParallelHashJoinIter struct {
 	Residual  Expr
 	Size      int
 
-	ranges   []storage.PageRange
-	buildFn  PipelineBuild
-	outWidth int
+	ranges     []storage.PageRange
+	buildFn    PipelineBuild
+	outWidth   int
+	buildWidth int
 
-	table   map[string][]storage.Row
+	table   *joinBuildTable
 	started bool
 
 	parts    []chan parallelItem
@@ -511,54 +512,29 @@ type ParallelHashJoinIter struct {
 }
 
 // NewParallelHashJoin prepares a partitioned-probe join. outWidth is the
-// joined row width (probe width + build width).
-func NewParallelHashJoin(parts []storage.PageRange, probe PipelineBuild, build Iterator, probeKeys, buildKeys []Expr, residual Expr, size, outWidth int) *ParallelHashJoinIter {
+// joined row width (probe width + build width) and buildWidth the build
+// side's column count.
+func NewParallelHashJoin(parts []storage.PageRange, probe PipelineBuild, build Iterator, probeKeys, buildKeys []Expr, residual Expr, size, outWidth, buildWidth int) *ParallelHashJoinIter {
 	if size <= 0 {
 		size = DefaultBatchSize
 	}
 	return &ParallelHashJoinIter{
-		Build:     build,
-		ProbeKeys: probeKeys,
-		BuildKeys: buildKeys,
-		Residual:  residual,
-		Size:      size,
-		ranges:    parts,
-		buildFn:   probe,
-		outWidth:  outWidth,
-		stop:      make(chan struct{}),
+		Build:      build,
+		ProbeKeys:  probeKeys,
+		BuildKeys:  buildKeys,
+		Residual:   residual,
+		Size:       size,
+		ranges:     parts,
+		buildFn:    probe,
+		outWidth:   outWidth,
+		buildWidth: buildWidth,
+		stop:       make(chan struct{}),
 	}
 }
 
 func (p *ParallelHashJoinIter) buildTable() error {
-	defer p.Build.Close()
-	p.table = make(map[string][]storage.Row)
-	var buf []byte
-	for {
-		row, ok, err := p.Build.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		buf = buf[:0]
-		null := false
-		for _, k := range p.BuildKeys {
-			v, err := k.Eval(row)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				null = true
-				break
-			}
-			buf = v.HashKey(buf)
-		}
-		if null {
-			continue
-		}
-		p.table[string(buf)] = append(p.table[string(buf)], row)
-	}
+	p.table = newJoinBuildTable(p.buildWidth)
+	return p.table.addRows(p.Build, p.BuildKeys)
 }
 
 func (p *ParallelHashJoinIter) start() {
@@ -590,7 +566,7 @@ func (p *ParallelHashJoinIter) worker(i int, r storage.PageRange) {
 	ctx := NewEvalCtx()
 	keyCols := make([][]types.Datum, len(p.ProbeKeys))
 	var keyBuf []byte
-	var rowBuf storage.Row
+	var rowBuf, joined storage.Row
 	pool := newWorkerBatchPool()
 	ob := pool.get(p.outWidth)
 	send := func() bool {
@@ -653,17 +629,19 @@ func (p *ParallelHashJoinIter) worker(i int, r storage.PageRange) {
 			if null {
 				continue
 			}
-			matches := p.table[string(keyBuf)]
+			matches := p.table.idx[string(keyBuf)]
 			if len(matches) == 0 {
 				continue
 			}
 			rowBuf = in.Row(r, rowBuf)
-			for _, brow := range matches {
-				out := make(storage.Row, 0, len(rowBuf)+len(brow))
-				out = append(out, rowBuf...)
-				out = append(out, brow...)
+			for _, bid := range matches {
+				// Joined rows assemble in one reused scratch; AppendRow
+				// copies its cells into the output columns, so no per-match
+				// storage.Row is ever allocated.
+				joined = append(joined[:0], rowBuf...)
+				joined = p.table.appendTo(joined, bid)
 				if p.Residual != nil {
-					keep, err := EvalBool(p.Residual, out)
+					keep, err := EvalBool(p.Residual, joined)
 					if err != nil {
 						fail(err)
 						return
@@ -672,7 +650,7 @@ func (p *ParallelHashJoinIter) worker(i int, r storage.PageRange) {
 						continue
 					}
 				}
-				ob.AppendRow(out)
+				ob.AppendRow(joined)
 				if ob.Len() >= p.Size {
 					if !send() {
 						return

@@ -202,7 +202,7 @@ func TestPropertyParallelJoinMatchesSerial(t *testing.T) {
 			par := collectBatches(t, NewParallelHashJoin(
 				h.Partitions(workers), chainBuild(h, nil, nil, size),
 				sliceIter(build...), probeKeys, buildKeys, residual,
-				size, len(colTypes)+2))
+				size, len(colTypes)+2, 2))
 			rowsEqual(t, par, want)
 		}
 		return true
@@ -458,7 +458,7 @@ func TestPropertyStripedSelConsumers(t *testing.T) {
 			rowsEqual(t, gotJ, wantJ)
 			parJ := collectBatches(t, NewParallelHashJoin(
 				h.Partitions(2), selChainBuild(h, pred, nil, size, sf),
-				sliceIter(build...), keys, keys, nil, size, len(colTypes)+2))
+				sliceIter(build...), keys, keys, nil, size, len(colTypes)+2, 2))
 			rowsEqual(t, parJ, wantJ)
 		}
 		check("frozen")
@@ -564,7 +564,7 @@ func TestParallelPipelinesReleaseOnEarlyClose(t *testing.T) {
 		"join": func() BatchIterator {
 			return NewParallelHashJoin(h.Partitions(4), chainBuild(h, nil, nil, 32),
 				sliceIter(build...), []Expr{col(0, types.Int)}, []Expr{col(0, types.Int)},
-				nil, 32, 4)
+				nil, 32, 4, 2)
 		},
 	}
 	for name, make := range mk {

@@ -31,23 +31,68 @@ type fuseSlotKey struct {
 }
 
 // fuseExtracts walks the plan tree and applies the fusion rewrite to every
-// batch-mode projection.
+// batch-mode projection and to batch sort / Top-N keys (a sort key like
+// extract_int(data, 'k') otherwise re-parses every record row-wise inside
+// the sort's key evaluation, even over a striped scan).
 func (p *Planner) fuseExtracts(n Node) {
 	if n == nil {
 		return
 	}
-	if pn, ok := n.(*ProjectNode); ok && pn.Batch {
-		p.fuseProject(pn)
-	}
+	// Children first: fusing a sort's keys widens the sort's output (the
+	// appended key columns pass through it), and every ancestor's column
+	// arithmetic must see the widened layout.
 	for _, c := range n.Children() {
 		p.fuseExtracts(c)
+	}
+	switch x := n.(type) {
+	case *ProjectNode:
+		if x.Batch {
+			p.fuseProject(x)
+		}
+	case *SortNode:
+		if x.Batch {
+			x.Child = p.fuseSortKeys(x.Child, x.Keys, x.BatchSize)
+			// The appended key columns ride through the sort: republish its
+			// layout so parents index past them.
+			x.layout = &Layout{Rows: x.layout.Rows, Cols: x.Child.Layout().Cols}
+		}
+	case *TopNNode:
+		if x.Batch {
+			x.Child = p.fuseSortKeys(x.Child, x.Keys, x.BatchSize)
+			x.layout = &Layout{Rows: x.layout.Rows, Cols: x.Child.Layout().Cols}
+		}
 	}
 }
 
 // fuseProject rewrites one projection in place when it contains ≥2
 // distinct fusable requests over the same column.
 func (p *Planner) fuseProject(pn *ProjectNode) {
-	childW := len(pn.Child.Layout().Cols)
+	slots := make([]*exec.Expr, len(pn.Exprs))
+	for i := range pn.Exprs {
+		slots[i] = &pn.Exprs[i]
+	}
+	pn.Child = p.fuseSlots(pn.Child, slots, pn.BatchSize)
+}
+
+// fuseSortKeys applies the fusion rewrite to sort-key expressions: fused
+// keys become references to columns appended below the sort, so key
+// evaluation is one vectorized kernel pass (segment vectors on striped
+// scans) instead of a per-row record parse. The appended columns ride
+// through the sort as ordinary payload.
+func (p *Planner) fuseSortKeys(child Node, keys []exec.SortKey, batchSize int) Node {
+	slots := make([]*exec.Expr, len(keys))
+	for i := range keys {
+		slots[i] = &keys[i].Expr
+	}
+	return p.fuseSlots(child, slots, batchSize)
+}
+
+// fuseSlots is the shared fusion body: it collects fusable extraction
+// calls from the expression slots, inserts MultiExtractNodes above child
+// for every group worth fusing, rewrites the slots to reference the
+// appended columns, and returns the (possibly unchanged) child.
+func (p *Planner) fuseSlots(child Node, exprSlots []*exec.Expr, batchSize int) Node {
+	childW := len(child.Layout().Cols)
 
 	type slot struct {
 		req  exec.MultiExtractReq
@@ -120,8 +165,8 @@ func (p *Planner) fuseProject(pn *ProjectNode) {
 			collect(x.X)
 		}
 	}
-	for _, e := range pn.Exprs {
-		collect(e)
+	for _, e := range exprSlots {
+		collect(*e)
 	}
 
 	// Group the requests by (family, input column); each group with ≥2
@@ -147,14 +192,14 @@ func (p *Planner) fuseProject(pn *ProjectNode) {
 		g.keys = append(g.keys, sk)
 	}
 
-	cur := pn.Child
+	cur := child
 	colBase := childW
 	replaced := map[fuseSlotKey]*exec.ColExpr{}
 	for _, g := range groups {
 		// Fusing needs ≥2 keys to pay off on the row path (one decode for
 		// all keys); a single key still fuses over a striped-eligible scan,
 		// where only a MultiExtractNode can reach the segment vectors.
-		if len(g.keys) < 2 && !p.stripedFusable(g.gk.family, pn.Child) {
+		if len(g.keys) < 2 && !p.stripedFusable(g.gk.family, child) {
 			continue
 		}
 		factory, _ := p.Funcs.MultiExtract(g.gk.family)
@@ -168,8 +213,8 @@ func (p *Planner) fuseProject(pn *ProjectNode) {
 			replaced[sk] = &exec.ColExpr{Idx: colBase + i, Typ: s.req.Ret, Name: s.name}
 		}
 		src := ""
-		if g.gk.dataIdx < len(pn.Child.Layout().Cols) {
-			src = pn.Child.Layout().Cols[g.gk.dataIdx].Name
+		if g.gk.dataIdx < len(child.Layout().Cols) {
+			src = child.Layout().Cols[g.gk.dataIdx].Name
 		}
 		cur = &MultiExtractNode{
 			baseNode: baseNode{
@@ -186,18 +231,17 @@ func (p *Planner) fuseProject(pn *ProjectNode) {
 			Family:  g.gk.family,
 			Source:  src,
 			BatchSize: func() int {
-				if pn.BatchSize > 0 {
-					return pn.BatchSize
+				if batchSize > 0 {
+					return batchSize
 				}
 				return exec.DefaultBatchSize
 			}(),
 		}
 		colBase += len(reqs)
 	}
-	if cur == pn.Child {
-		return
+	if cur == child {
+		return child
 	}
-	pn.Child = cur
 
 	var rewrite func(e exec.Expr) exec.Expr
 	rewrite = func(e exec.Expr) exec.Expr {
@@ -235,7 +279,8 @@ func (p *Planner) fuseProject(pn *ProjectNode) {
 		}
 		return e
 	}
-	for i := range pn.Exprs {
-		pn.Exprs[i] = rewrite(pn.Exprs[i])
+	for _, e := range exprSlots {
+		*e = rewrite(*e)
 	}
+	return cur
 }

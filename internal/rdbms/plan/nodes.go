@@ -368,13 +368,43 @@ type errBatchIter struct{ err error }
 func (e *errBatchIter) NextBatch() (*exec.RowBatch, error) { return nil, e.err }
 func (e *errBatchIter) Close()                             {}
 
-// ---------- Sort / Unique ----------
+// ---------- Sort / Top-N / Unique ----------
+
+// sortKeyDisplay renders sort keys for EXPLAIN.
+func sortKeyDisplay(keys []exec.SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// heapBelow finds the heap of the first scan under n — the stats sink for
+// batch sort / Top-N operator counters.
+func heapBelow(n Node) *storage.Heap {
+	if s, ok := n.(*ScanNode); ok {
+		return s.Heap
+	}
+	for _, c := range n.Children() {
+		if h := heapBelow(c); h != nil {
+			return h
+		}
+	}
+	return nil
+}
 
 // SortNode materializes and sorts its input.
 type SortNode struct {
 	baseNode
 	Child Node
 	Keys  []exec.SortKey
+	// Batch selects the batch-native permutation sort (BatchSortIter);
+	// BatchSize is rows per emitted RowBatch.
+	Batch     bool
+	BatchSize int
 }
 
 // Label implements Node.
@@ -382,14 +412,7 @@ func (s *SortNode) Label() string { return "Sort" }
 
 // Details implements Node.
 func (s *SortNode) Details() []string {
-	parts := make([]string, len(s.Keys))
-	for i, k := range s.Keys {
-		parts[i] = k.Expr.String()
-		if k.Desc {
-			parts[i] += " DESC"
-		}
-	}
-	return []string{"Sort Key: " + strings.Join(parts, ", ")}
+	return []string{"Sort Key: " + sortKeyDisplay(s.Keys)}
 }
 
 // Children implements Node.
@@ -397,7 +420,81 @@ func (s *SortNode) Children() []Node { return []Node{s.Child} }
 
 // Open implements Node.
 func (s *SortNode) Open() exec.Iterator {
+	if it, ok := s.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
 	return &exec.SortIter{In: s.Child.Open(), Keys: s.Keys}
+}
+
+// OpenBatch implements batchNode.
+func (s *SortNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !s.Batch {
+		return nil, false
+	}
+	return &exec.BatchSortIter{
+		In: openBatch(s.Child, s.BatchSize), Keys: s.Keys,
+		Size: s.BatchSize, Heap: heapBelow(s.Child),
+	}, true
+}
+
+func (s *SortNode) batchAnnotation() string {
+	if !s.Batch {
+		return ""
+	}
+	return " (batch)"
+}
+
+// TopNNode is the bounded ORDER BY + LIMIT operator: the planner
+// substitutes it for a SortNode directly under a LIMIT (rewriteTopN), so
+// only the best N rows are ever materialized.
+type TopNNode struct {
+	baseNode
+	Child     Node
+	Keys      []exec.SortKey
+	N         int64
+	Batch     bool
+	BatchSize int
+}
+
+// Label implements Node.
+func (t *TopNNode) Label() string { return "Top-N" }
+
+// Details implements Node.
+func (t *TopNNode) Details() []string {
+	return []string{
+		"Sort Key: " + sortKeyDisplay(t.Keys),
+		fmt.Sprintf("Limit: %d", t.N),
+	}
+}
+
+// Children implements Node.
+func (t *TopNNode) Children() []Node { return []Node{t.Child} }
+
+// Open implements Node. The row fallback is the exact pre-rewrite
+// pipeline: a full sort truncated by LIMIT.
+func (t *TopNNode) Open() exec.Iterator {
+	if it, ok := t.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
+	return &exec.LimitIter{In: &exec.SortIter{In: t.Child.Open(), Keys: t.Keys}, N: t.N}
+}
+
+// OpenBatch implements batchNode.
+func (t *TopNNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !t.Batch {
+		return nil, false
+	}
+	return &exec.BatchTopNIter{
+		In: openBatch(t.Child, t.BatchSize), Keys: t.Keys, N: t.N,
+		Size: t.BatchSize, Heap: heapBelow(t.Child),
+	}, true
+}
+
+func (t *TopNNode) batchAnnotation() string {
+	if !t.Batch {
+		return ""
+	}
+	return " (batch)"
 }
 
 // UniqueNode removes consecutive duplicates of sorted input (the sort-based
@@ -514,6 +611,10 @@ type HashJoinNode struct {
 	ProbeKeys []exec.Expr
 	BuildKeys []exec.Expr
 	Residual  []exec.Expr
+	// Batch selects the adapter-free batch join (BatchHashJoinIter) with a
+	// columnar build table.
+	Batch     bool
+	BatchSize int
 }
 
 // Label implements Node.
@@ -537,11 +638,36 @@ func (j *HashJoinNode) Children() []Node { return []Node{j.Probe, j.Build} }
 
 // Open implements Node.
 func (j *HashJoinNode) Open() exec.Iterator {
+	if it, ok := j.OpenBatch(); ok {
+		return &exec.BatchToRow{In: it}
+	}
 	return &exec.HashJoinIter{
 		Probe: j.Probe.Open(), Build: j.Build.Open(),
 		ProbeKeys: j.ProbeKeys, BuildKeys: j.BuildKeys,
 		Residual: conjoinExec(j.Residual),
 	}
+}
+
+// OpenBatch implements batchNode: both sides are consumed batch-at-a-time
+// and the build side lives in a columnar table.
+func (j *HashJoinNode) OpenBatch() (exec.BatchIterator, bool) {
+	if !j.Batch {
+		return nil, false
+	}
+	return &exec.BatchHashJoinIter{
+		Probe: openBatch(j.Probe, j.BatchSize), Build: openBatch(j.Build, j.BatchSize),
+		ProbeKeys: j.ProbeKeys, BuildKeys: j.BuildKeys,
+		Residual:   conjoinExec(j.Residual),
+		BuildWidth: len(j.Build.Layout().Cols),
+		Size:       j.BatchSize,
+	}, true
+}
+
+func (j *HashJoinNode) batchAnnotation() string {
+	if !j.Batch {
+		return ""
+	}
+	return " (batch)"
 }
 
 // MergeJoinNode is an inner equi-join over sorted children (the planner

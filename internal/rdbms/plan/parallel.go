@@ -38,10 +38,14 @@ type GatherNode struct {
 	// aggregate or join root when Agg/Join is set.
 	Scan *ScanNode
 	Ops  []Node
-	// Agg selects two-phase aggregation; Join selects partitioned probe.
-	// At most one is non-nil.
+	// Agg selects two-phase aggregation; Join selects partitioned probe;
+	// Sort/TopN select sorted merge (each partition sorts locally with
+	// appended key columns, the merge k-way-scans on those keys). At most
+	// one of the four is non-nil.
 	Agg     *HashAggNode
 	Join    *HashJoinNode
+	Sort    *SortNode
+	TopN    *TopNNode
 	Workers int
 }
 
@@ -52,6 +56,8 @@ func (g *GatherNode) MergeStrategy() string {
 		return "two-phase agg"
 	case g.Join != nil:
 		return "partitioned probe"
+	case g.Sort != nil || g.TopN != nil:
+		return "sorted"
 	default:
 		return "ordered"
 	}
@@ -122,6 +128,22 @@ func (g *GatherNode) buildPartition(r storage.PageRange) (exec.BatchIterator, er
 			return nil, fmt.Errorf("plan: unparallelizable operator %T in gather chain", op)
 		}
 	}
+	// A sorted-merge gather sorts each partition locally; the appended key
+	// columns let the merge compare precomputed keys. Top-N additionally
+	// pushes the bound into the partition, so each worker keeps at most N
+	// rows.
+	switch {
+	case g.TopN != nil:
+		cur = &exec.BatchTopNIter{
+			In: cur, Keys: g.TopN.Keys, N: g.TopN.N, Size: g.TopN.BatchSize,
+			AppendKeys: true, Heap: g.Scan.Heap,
+		}
+	case g.Sort != nil:
+		cur = &exec.BatchSortIter{
+			In: cur, Keys: g.Sort.Keys, Size: g.Sort.BatchSize,
+			AppendKeys: true, Heap: g.Scan.Heap,
+		}
+	}
 	return cur, nil
 }
 
@@ -139,9 +161,19 @@ func (g *GatherNode) OpenBatch() (exec.BatchIterator, bool) {
 		return exec.NewParallelHashAgg(parts, g.buildPartition, g.Agg.GroupBy, g.Agg.Aggs, false, g.Agg.BatchSize), true
 	case g.Join != nil:
 		outWidth := len(g.Join.Layout().Cols)
+		buildWidth := len(g.Join.Build.Layout().Cols)
 		return exec.NewParallelHashJoin(parts, g.buildPartition, g.Join.Build.Open(),
 			g.Join.ProbeKeys, g.Join.BuildKeys, conjoinExec(g.Join.Residual),
-			g.Scan.BatchSize, outWidth), true
+			g.Scan.BatchSize, outWidth, buildWidth), true
+	case g.Sort != nil || g.TopN != nil:
+		keys, limit, size := []exec.SortKey(nil), int64(-1), g.Scan.BatchSize
+		if g.TopN != nil {
+			keys, limit, size = g.TopN.Keys, g.TopN.N, g.TopN.BatchSize
+		} else {
+			keys, size = g.Sort.Keys, g.Sort.BatchSize
+		}
+		g.Scan.Heap.RecordSortedMergeParts(int64(len(parts)))
+		return exec.NewParallelSortedMerge(parts, g.buildPartition, keys, limit, size), true
 	default:
 		return exec.NewParallelPipeline(parts, g.buildPartition), true
 	}
@@ -190,8 +222,20 @@ func (p *Planner) parallelizeNode(n Node, underLimit bool) Node {
 		x.Child = p.parallelizeNode(x.Child, true)
 		return x
 	case *SortNode:
-		// Sort is a full barrier: it materializes its input, so a LIMIT
-		// above it cannot early-stop the child.
+		// A sort over a parallelizable chain sorts each partition locally
+		// and k-way-merges the sorted streams; otherwise it remains a full
+		// barrier (a LIMIT above it cannot early-stop the child).
+		if g := p.gatherSort(x, nil); g != nil {
+			return g
+		}
+		x.Child = p.parallelizeNode(x.Child, false)
+		return x
+	case *TopNNode:
+		// Top-N pushes its bound into each partition: workers keep at most
+		// N rows, the merge stops after emitting N.
+		if g := p.gatherSort(nil, x); g != nil {
+			return g
+		}
 		x.Child = p.parallelizeNode(x.Child, false)
 		return x
 	case *UniqueNode:
@@ -356,6 +400,41 @@ func (p *Planner) gatherChain(n Node) *GatherNode {
 		return nil
 	}
 	return newGather(n, ops, scan, w)
+}
+
+// gatherSort parallelizes a sort (s) or bounded Top-N (t) over a chain as a
+// locally-sorted partition fan-out merged with a k-way sorted merge. Exactly
+// one of s, t is non-nil. Unlike gatherChain, no chainWorthwhile gate: the
+// O(n log n) sort itself is the work worth spreading across workers.
+func (p *Planner) gatherSort(s *SortNode, t *TopNNode) *GatherNode {
+	var child Node
+	var keys []exec.SortKey
+	var node Node
+	var batch bool
+	if t != nil {
+		child, keys, node, batch = t.Child, t.Keys, t, t.Batch
+	} else {
+		child, keys, node, batch = s.Child, s.Keys, s, s.Batch
+	}
+	if !batch {
+		return nil
+	}
+	for _, k := range keys {
+		if !exec.ParallelSafe(k.Expr) {
+			return nil
+		}
+	}
+	ops, scan, ok := chainOf(child)
+	if !ok || !chainSafe(ops, scan) {
+		return nil
+	}
+	w := p.pipelineWorkers(scan.Heap)
+	if w <= 1 {
+		return nil
+	}
+	g := newGather(node, ops, scan, w)
+	g.Sort, g.TopN = s, t
+	return g
 }
 
 // aggsMergeable reports whether two-phase aggregation is exact for aggs:

@@ -393,6 +393,7 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 		})
 	}
 
+	cur = p.rewriteTopN(cur)
 	p.fuseExtracts(cur)
 	p.stripeScans(cur)
 	pruneScanColumns(cur)
@@ -529,6 +530,12 @@ func (p *Planner) batchify(n Node) Node {
 		x.Batch, x.BatchSize = true, size
 	case *LimitNode:
 		x.Batch, x.BatchSize = true, size
+	case *SortNode:
+		x.Batch, x.BatchSize = true, size
+	case *TopNNode:
+		x.Batch, x.BatchSize = true, size
+	case *HashJoinNode:
+		x.Batch, x.BatchSize = true, size
 	}
 	return n
 }
@@ -537,8 +544,8 @@ func (p *Planner) batchify(n Node) Node {
 func (p *Planner) newSort(child Node, layout *Layout, keys []exec.SortKey) Node {
 	n := math.Max(child.Rows(), 1)
 	sortCost := child.Cost() + n*math.Log2(n+1)*p.Cfg.CPUOperatorCost*2 + n*p.Cfg.CPUTupleCost
-	return &SortNode{
+	return p.batchify(&SortNode{
 		baseNode: baseNode{layout: layout, rows: child.Rows(), cost: sortCost},
 		Child:    child, Keys: keys,
-	}
+	})
 }

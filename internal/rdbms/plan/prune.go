@@ -70,6 +70,12 @@ func pruneChain(n Node, set map[int]bool, ok bool) {
 			sok = sok && addExprCols(set, k.Expr)
 		}
 		pruneChain(x.Child, set, sok)
+	case *TopNNode:
+		sok := true
+		for _, k := range x.Keys {
+			sok = sok && addExprCols(set, k.Expr)
+		}
+		pruneChain(x.Child, set, sok)
 	case *ScanNode:
 		if !x.Batch || !addExprCols(set, x.Preds...) {
 			return

@@ -604,6 +604,12 @@ type Pager struct {
 	zoneSkipped     int64
 	selBatches      int64
 	parallelStriped int64
+	// Order-sensitive operator counters: input batches accumulated by batch
+	// sorts, rows discarded on arrival by bounded Top-N heaps, and
+	// partitions merged by sorted-merge gathers.
+	sortBatches       int64
+	topnShortCircuits int64
+	sortedMergeParts  int64
 }
 
 // NewPager returns a zeroed pager.
@@ -663,6 +669,34 @@ func (p *Pager) recordParallelStriped(n int64) {
 	p.mu.Unlock()
 }
 
+func (p *Pager) recordSortBatches(n int64) {
+	p.mu.Lock()
+	p.sortBatches += n
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordTopNShortCircuits(n int64) {
+	p.mu.Lock()
+	p.topnShortCircuits += n
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordSortedMergeParts(n int64) {
+	p.mu.Lock()
+	p.sortedMergeParts += n
+	p.mu.Unlock()
+}
+
+// SortStats returns the order-sensitive operator counters: batches
+// accumulated by batch sorts, rows discarded on arrival by bounded Top-N
+// heaps, and partitions merged by sorted-merge gathers since the last
+// Reset.
+func (p *Pager) SortStats() (sortBatches, topnShortCircuits, sortedMergeParts int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sortBatches, p.topnShortCircuits, p.sortedMergeParts
+}
+
 // SelStats returns the selection-vector execution counters: frozen pages
 // eliminated by segment zone maps, selection-carrying batches emitted by
 // striped scans, and striped scans run under a parallel gather since the
@@ -703,5 +737,6 @@ func (p *Pager) Reset() {
 	p.pagesSkipped, p.parallelWorkers = 0, 0
 	p.segScanned, p.segUnfrozen = 0, 0
 	p.zoneSkipped, p.selBatches, p.parallelStriped = 0, 0, 0
+	p.sortBatches, p.topnShortCircuits, p.sortedMergeParts = 0, 0, 0
 	p.mu.Unlock()
 }

@@ -302,3 +302,27 @@ func (h *Heap) RecordParallelStriped(n int64) {
 		h.pager.recordParallelStriped(n)
 	}
 }
+
+// RecordSortBatches counts input batches accumulated by batch sorts
+// (BatchSortIter flushes its per-query count on Close).
+func (h *Heap) RecordSortBatches(n int64) {
+	if h.pager != nil && n > 0 {
+		h.pager.recordSortBatches(n)
+	}
+}
+
+// RecordTopNShortCircuits counts rows a bounded Top-N heap discarded on
+// arrival without materializing them.
+func (h *Heap) RecordTopNShortCircuits(n int64) {
+	if h.pager != nil && n > 0 {
+		h.pager.recordTopNShortCircuits(n)
+	}
+}
+
+// RecordSortedMergeParts counts partitions merged by sorted-merge gathers
+// (per-partition locally sorted streams k-way merged on precomputed keys).
+func (h *Heap) RecordSortedMergeParts(n int64) {
+	if h.pager != nil && n > 0 {
+		h.pager.recordSortedMergeParts(n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sinewdata/sinew/internal/jsonx"
 )
@@ -104,6 +105,12 @@ type Dictionary struct {
 	mu    sync.RWMutex
 	byKey map[dictKey]uint32
 	byID  []Attr // index == ID
+	// snap is the latest byID slice header, republished under mu after
+	// every append. Entries are immutable once written and IDs are
+	// append-only, so a loaded snapshot is always a consistent prefix —
+	// Lookup (the per-attribute hot path of record rendering and
+	// extraction) reads it without touching the lock.
+	snap atomic.Pointer[[]Attr]
 }
 
 type dictKey struct {
@@ -133,6 +140,8 @@ func (d *Dictionary) IDFor(key string, typ AttrType) uint32 {
 	id = uint32(len(d.byID))
 	d.byKey[k] = id
 	d.byID = append(d.byID, Attr{ID: id, Key: key, Type: typ})
+	s := d.byID
+	d.snap.Store(&s)
 	return id
 }
 
@@ -146,6 +155,14 @@ func (d *Dictionary) IDOf(key string, typ AttrType) (uint32, bool) {
 
 // Lookup implements Dict.
 func (d *Dictionary) Lookup(id uint32) (Attr, bool) {
+	// Lock-free fast path: the snapshot is a consistent prefix of byID. An
+	// ID past the snapshot may have been minted since; only then fall back
+	// to the locked read.
+	if p := d.snap.Load(); p != nil {
+		if s := *p; int(id) < len(s) {
+			return s[id], true
+		}
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if int(id) >= len(d.byID) {
