@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-workers check bench bench-diff fuzz fmt
+.PHONY: all build test vet lint race race-workers race-sessions stress-sessions check bench bench-diff fuzz fmt
 
 all: build
 
@@ -37,10 +37,30 @@ race-workers:
 	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/rdbms/plan/ ./internal/core/
 	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestStriped|TestPropertyStriped|TestSinewStats' ./internal/rdbms/exec/ ./internal/core/
 
+# race-sessions drives the concurrent-session surface added with sinewd
+# (DESIGN.md §10): the mixed writer/reader stress harness, the
+# snapshot-isolation differential test (every snapshot read must equal
+# the serial replay at its pinned epoch, across row/batch/striped/
+# parallel plans), and the HTTP end-to-end test. GOMAXPROCS=1 forces
+# cooperative interleavings, 2 and 8 vary true parallelism.
+race-sessions:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestSnapshot' ./internal/rdbms/
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'TestSnapshot' ./internal/rdbms/
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestSnapshot' ./internal/rdbms/
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/service/
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestSinewStatsSnapshot' ./internal/core/
+
+# stress-sessions soaks the same harness for ~30s (CI runs it as a
+# non-blocking job; locally it is a good pre-merge smoke for scheduler-
+# dependent interleavings the quick legs may miss).
+stress-sessions:
+	GOMAXPROCS=8 $(GO) test -race -count=10 -timeout 10m -run 'TestSnapshotStress|TestSnapshotIsolation' ./internal/rdbms/
+
 # check is the gate CI runs: static analysis plus the full test suite
 # under the race detector (the parallel pipelines are the main
-# concurrency surface), with extra GOMAXPROCS legs for the executor.
-check: vet lint race race-workers
+# concurrency surface), with extra GOMAXPROCS legs for the executor and
+# the concurrent-session/snapshot surface.
+check: vet lint race race-workers race-sessions
 
 # fuzz exercises the serializer's read side (the same target CI runs as a
 # non-blocking job); the checked-in corpus lives in

@@ -161,6 +161,9 @@ func command(db *core.DB, mat *core.Materializer, line string) error {
 		sortBatches, topnShort, mergeParts := db.RDBMS().Pager().SortStats()
 		fmt.Printf("sort: %d batches sorted, %d top-n short circuits, %d sorted-merge partitions\n",
 			sortBatches, topnShort, mergeParts)
+		snapOpen, snapEpoch, pagesCoW := db.RDBMS().SnapshotStats()
+		fmt.Printf("snapshots: %d pinned, epoch %d, %d pages copied-on-write, %d sessions active\n",
+			snapOpen, snapEpoch, pagesCoW, db.RDBMS().SessionsActive())
 		return nil
 	default:
 		return fmt.Errorf("unknown command %s", fields[0])

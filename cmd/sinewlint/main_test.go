@@ -53,8 +53,8 @@ func TestListFlag(t *testing.T) {
 		t.Fatalf("run(-list) = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 6 {
-		t.Fatalf("want 6 registered checks, got %d:\n%s", len(lines), out.String())
+	if len(lines) != 7 {
+		t.Fatalf("want 7 registered checks, got %d:\n%s", len(lines), out.String())
 	}
 	for _, l := range lines {
 		if !strings.HasPrefix(l, "sinew/") {

@@ -320,12 +320,14 @@ func (db *DB) registerUDFs() {
 			segScanned, segUnfrozen := db.rdb.Pager().SegStats()
 			zoneSkipped, selBatches, parStriped := db.rdb.Pager().SelStats()
 			sortBatches, topnShort, mergeParts := db.rdb.Pager().SortStats()
+			snapOpen, snapEpoch, pagesCoW := db.rdb.SnapshotStats()
 			return types.NewText(fmt.Sprintf(
-				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d segments_total=%d segments_scanned=%d segment_pages_unfrozen=%d segments_skipped_zonemap=%d sel_vector_batches=%d parallel_striped_scans=%d sort_batches=%d topn_short_circuits=%d sorted_merge_partitions=%d",
+				"plan_cache hits=%d misses=%d entries=%d invalidations=%d epoch=%d exec pages_skipped=%d parallel_workers=%d segments_total=%d segments_scanned=%d segment_pages_unfrozen=%d segments_skipped_zonemap=%d sel_vector_batches=%d parallel_striped_scans=%d sort_batches=%d topn_short_circuits=%d sorted_merge_partitions=%d snapshots_open=%d snapshot_epoch=%d pages_cow=%d sessions_active=%d",
 				s.Hits, s.Misses, s.Entries, s.Invalidations, s.Epoch, skipped, workers,
 				db.rdb.FrozenPages(), segScanned, segUnfrozen,
 				zoneSkipped, selBatches, parStriped,
-				sortBatches, topnShort, mergeParts)), nil
+				sortBatches, topnShort, mergeParts,
+				snapOpen, snapEpoch, pagesCoW, db.rdb.SessionsActive())), nil
 		},
 	})
 

@@ -77,6 +77,7 @@ func Registry() []Check {
 		&PlanCacheKey{},
 		&UncheckedError{},
 		&SelInvariant{},
+		&SnapshotPin{},
 	}
 }
 

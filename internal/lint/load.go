@@ -190,6 +190,15 @@ func (l *loader) dirFor(path string) (string, error) {
 }
 
 func (l *loader) load(path string) (*Package, error) {
+	// Serve repeats from the cache. Load calls this for every walked
+	// directory, most of which were already checked as dependencies of an
+	// earlier package; re-checking would mint a second *types.Package
+	// instance for the same path, and identical types from the two
+	// instances do not compare equal ("types.Datum is not types.Datum" in
+	// any package importing one directly and one through a dependency).
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("lint: import cycle through %q", path)
 	}

@@ -23,24 +23,39 @@ import (
 )
 
 // DB is an embedded relational database instance.
+//
+// Concurrency model (DESIGN.md §10): readers never take table locks. Every
+// SELECT opens an exec.ExecCtx and pins each referenced heap's published
+// snapshot with one atomic load; it plans and scans those frozen page
+// versions for the whole statement. Writers serialize per table on t.mu,
+// mutate private page versions (copy-on-write for anything a snapshot may
+// share), and publish a new snapshot before unlocking. Unpinned versions
+// are reclaimed by the garbage collector.
 type DB struct {
 	mu     sync.RWMutex // guards the table map
 	tables map[string]*table
 	pager  *storage.Pager
 	funcs  *exec.Registry
+	cfgMu  sync.Mutex // guards writes to *cfg (SET) and flagsKey reads
 	cfg    *plan.Config
 	// epoch counts catalog-shape changes; the prepared-plan cache keys on
 	// it so DDL/ANALYZE/materializer moves invalidate cached plans.
 	epoch atomic.Uint64
 	plans *planCache
+	// sessions counts logical client sessions (sinewd's pool); feeds
+	// sinew_stats() and /metrics.
+	sessions atomic.Int64
 }
 
-// table couples a heap with its lock and statistics.
+// table couples a heap with its writer lock and statistics. t.mu is a
+// write-write exclusion lock only — readers go through heap snapshots and
+// never acquire it. heap is assigned once at creation; stats swings
+// atomically so lock-free planners can load it.
 type table struct {
 	mu    sync.RWMutex
 	name  string
 	heap  *storage.Heap
-	stats *storage.TableStats
+	stats atomic.Pointer[storage.TableStats]
 }
 
 // Open creates an empty database.
@@ -92,14 +107,34 @@ type Result struct {
 	ExplainText string
 }
 
-// Table implements plan.Catalog. Callers must already hold the table lock
-// appropriate to the statement being planned (Exec arranges this).
+// Table returns a table's live heap and current statistics. Sinew core
+// uses it to wire serializers and segmenters onto the heap; statement
+// planning goes through snapshotCatalog instead, so planners see an
+// epoch-pinned snapshot rather than the mutable heap.
 func (db *DB) Table(name string) (*storage.Heap, *storage.TableStats, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	return t.heap, t.stats, nil
+	return t.heap, t.stats.Load(), nil
+}
+
+// snapshotCatalog implements plan.Catalog for one statement: table lookups
+// resolve through the statement's ExecCtx, so the planner sizes and shapes
+// the plan against the very snapshot the executor will scan. With a nil
+// ExecCtx it degrades to live-heap views (embedded callers that serialize
+// writes themselves).
+type snapshotCatalog struct {
+	db *DB
+	ec *exec.ExecCtx
+}
+
+func (c snapshotCatalog) Table(name string) (storage.ReadView, *storage.TableStats, error) {
+	t, err := c.db.lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.ec.View(t.heap), t.stats.Load(), nil
 }
 
 func (db *DB) lookup(name string) (*table, error) {
@@ -168,7 +203,11 @@ func (db *DB) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 }
 
 // execSet applies SET name = value to the session/planner configuration.
+// Writes go under cfgMu so a concurrent statement snapshotting the config
+// (planCfg) or computing a cache key (flagsKey) sees a consistent value.
 func (db *DB) execSet(st *sqlparse.SetStmt) (*Result, error) {
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	switch st.Name {
 	case "batch_size":
 		n, err := setIntValue(st, 1, 1<<16)
@@ -248,57 +287,29 @@ func setBoolValue(st *sqlparse.SetStmt) (bool, error) {
 	return st.Value.B, nil
 }
 
-// lockTables read- or write-locks the named tables in a canonical order
-// (deadlock avoidance) and returns the unlock function.
-func (db *DB) lockTables(names []string, write bool) (func(), error) {
-	uniq := map[string]bool{}
-	for _, n := range names {
-		uniq[strings.ToLower(n)] = true
-	}
-	ordered := make([]string, 0, len(uniq))
-	for n := range uniq {
-		ordered = append(ordered, n)
-	}
-	sort.Strings(ordered)
-	var locked []*table
-	unlock := func() {
-		for i := len(locked) - 1; i >= 0; i-- {
-			if write {
-				locked[i].mu.Unlock()
-			} else {
-				locked[i].mu.RUnlock()
-			}
-		}
-	}
-	for _, n := range ordered {
-		t, err := db.lookup(n)
-		if err != nil {
-			unlock()
-			return nil, err
-		}
-		if write {
-			t.mu.Lock()
-		} else {
-			t.mu.RLock()
-		}
-		locked = append(locked, t)
-	}
-	return unlock, nil
+// planCfg snapshots the session configuration for one statement, so a
+// concurrent SET cannot race the planner mid-plan. The returned copy is
+// private to the statement.
+func (db *DB) planCfg() *plan.Config {
+	db.cfgMu.Lock()
+	cfg := *db.cfg
+	db.cfgMu.Unlock()
+	return &cfg
 }
 
+// execSelect runs a SELECT against epoch-pinned snapshots: no table locks,
+// so reads never block behind loads, UPDATEs, or ANALYZE. The ExecCtx pins
+// each referenced heap's published snapshot on first touch (planning),
+// execution scans the same pinned versions, and Release drops the pins.
 func (db *DB) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
-	names := fromTables(st)
-	unlock, err := db.lockTables(names, false)
-	if err != nil {
-		return nil, err
-	}
-	defer unlock()
-	p := plan.NewPlanner(db, db.funcs, db.cfg)
+	ec := exec.NewExecCtx()
+	defer ec.Release()
+	p := plan.NewPlanner(snapshotCatalog{db: db, ec: ec}, db.funcs, db.planCfg())
 	sp, err := p.PlanSelect(st)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := sp.Collect()
+	rows, err := sp.CollectCtx(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -306,26 +317,22 @@ func (db *DB) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
 }
 
 // PlanSelect plans (but does not run) a SELECT — benchmarks and tools use
-// it to drive the executor directly. The caller must not run DDL/DML
-// concurrently with executing the returned plan.
+// it to drive the executor directly. Planning reads a pinned snapshot; the
+// returned plan re-binds to the live heaps, so the caller must not run
+// DDL/DML concurrently with executing it (or must execute it with OpenCtx
+// under its own ExecCtx).
 func (db *DB) PlanSelect(st *sqlparse.SelectStmt) (*plan.SelectPlan, error) {
-	unlock, err := db.lockTables(fromTables(st), false)
-	if err != nil {
-		return nil, err
-	}
-	defer unlock()
-	p := plan.NewPlanner(db, db.funcs, db.cfg)
+	ec := exec.NewExecCtx()
+	defer ec.Release()
+	p := plan.NewPlanner(snapshotCatalog{db: db, ec: ec}, db.funcs, db.planCfg())
 	return p.PlanSelect(st)
 }
 
 // ExplainSelect plans (but does not run) a SELECT and renders the plan.
 func (db *DB) ExplainSelect(st *sqlparse.SelectStmt) (string, error) {
-	unlock, err := db.lockTables(fromTables(st), false)
-	if err != nil {
-		return "", err
-	}
-	defer unlock()
-	p := plan.NewPlanner(db, db.funcs, db.cfg)
+	ec := exec.NewExecCtx()
+	defer ec.Release()
+	p := plan.NewPlanner(snapshotCatalog{db: db, ec: ec}, db.funcs, db.planCfg())
 	sp, err := p.PlanSelect(st)
 	if err != nil {
 		return "", err
@@ -336,13 +343,7 @@ func (db *DB) ExplainSelect(st *sqlparse.SelectStmt) (string, error) {
 // PlanSelectStmt exposes the physical plan (the Table 2 experiment inspects
 // operator choices programmatically).
 func (db *DB) PlanSelectStmt(st *sqlparse.SelectStmt) (*plan.SelectPlan, error) {
-	unlock, err := db.lockTables(fromTables(st), false)
-	if err != nil {
-		return nil, err
-	}
-	defer unlock()
-	p := plan.NewPlanner(db, db.funcs, db.cfg)
-	return p.PlanSelect(st)
+	return db.PlanSelect(st)
 }
 
 func fromTables(st *sqlparse.SelectStmt) []string {
@@ -360,6 +361,9 @@ func (db *DB) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Publish before unlocking (LIFO defers) so the statement's effect —
+	// including a rollback — becomes the snapshot readers pin next.
+	defer t.heap.Publish()
 	schema := t.heap.Schema()
 
 	// Map the column list to schema positions.
@@ -451,6 +455,7 @@ func (db *DB) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer t.heap.Publish()
 	schema := t.heap.Schema()
 	layout := tableLayout(st.Table, schema)
 
@@ -542,6 +547,7 @@ func (db *DB) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer t.heap.Publish()
 	layout := tableLayout(st.Table, t.heap.Schema())
 
 	var filter exec.Expr
@@ -661,18 +667,20 @@ func (db *DB) execAlterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
 			return nil, fmt.Errorf("rdbms: cannot add NOT NULL column %q to non-empty table", col.Name)
 		}
 		col.NotNull = st.AddColumn.NotNull
-		if err := t.heap.Schema().AddColumn(col); err != nil {
+		// AlterAddColumn swaps in a schema clone rather than mutating the
+		// one pinned snapshots share (storage invariant 3).
+		if err := t.heap.AlterAddColumn(col); err != nil {
 			return nil, err
 		}
 		if err := t.heap.AddColumnData(); err != nil {
 			return nil, err
 		}
 	case st.DropColumn != "":
-		idx := t.heap.Schema().ColumnIndex(st.DropColumn)
-		if idx < 0 {
+		if t.heap.Schema().ColumnIndex(st.DropColumn) < 0 {
 			return nil, fmt.Errorf("rdbms: column %q of relation %q does not exist", st.DropColumn, st.Table)
 		}
-		if err := t.heap.Schema().DropColumn(st.DropColumn); err != nil {
+		idx, err := t.heap.AlterDropColumn(st.DropColumn)
+		if err != nil {
 			return nil, err
 		}
 		if err := t.heap.DropColumnData(idx); err != nil {
@@ -680,8 +688,11 @@ func (db *DB) execAlterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
 		}
 	}
 	// Schema changed; statistics are stale.
-	t.stats = nil
+	t.stats.Store(nil)
+	// Epoch before publish (storage invariant 4): any cached plan that
+	// manages to pin the post-ALTER snapshot must fail its epoch re-check.
 	db.BumpCatalogEpoch()
+	t.heap.Publish()
 	return &Result{}, nil
 }
 
@@ -693,28 +704,32 @@ func (db *DB) execTruncate(st *sqlparse.TruncateStmt) (*Result, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.heap.Truncate()
-	t.stats = nil
+	t.stats.Store(nil)
 	db.BumpCatalogEpoch()
+	t.heap.Publish()
 	return &Result{}, nil
 }
 
 // Analyze recomputes optimizer statistics for a table (the SQL ANALYZE).
+// The whole pass holds the write lock: Analyze rebuilds page summaries and
+// FreezeColdPages restripes pages, both of which install new page
+// versions. Readers are unaffected — they keep scanning the snapshot from
+// the previous publish until the new one lands.
 func (db *DB) Analyze(name string) error {
 	t, err := db.lookup(name)
 	if err != nil {
 		return err
 	}
-	t.mu.RLock()
-	stats := storage.Analyze(t.heap)
-	t.mu.RUnlock()
 	t.mu.Lock()
-	t.stats = stats
+	t.stats.Store(storage.Analyze(t.heap))
 	// ANALYZE doubles as the compaction trigger: cold full pages freeze
 	// into column-striped segments (no-op without a segmenter).
 	t.heap.FreezeColdPages()
-	t.mu.Unlock()
-	// New statistics can change plan choice; cached plans are stale.
+	// New statistics can change plan choice; cached plans are stale. Bump
+	// before publishing (storage invariant 4).
 	db.BumpCatalogEpoch()
+	t.heap.Publish()
+	t.mu.Unlock()
 	return nil
 }
 
@@ -729,6 +744,7 @@ func (db *DB) InsertRows(name string, rows []storage.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer t.heap.Publish()
 	for _, r := range rows {
 		if err := t.heap.Insert(r); err != nil {
 			return err
@@ -737,16 +753,15 @@ func (db *DB) InsertRows(name string, rows []storage.Row) error {
 	return nil
 }
 
-// ScanTable iterates the table's live rows under a read lock. fn must not
-// retain row slices; return false to stop.
+// ScanTable iterates the rows of the table's published snapshot — no lock,
+// so it never blocks behind a writer. fn must not retain row slices;
+// return false to stop.
 func (db *DB) ScanTable(name string, fn func(id storage.RowID, row storage.Row) bool) error {
 	t, err := db.lookup(name)
 	if err != nil {
 		return err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	t.heap.Scan(fn)
+	t.heap.CurrentSnapshot().Scan(fn)
 	return nil
 }
 
@@ -759,20 +774,19 @@ func (db *DB) UpdateRow(name string, id storage.RowID, row storage.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer t.heap.Publish()
 	_, err = t.heap.Update(id, row)
 	return err
 }
 
-// GetRow fetches one row by ID under a read lock; the returned row is a
-// copy.
+// GetRow fetches one row by ID from the published snapshot; the returned
+// row is a copy.
 func (db *DB) GetRow(name string, id storage.RowID) (storage.Row, bool, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return nil, false, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	row, ok := t.heap.Get(id)
+	row, ok := t.heap.CurrentSnapshot().Get(id)
 	if !ok {
 		return nil, false, nil
 	}
@@ -791,37 +805,32 @@ func (db *DB) TableNames() []string {
 	return out
 }
 
-// TableSizeBytes reports the estimated stored size of a table.
+// TableSizeBytes reports the estimated stored size of a table's published
+// snapshot.
 func (db *DB) TableSizeBytes(name string) (int64, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.heap.SizeBytes(), nil
+	return t.heap.CurrentSnapshot().SizeBytes(), nil
 }
 
-// TableRowCount reports the live row count of a table.
+// TableRowCount reports the row count of a table's published snapshot.
 func (db *DB) TableRowCount(name string) (int64, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.heap.NumRows(), nil
+	return t.heap.CurrentSnapshot().NumRows(), nil
 }
 
-// TableSchema returns a copy of the table's schema.
+// TableSchema returns a copy of the table's published schema.
 func (db *DB) TableSchema(name string) (*storage.Schema, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.heap.Schema().Clone(), nil
+	return t.heap.CurrentSnapshot().Schema().Clone(), nil
 }
 
 // TotalSizeBytes sums all table sizes (the database footprint for Table 3).
@@ -830,9 +839,7 @@ func (db *DB) TotalSizeBytes() int64 {
 	defer db.mu.RUnlock()
 	var total int64
 	for _, t := range db.tables {
-		t.mu.RLock()
-		total += t.heap.SizeBytes()
-		t.mu.RUnlock()
+		total += t.heap.CurrentSnapshot().SizeBytes()
 	}
 	return total
 }
@@ -844,9 +851,27 @@ func (db *DB) FrozenPages() int64 {
 	defer db.mu.RUnlock()
 	var total int64
 	for _, t := range db.tables {
-		t.mu.RLock()
-		total += int64(t.heap.NumFrozenPages())
-		t.mu.RUnlock()
+		total += int64(t.heap.CurrentSnapshot().NumFrozenPages())
 	}
 	return total
+}
+
+// ---------- Session & snapshot telemetry ----------
+
+// SessionEnter and SessionExit track logical client sessions (sinewd's
+// session pool). The gauge feeds sinew_stats() and /metrics.
+func (db *DB) SessionEnter() { db.sessions.Add(1) }
+
+// SessionExit decrements the logical session gauge.
+func (db *DB) SessionExit() { db.sessions.Add(-1) }
+
+// SessionsActive reports the current logical session count.
+func (db *DB) SessionsActive() int64 { return db.sessions.Load() }
+
+// SnapshotStats reports the MVCC counters: snapshots currently pinned by
+// in-flight statements, snapshot publishes to date (the global epoch
+// clock), and pages cloned by copy-on-write. These survive Pager.Reset —
+// they describe lifetime concurrency behavior, not one query.
+func (db *DB) SnapshotStats() (open, epoch, cow int64) {
+	return db.pager.SnapshotStats()
 }

@@ -448,26 +448,27 @@ type BatchScanIter struct {
 	selBatches int64
 }
 
-// NewBatchScan returns a batch scan over all pages of h.
-func NewBatchScan(h *storage.Heap, filter Expr, size int) *BatchScanIter {
-	return NewBatchScanRange(h, filter, size, 0, h.NumPages())
+// NewBatchScan returns a batch scan over all pages of v.
+func NewBatchScan(v storage.ReadView, filter Expr, size int) *BatchScanIter {
+	return NewBatchScanRange(v, filter, size, 0, v.NumPages())
 }
 
-// NewBatchScanRange returns a batch scan over pages [start, end) of h —
-// one partition of a parallel scan.
-func NewBatchScanRange(h *storage.Heap, filter Expr, size, start, end int) *BatchScanIter {
+// NewBatchScanRange returns a batch scan over pages [start, end) of v —
+// one partition of a parallel scan. Stat flushes on Close key on the
+// view's owner heap, so snapshot scans account like live scans.
+func NewBatchScanRange(v storage.ReadView, filter Expr, size, start, end int) *BatchScanIter {
 	if size <= 0 {
 		size = DefaultBatchSize
 	}
 	return &BatchScanIter{
 		Filter: filter,
-		chunk:  h.IterateRange(start, end),
-		width:  len(h.Schema().Cols),
+		chunk:  v.IterateRange(start, end),
+		width:  len(v.Schema().Cols),
 		size:   size,
-		nrows:  h.NumRows(),
+		nrows:  v.NumRows(),
 		reuse:  true,
 		ctx:    NewEvalCtx(),
-		heap:   h,
+		heap:   v.Owner(),
 	}
 }
 

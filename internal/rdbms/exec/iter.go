@@ -66,13 +66,13 @@ func Collect(it Iterator) ([]storage.Row, error) {
 // limit < 0 means no limit, and chunk is the scan batch size. The heap
 // iterator is closed (flushing pager accounting) even on an early LIMIT
 // stop.
-func CollectProjectedScan(h *storage.Heap, cols []int, limit int64, chunk int) ([]storage.Row, error) {
+func CollectProjectedScan(v storage.ReadView, cols []int, limit int64, chunk int) ([]storage.Row, error) {
 	if chunk <= 0 {
 		chunk = DefaultBatchSize
 	}
-	it := h.IterateRange(0, h.NumPages())
+	it := v.IterateRange(0, v.NumPages())
 	defer it.Close()
-	total := h.NumRows()
+	total := v.NumRows()
 	if limit >= 0 && limit < total {
 		total = limit
 	}
@@ -213,9 +213,9 @@ type ScanIter struct {
 	nrows  int64
 }
 
-// NewScan returns a scan over h with an optional filter.
-func NewScan(h *storage.Heap, filter Expr) *ScanIter {
-	return &ScanIter{it: h.Iterate(), Filter: filter, nrows: h.NumRows()}
+// NewScan returns a scan over v with an optional filter.
+func NewScan(v storage.ReadView, filter Expr) *ScanIter {
+	return &ScanIter{it: v.Iterate(), Filter: filter, nrows: v.NumRows()}
 }
 
 // Next implements Iterator.
@@ -257,6 +257,8 @@ type RowIDScanIter struct {
 }
 
 // NewRowIDScan returns a scan that also reports row IDs.
+//
+//lint:ignore sinew/snapshot-pin DML runs under the table write lock and must scan the live heap it is about to mutate, not a stale snapshot
 func NewRowIDScan(h *storage.Heap, filter Expr) *RowIDScanIter {
 	return &RowIDScanIter{it: h.Iterate(), Filter: filter}
 }

@@ -32,25 +32,25 @@ type parallelItem struct {
 	pool *workerBatchPool
 }
 
-// NewParallelScan starts workers scanning h's partitions concurrently.
+// NewParallelScan starts workers scanning v's partitions concurrently.
 // workers is clamped to [1, NumPages]; with one worker it degenerates to a
 // serial BatchScanIter wrapped in the merge loop.
-func NewParallelScan(h *storage.Heap, filter Expr, size, workers int) *ParallelScanIter {
-	return NewParallelScanCols(h, filter, size, workers, nil)
+func NewParallelScan(v storage.ReadView, filter Expr, size, workers int) *ParallelScanIter {
+	return NewParallelScanCols(v, filter, size, workers, nil)
 }
 
 // NewParallelScanCols is NewParallelScan with scan column pruning: cols
 // (when non-nil) lists the only column indices the partition scans
 // materialize. It must be fixed at construction because workers start
 // reading immediately.
-func NewParallelScanCols(h *storage.Heap, filter Expr, size, workers int, cols []int) *ParallelScanIter {
-	return NewParallelScanColsSkip(h, filter, size, workers, cols, nil)
+func NewParallelScanCols(v storage.ReadView, filter Expr, size, workers int, cols []int) *ParallelScanIter {
+	return NewParallelScanColsSkip(v, filter, size, workers, cols, nil)
 }
 
 // NewParallelScanColsSkip is NewParallelScanCols with a page-skip
 // predicate installed on every partition scan before workers start.
-func NewParallelScanColsSkip(h *storage.Heap, filter Expr, size, workers int, cols []int, skip func(*storage.PageSummary) bool) *ParallelScanIter {
-	return NewParallelScanStriped(h, filter, size, workers, cols, skip, false, nil)
+func NewParallelScanColsSkip(v storage.ReadView, filter Expr, size, workers int, cols []int, skip func(*storage.PageSummary) bool) *ParallelScanIter {
+	return NewParallelScanStriped(v, filter, size, workers, cols, skip, false, nil)
 }
 
 // NewParallelScanStriped is NewParallelScanColsSkip with striped page mode
@@ -60,26 +60,26 @@ func NewParallelScanColsSkip(h *storage.Heap, filter Expr, size, workers int, co
 // Because partition batches cross the merge channel, the scans run in
 // no-reuse mode — frozen-page shells and selection buffers are allocated
 // fresh per page.
-func NewParallelScanStriped(h *storage.Heap, filter Expr, size, workers int, cols []int, skip func(*storage.PageSummary) bool, striped bool, sf *SelFilter) *ParallelScanIter {
-	ranges := h.Partitions(workers)
+func NewParallelScanStriped(v storage.ReadView, filter Expr, size, workers int, cols []int, skip func(*storage.PageSummary) bool, striped bool, sf *SelFilter) *ParallelScanIter {
+	ranges := v.Partitions(workers)
 	if len(ranges) == 0 {
 		ranges = []storage.PageRange{{Start: 0, End: 0}}
 	}
 	if len(ranges) > 1 {
-		h.RecordParallelWorkers(len(ranges))
+		v.Owner().RecordParallelWorkers(len(ranges))
 	}
 	p := &ParallelScanIter{
 		parts: make([]chan parallelItem, len(ranges)),
 		stop:  make(chan struct{}),
 		scans: make([]*BatchScanIter, len(ranges)),
-		nrows: h.NumRows(),
+		nrows: v.NumRows(),
 		exact: filter == nil,
 	}
 	for i, r := range ranges {
 		// Cap 2 keeps a worker one batch ahead of the merger without
 		// unbounded buffering.
 		p.parts[i] = make(chan parallelItem, 2)
-		s := NewBatchScanRange(h, filter, size, r.Start, r.End)
+		s := NewBatchScanRange(v, filter, size, r.Start, r.End)
 		s.NeedCols = cols
 		if skip != nil {
 			s.SetPageSkip(skip)

@@ -19,9 +19,11 @@ import (
 // Catalog is what the planner needs to know about tables; the rdbms layer
 // implements it.
 type Catalog interface {
-	// Table resolves a table name to its heap and latest ANALYZE statistics
+	// Table resolves a table name to a readable view of its storage (the
+	// live heap for single-threaded embedded callers, an epoch-pinned
+	// snapshot under concurrent sessions) and the latest ANALYZE statistics
 	// (stats may be nil if the table was never analyzed).
-	Table(name string) (*storage.Heap, *storage.TableStats, error)
+	Table(name string) (storage.ReadView, *storage.TableStats, error)
 }
 
 // LayoutCol is one column of an intermediate row layout during planning.

@@ -18,8 +18,11 @@ type Node interface {
 	Rows() float64
 	// Cost is the estimated total cost (inputs included), in abstract units.
 	Cost() float64
-	// Open builds the runtime iterator.
-	Open() exec.Iterator
+	// Open builds the runtime iterator. ec, when non-nil, is the statement's
+	// execution context: scans resolve their heap through it so the whole
+	// statement reads one pinned snapshot per table. A nil ec reads live
+	// heaps (single-threaded embedded callers).
+	Open(ec *exec.ExecCtx) exec.Iterator
 	// Label is the EXPLAIN head line (without rows/cost annotations).
 	Label() string
 	// Details are extra EXPLAIN lines (Filter:, Sort Key:, ...).
@@ -43,19 +46,29 @@ func (b *baseNode) Cost() float64   { return b.cost }
 // operator. OpenBatch reports ok=false when the node was not planned in
 // batch mode, in which case callers fall back to Open.
 type batchNode interface {
-	OpenBatch() (it exec.BatchIterator, ok bool)
+	OpenBatch(ec *exec.ExecCtx) (it exec.BatchIterator, ok bool)
 }
 
 // openBatch opens child as a batch stream: natively when the child was
 // planned in batch mode, otherwise through a RowToBatch adapter (the
 // boundary above Sort/joins).
-func openBatch(child Node, size int) exec.BatchIterator {
+func openBatch(ec *exec.ExecCtx, child Node, size int) exec.BatchIterator {
 	if bn, ok := child.(batchNode); ok {
-		if it, native := bn.OpenBatch(); native {
+		if it, native := bn.OpenBatch(ec); native {
 			return it
 		}
 	}
-	return &exec.RowToBatch{In: child.Open(), Size: size}
+	return &exec.RowToBatch{In: child.Open(ec), Size: size}
+}
+
+// execView resolves a scan's exec-time read view: a statement context pins
+// (or reuses) the owner heap's latest snapshot; without one the plan-time
+// view is read directly.
+func execView(ec *exec.ExecCtx, v storage.ReadView) storage.ReadView {
+	if ec == nil {
+		return v
+	}
+	return ec.View(v.Owner())
 }
 
 // batchAnnotation is the EXPLAIN suffix for batch-mode operators; nodes
@@ -66,10 +79,14 @@ type batchAnnotated interface {
 
 // ---------- Scan ----------
 
-// ScanNode is a sequential scan with pushed-down filter conjuncts.
+// ScanNode is a sequential scan with pushed-down filter conjuncts. Heap is
+// the plan-time read view used for costing and plan shaping; Open re-binds
+// the scan to the statement's pinned snapshot through its ExecCtx (PlanSelect
+// resets the field to the owner heap after planning, so cached plans do not
+// retain the planning-time snapshot's pages).
 type ScanNode struct {
 	baseNode
-	Heap      *storage.Heap
+	Heap      storage.ReadView
 	TableName string
 	AliasName string
 	Preds     []exec.Expr
@@ -134,29 +151,30 @@ func (s *ScanNode) Details() []string {
 func (s *ScanNode) Children() []Node { return nil }
 
 // Open implements Node.
-func (s *ScanNode) Open() exec.Iterator {
-	if it, ok := s.OpenBatch(); ok {
+func (s *ScanNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := s.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
-	return exec.NewScan(s.Heap, conjoinExec(s.Preds))
+	return exec.NewScan(execView(ec, s.Heap), conjoinExec(s.Preds))
 }
 
 // OpenBatch implements batchNode.
-func (s *ScanNode) OpenBatch() (exec.BatchIterator, bool) {
+func (s *ScanNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !s.Batch {
 		return nil, false
 	}
+	v := execView(ec, s.Heap)
 	var skip func(*storage.PageSummary) bool
 	if s.Skip != nil {
 		skip = s.Skip()
 	}
 	if s.Workers > 1 {
 		if s.Striped {
-			s.Heap.RecordParallelStriped(1)
+			v.Owner().RecordParallelStriped(1)
 		}
-		return exec.NewParallelScanStriped(s.Heap, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols, skip, s.Striped, s.SelFilter), true
+		return exec.NewParallelScanStriped(v, conjoinExec(s.Preds), s.BatchSize, s.Workers, s.NeedCols, skip, s.Striped, s.SelFilter), true
 	}
-	it := exec.NewBatchScan(s.Heap, conjoinExec(s.Preds), s.BatchSize)
+	it := exec.NewBatchScan(v, conjoinExec(s.Preds), s.BatchSize)
 	it.NeedCols = s.NeedCols
 	if skip != nil {
 		it.SetPageSkip(skip)
@@ -213,19 +231,19 @@ func (f *FilterNode) Details() []string { return []string{"Filter: " + predsDisp
 func (f *FilterNode) Children() []Node { return []Node{f.Child} }
 
 // Open implements Node.
-func (f *FilterNode) Open() exec.Iterator {
-	if it, ok := f.OpenBatch(); ok {
+func (f *FilterNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := f.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
-	return &exec.FilterIter{In: f.Child.Open(), Pred: conjoinExec(f.Preds)}
+	return &exec.FilterIter{In: f.Child.Open(ec), Pred: conjoinExec(f.Preds)}
 }
 
 // OpenBatch implements batchNode.
-func (f *FilterNode) OpenBatch() (exec.BatchIterator, bool) {
+func (f *FilterNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !f.Batch {
 		return nil, false
 	}
-	return &exec.BatchFilterIter{In: openBatch(f.Child, f.BatchSize), Pred: conjoinExec(f.Preds)}, true
+	return &exec.BatchFilterIter{In: openBatch(ec, f.Child, f.BatchSize), Pred: conjoinExec(f.Preds)}, true
 }
 
 func (f *FilterNode) batchAnnotation() string {
@@ -262,19 +280,19 @@ func (p *ProjectNode) Details() []string {
 func (p *ProjectNode) Children() []Node { return []Node{p.Child} }
 
 // Open implements Node.
-func (p *ProjectNode) Open() exec.Iterator {
-	if it, ok := p.OpenBatch(); ok {
+func (p *ProjectNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := p.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
-	return &exec.ProjectIter{In: p.Child.Open(), Exprs: p.Exprs}
+	return &exec.ProjectIter{In: p.Child.Open(ec), Exprs: p.Exprs}
 }
 
 // OpenBatch implements batchNode.
-func (p *ProjectNode) OpenBatch() (exec.BatchIterator, bool) {
+func (p *ProjectNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !p.Batch {
 		return nil, false
 	}
-	return &exec.BatchProjectIter{In: openBatch(p.Child, p.BatchSize), Exprs: p.Exprs}, true
+	return &exec.BatchProjectIter{In: openBatch(ec, p.Child, p.BatchSize), Exprs: p.Exprs}, true
 }
 
 func (p *ProjectNode) batchAnnotation() string {
@@ -328,14 +346,14 @@ func (m *MultiExtractNode) Details() []string {
 func (m *MultiExtractNode) Children() []Node { return []Node{m.Child} }
 
 // Open implements Node.
-func (m *MultiExtractNode) Open() exec.Iterator {
-	it, _ := m.OpenBatch()
+func (m *MultiExtractNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	it, _ := m.OpenBatch(ec)
 	return &exec.BatchToRow{In: it}
 }
 
 // OpenBatch implements batchNode. The kernel instance is built per Open so
 // each execution (and each goroutine) gets its own scratch state.
-func (m *MultiExtractNode) OpenBatch() (exec.BatchIterator, bool) {
+func (m *MultiExtractNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	kernel, err := m.Factory(m.Reqs)
 	if err != nil {
 		return &errBatchIter{err: err}, true
@@ -347,7 +365,7 @@ func (m *MultiExtractNode) OpenBatch() (exec.BatchIterator, bool) {
 		}
 	}
 	return &exec.BatchMultiExtractIter{
-		In:        openBatch(m.Child, m.BatchSize),
+		In:        openBatch(ec, m.Child, m.BatchSize),
 		DataIdx:   m.DataIdx,
 		Kernel:    kernel,
 		SegKernel: segKernel,
@@ -386,7 +404,7 @@ func sortKeyDisplay(keys []exec.SortKey) string {
 // batch sort / Top-N operator counters.
 func heapBelow(n Node) *storage.Heap {
 	if s, ok := n.(*ScanNode); ok {
-		return s.Heap
+		return s.Heap.Owner()
 	}
 	for _, c := range n.Children() {
 		if h := heapBelow(c); h != nil {
@@ -419,20 +437,20 @@ func (s *SortNode) Details() []string {
 func (s *SortNode) Children() []Node { return []Node{s.Child} }
 
 // Open implements Node.
-func (s *SortNode) Open() exec.Iterator {
-	if it, ok := s.OpenBatch(); ok {
+func (s *SortNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := s.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
-	return &exec.SortIter{In: s.Child.Open(), Keys: s.Keys}
+	return &exec.SortIter{In: s.Child.Open(ec), Keys: s.Keys}
 }
 
 // OpenBatch implements batchNode.
-func (s *SortNode) OpenBatch() (exec.BatchIterator, bool) {
+func (s *SortNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !s.Batch {
 		return nil, false
 	}
 	return &exec.BatchSortIter{
-		In: openBatch(s.Child, s.BatchSize), Keys: s.Keys,
+		In: openBatch(ec, s.Child, s.BatchSize), Keys: s.Keys,
 		Size: s.BatchSize, Heap: heapBelow(s.Child),
 	}, true
 }
@@ -472,20 +490,20 @@ func (t *TopNNode) Children() []Node { return []Node{t.Child} }
 
 // Open implements Node. The row fallback is the exact pre-rewrite
 // pipeline: a full sort truncated by LIMIT.
-func (t *TopNNode) Open() exec.Iterator {
-	if it, ok := t.OpenBatch(); ok {
+func (t *TopNNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := t.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
-	return &exec.LimitIter{In: &exec.SortIter{In: t.Child.Open(), Keys: t.Keys}, N: t.N}
+	return &exec.LimitIter{In: &exec.SortIter{In: t.Child.Open(ec), Keys: t.Keys}, N: t.N}
 }
 
 // OpenBatch implements batchNode.
-func (t *TopNNode) OpenBatch() (exec.BatchIterator, bool) {
+func (t *TopNNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !t.Batch {
 		return nil, false
 	}
 	return &exec.BatchTopNIter{
-		In: openBatch(t.Child, t.BatchSize), Keys: t.Keys, N: t.N,
+		In: openBatch(ec, t.Child, t.BatchSize), Keys: t.Keys, N: t.N,
 		Size: t.BatchSize, Heap: heapBelow(t.Child),
 	}, true
 }
@@ -514,7 +532,9 @@ func (u *UniqueNode) Details() []string { return nil }
 func (u *UniqueNode) Children() []Node { return []Node{u.Child} }
 
 // Open implements Node.
-func (u *UniqueNode) Open() exec.Iterator { return &exec.UniqueIter{In: u.Child.Open()} }
+func (u *UniqueNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	return &exec.UniqueIter{In: u.Child.Open(ec)}
+}
 
 // ---------- Aggregation ----------
 
@@ -548,20 +568,20 @@ func (h *HashAggNode) Details() []string {
 func (h *HashAggNode) Children() []Node { return []Node{h.Child} }
 
 // Open implements Node.
-func (h *HashAggNode) Open() exec.Iterator {
-	if it, ok := h.OpenBatch(); ok {
+func (h *HashAggNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := h.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
-	return &exec.HashAggIter{In: h.Child.Open(), GroupBy: h.GroupBy, Aggs: h.Aggs}
+	return &exec.HashAggIter{In: h.Child.Open(ec), GroupBy: h.GroupBy, Aggs: h.Aggs}
 }
 
 // OpenBatch implements batchNode.
-func (h *HashAggNode) OpenBatch() (exec.BatchIterator, bool) {
+func (h *HashAggNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !h.Batch {
 		return nil, false
 	}
 	return &exec.BatchHashAggIter{
-		In: openBatch(h.Child, h.BatchSize), GroupBy: h.GroupBy, Aggs: h.Aggs, Size: h.BatchSize,
+		In: openBatch(ec, h.Child, h.BatchSize), GroupBy: h.GroupBy, Aggs: h.Aggs, Size: h.BatchSize,
 	}, true
 }
 
@@ -597,8 +617,8 @@ func (g *GroupAggNode) Details() []string {
 func (g *GroupAggNode) Children() []Node { return []Node{g.Child} }
 
 // Open implements Node.
-func (g *GroupAggNode) Open() exec.Iterator {
-	return &exec.GroupAggIter{In: g.Child.Open(), GroupBy: g.GroupBy, Aggs: g.Aggs}
+func (g *GroupAggNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	return &exec.GroupAggIter{In: g.Child.Open(ec), GroupBy: g.GroupBy, Aggs: g.Aggs}
 }
 
 // ---------- Joins ----------
@@ -637,12 +657,12 @@ func (j *HashJoinNode) Details() []string {
 func (j *HashJoinNode) Children() []Node { return []Node{j.Probe, j.Build} }
 
 // Open implements Node.
-func (j *HashJoinNode) Open() exec.Iterator {
-	if it, ok := j.OpenBatch(); ok {
+func (j *HashJoinNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := j.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
 	return &exec.HashJoinIter{
-		Probe: j.Probe.Open(), Build: j.Build.Open(),
+		Probe: j.Probe.Open(ec), Build: j.Build.Open(ec),
 		ProbeKeys: j.ProbeKeys, BuildKeys: j.BuildKeys,
 		Residual: conjoinExec(j.Residual),
 	}
@@ -650,12 +670,12 @@ func (j *HashJoinNode) Open() exec.Iterator {
 
 // OpenBatch implements batchNode: both sides are consumed batch-at-a-time
 // and the build side lives in a columnar table.
-func (j *HashJoinNode) OpenBatch() (exec.BatchIterator, bool) {
+func (j *HashJoinNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !j.Batch {
 		return nil, false
 	}
 	return &exec.BatchHashJoinIter{
-		Probe: openBatch(j.Probe, j.BatchSize), Build: openBatch(j.Build, j.BatchSize),
+		Probe: openBatch(ec, j.Probe, j.BatchSize), Build: openBatch(ec, j.Build, j.BatchSize),
 		ProbeKeys: j.ProbeKeys, BuildKeys: j.BuildKeys,
 		Residual:   conjoinExec(j.Residual),
 		BuildWidth: len(j.Build.Layout().Cols),
@@ -701,9 +721,9 @@ func (j *MergeJoinNode) Details() []string {
 func (j *MergeJoinNode) Children() []Node { return []Node{j.Left, j.Right} }
 
 // Open implements Node.
-func (j *MergeJoinNode) Open() exec.Iterator {
+func (j *MergeJoinNode) Open(ec *exec.ExecCtx) exec.Iterator {
 	return &exec.MergeJoinIter{
-		Left: j.Left.Open(), Right: j.Right.Open(),
+		Left: j.Left.Open(ec), Right: j.Right.Open(ec),
 		LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
 		Residual: conjoinExec(j.Residual),
 	}
@@ -732,8 +752,8 @@ func (j *NestedLoopNode) Details() []string {
 func (j *NestedLoopNode) Children() []Node { return []Node{j.Outer, j.Inner} }
 
 // Open implements Node.
-func (j *NestedLoopNode) Open() exec.Iterator {
-	return &exec.NestedLoopIter{Outer: j.Outer.Open(), Inner: j.Inner.Open(), Cond: conjoinExec(j.Cond)}
+func (j *NestedLoopNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	return &exec.NestedLoopIter{Outer: j.Outer.Open(ec), Inner: j.Inner.Open(ec), Cond: conjoinExec(j.Cond)}
 }
 
 // ---------- Limit ----------
@@ -757,19 +777,19 @@ func (l *LimitNode) Details() []string { return nil }
 func (l *LimitNode) Children() []Node { return []Node{l.Child} }
 
 // Open implements Node.
-func (l *LimitNode) Open() exec.Iterator {
-	if it, ok := l.OpenBatch(); ok {
+func (l *LimitNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	if it, ok := l.OpenBatch(ec); ok {
 		return &exec.BatchToRow{In: it}
 	}
-	return &exec.LimitIter{In: l.Child.Open(), N: l.N}
+	return &exec.LimitIter{In: l.Child.Open(ec), N: l.N}
 }
 
 // OpenBatch implements batchNode.
-func (l *LimitNode) OpenBatch() (exec.BatchIterator, bool) {
+func (l *LimitNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
 	if !l.Batch {
 		return nil, false
 	}
-	return &exec.BatchLimitIter{In: openBatch(l.Child, l.BatchSize), N: l.N}, true
+	return &exec.BatchLimitIter{In: openBatch(ec, l.Child, l.BatchSize), N: l.N}, true
 }
 
 func (l *LimitNode) batchAnnotation() string {

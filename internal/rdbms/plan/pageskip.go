@@ -95,7 +95,7 @@ func (p *Planner) deriveScanSkip(s *ScanNode, extra []exec.Expr) {
 	if len(conds) == 0 {
 		return
 	}
-	s.Skip = makeSkip(conds, resolver, s.Heap)
+	s.Skip = makeSkip(conds, resolver, s.Heap.Owner())
 	s.SkipConds = len(conds)
 }
 

@@ -84,17 +84,19 @@ func (g *GatherNode) batchAnnotation() string {
 	return " (batch, parallel)"
 }
 
-// buildPartition constructs one worker's operator chain over a page range.
-// It runs on the worker goroutine, so per-worker scratch (scan eval
-// contexts, fused extraction kernels) is instantiated here.
-func (g *GatherNode) buildPartition(r storage.PageRange) (exec.BatchIterator, error) {
+// buildPartition constructs one worker's operator chain over a page range
+// of view v (the statement's pinned snapshot — every partition scans the
+// same frozen page table Partitions was computed from). It runs on the
+// worker goroutine, so per-worker scratch (scan eval contexts, fused
+// extraction kernels) is instantiated here.
+func (g *GatherNode) buildPartition(v storage.ReadView, r storage.PageRange) (exec.BatchIterator, error) {
 	// Predicates stay pushed into the partition scans; a striped partition
 	// evaluates them in-scan via its SelFilter (the compiled filter is
 	// immutable and shared, per-partition kernel/selection state is
 	// instantiated lazily on this worker goroutine). Worker-local batch
 	// pools in the mergers make selection-carrying and filtered batches
 	// safe to hand across the gather channel.
-	scan := exec.NewBatchScanRange(g.Scan.Heap, conjoinExec(g.Scan.Preds), g.Scan.BatchSize, r.Start, r.End)
+	scan := exec.NewBatchScanRange(v, conjoinExec(g.Scan.Preds), g.Scan.BatchSize, r.Start, r.End)
 	scan.NeedCols = g.Scan.NeedCols
 	if g.Scan.Skip != nil {
 		scan.SetPageSkip(g.Scan.Skip())
@@ -136,33 +138,40 @@ func (g *GatherNode) buildPartition(r storage.PageRange) (exec.BatchIterator, er
 	case g.TopN != nil:
 		cur = &exec.BatchTopNIter{
 			In: cur, Keys: g.TopN.Keys, N: g.TopN.N, Size: g.TopN.BatchSize,
-			AppendKeys: true, Heap: g.Scan.Heap,
+			AppendKeys: true, Heap: v.Owner(),
 		}
 	case g.Sort != nil:
 		cur = &exec.BatchSortIter{
 			In: cur, Keys: g.Sort.Keys, Size: g.Sort.BatchSize,
-			AppendKeys: true, Heap: g.Scan.Heap,
+			AppendKeys: true, Heap: v.Owner(),
 		}
 	}
 	return cur, nil
 }
 
-// OpenBatch implements batchNode.
-func (g *GatherNode) OpenBatch() (exec.BatchIterator, bool) {
-	parts := g.Scan.Heap.Partitions(g.Workers)
+// OpenBatch implements batchNode. The view is resolved once and bound into
+// every partition builder, so all workers scan the page table the
+// partitions were computed from.
+func (g *GatherNode) OpenBatch(ec *exec.ExecCtx) (exec.BatchIterator, bool) {
+	v := execView(ec, g.Scan.Heap)
+	owner := v.Owner()
+	parts := v.Partitions(g.Workers)
 	if len(parts) > 1 {
-		g.Scan.Heap.RecordParallelWorkers(len(parts))
+		owner.RecordParallelWorkers(len(parts))
 		if g.Scan.Striped {
-			g.Scan.Heap.RecordParallelStriped(1)
+			owner.RecordParallelStriped(1)
 		}
+	}
+	build := func(r storage.PageRange) (exec.BatchIterator, error) {
+		return g.buildPartition(v, r)
 	}
 	switch {
 	case g.Agg != nil:
-		return exec.NewParallelHashAgg(parts, g.buildPartition, g.Agg.GroupBy, g.Agg.Aggs, false, g.Agg.BatchSize), true
+		return exec.NewParallelHashAgg(parts, build, g.Agg.GroupBy, g.Agg.Aggs, false, g.Agg.BatchSize), true
 	case g.Join != nil:
 		outWidth := len(g.Join.Layout().Cols)
 		buildWidth := len(g.Join.Build.Layout().Cols)
-		return exec.NewParallelHashJoin(parts, g.buildPartition, g.Join.Build.Open(),
+		return exec.NewParallelHashJoin(parts, build, g.Join.Build.Open(ec),
 			g.Join.ProbeKeys, g.Join.BuildKeys, conjoinExec(g.Join.Residual),
 			g.Scan.BatchSize, outWidth, buildWidth), true
 	case g.Sort != nil || g.TopN != nil:
@@ -172,16 +181,16 @@ func (g *GatherNode) OpenBatch() (exec.BatchIterator, bool) {
 		} else {
 			keys, size = g.Sort.Keys, g.Sort.BatchSize
 		}
-		g.Scan.Heap.RecordSortedMergeParts(int64(len(parts)))
-		return exec.NewParallelSortedMerge(parts, g.buildPartition, keys, limit, size), true
+		owner.RecordSortedMergeParts(int64(len(parts)))
+		return exec.NewParallelSortedMerge(parts, build, keys, limit, size), true
 	default:
-		return exec.NewParallelPipeline(parts, g.buildPartition), true
+		return exec.NewParallelPipeline(parts, build), true
 	}
 }
 
 // Open implements Node.
-func (g *GatherNode) Open() exec.Iterator {
-	it, _ := g.OpenBatch()
+func (g *GatherNode) Open(ec *exec.ExecCtx) exec.Iterator {
+	it, _ := g.OpenBatch(ec)
 	return &exec.BatchToRow{In: it}
 }
 
@@ -189,7 +198,7 @@ func (g *GatherNode) Open() exec.Iterator {
 // worker per ParallelScanMinPages pages, bounded by GOMAXPROCS and by the
 // max_parallel_workers session setting (0 = GOMAXPROCS default, 1 = force
 // serial).
-func (p *Planner) pipelineWorkers(h *storage.Heap) int {
+func (p *Planner) pipelineWorkers(h storage.ReadView) int {
 	if p.Cfg == nil || !p.Cfg.EnableBatch {
 		return 1
 	}

@@ -17,7 +17,7 @@ type memCatalog struct {
 	stats map[string]*storage.TableStats
 }
 
-func (m *memCatalog) Table(name string) (*storage.Heap, *storage.TableStats, error) {
+func (m *memCatalog) Table(name string) (storage.ReadView, *storage.TableStats, error) {
 	h, ok := m.heaps[name]
 	if !ok {
 		return nil, nil, fmt.Errorf("no table %q", name)

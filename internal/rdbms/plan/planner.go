@@ -35,18 +35,32 @@ type SelectPlan struct {
 // Explain renders the plan tree.
 func (sp *SelectPlan) Explain() string { return Explain(sp.Root) }
 
-// Open instantiates the executor.
-func (sp *SelectPlan) Open() exec.Iterator { return sp.Root.Open() }
+// Open instantiates the executor against live heaps (embedded callers
+// with no concurrent writers). Concurrent sessions use OpenCtx.
+func (sp *SelectPlan) Open() exec.Iterator { return sp.Root.Open(nil) }
+
+// OpenCtx instantiates the executor with a statement execution context:
+// every scan resolves its heap to the context's pinned snapshot.
+func (sp *SelectPlan) OpenCtx(ec *exec.ExecCtx) exec.Iterator { return sp.Root.Open(ec) }
 
 // Collect runs the plan to a fully materialized result. The common
 // projection-over-scan shape takes a fused collector that materializes
 // each result row in a single copy out of the heap; every other plan runs
-// through the operator pipeline.
+// through the operator pipeline. Reads go to live heaps; concurrent
+// sessions use CollectCtx.
 func (sp *SelectPlan) Collect() ([]storage.Row, error) {
-	if rows, ok, err := fusedCollect(sp.Root); ok {
+	return sp.CollectCtx(nil)
+}
+
+// CollectCtx is Collect under a statement execution context: all scans of
+// the statement read the snapshots ec pins (one per heap), so the result
+// is consistent with a single storage epoch per table even while writers
+// publish new versions. The caller owns ec and releases it.
+func (sp *SelectPlan) CollectCtx(ec *exec.ExecCtx) ([]storage.Row, error) {
+	if rows, ok, err := fusedCollect(sp.Root, ec); ok {
 		return rows, err
 	}
-	return exec.Collect(sp.Open())
+	return exec.Collect(sp.Root.Open(ec))
 }
 
 // fusedCollect recognizes [Limit →] Project(plain columns) → filterless
@@ -54,7 +68,7 @@ func (sp *SelectPlan) Collect() ([]storage.Row, error) {
 // into column-major batches and the collector's re-transpose into result
 // rows collapse into one heap-to-result copy. Any other shape (filters,
 // expressions, aggregates, joins, sorts) reports ok=false.
-func fusedCollect(n Node) (rows []storage.Row, ok bool, err error) {
+func fusedCollect(n Node, ec *exec.ExecCtx) (rows []storage.Row, ok bool, err error) {
 	limit := int64(-1)
 	if l, lok := n.(*LimitNode); lok {
 		limit = l.N
@@ -68,7 +82,8 @@ func fusedCollect(n Node) (rows []storage.Row, ok bool, err error) {
 	if !sok || !s.Batch || len(s.Preds) > 0 {
 		return nil, false, nil
 	}
-	width := len(s.Heap.Schema().Cols)
+	v := execView(ec, s.Heap)
+	width := len(v.Schema().Cols)
 	cols := make([]int, len(p.Exprs))
 	for i, e := range p.Exprs {
 		ce, cok := e.(*exec.ColExpr)
@@ -77,7 +92,7 @@ func fusedCollect(n Node) (rows []storage.Row, ok bool, err error) {
 		}
 		cols[i] = ce.Idx
 	}
-	rows, err = exec.CollectProjectedScan(s.Heap, cols, limit, s.BatchSize)
+	rows, err = exec.CollectProjectedScan(v, cols, limit, s.BatchSize)
 	return rows, true, err
 }
 
@@ -131,11 +146,11 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 		rels = append(rels, &relation{layout: layout, tables: map[string]bool{eff: true}})
 		full.Cols = append(full.Cols, layout.Cols...)
 		full.Rows *= math.Max(layout.Rows, 1)
-		heapRef := heap
+		viewRef := heap
 		aliasName := eff
 		tableName := ref.Name
 		// Scan node built after local predicates are known; stash identity.
-		rels[len(rels)-1].node = &ScanNode{Heap: heapRef, TableName: tableName, AliasName: aliasName}
+		rels[len(rels)-1].node = &ScanNode{Heap: viewRef, TableName: tableName, AliasName: aliasName}
 	}
 
 	// ----- Normalize and expand -----
@@ -399,7 +414,25 @@ func (p *Planner) PlanSelect(stmt *sqlparse.SelectStmt) (*SelectPlan, error) {
 	pruneScanColumns(cur)
 	p.deriveSkips(cur)
 	cur = p.parallelize(cur)
+	releasePlanViews(cur)
 	return &SelectPlan{Root: cur, ColumnNames: names, ColumnTypes: outTypes}, nil
+}
+
+// releasePlanViews rebinds every scan to its owner heap once planning is
+// done: the plan-time view (an epoch-pinned snapshot under concurrent
+// catalogs) was only needed for race-free costing and plan shaping, and a
+// cached plan must not keep that snapshot's page versions alive. Execution
+// re-resolves views per statement through the ExecCtx.
+func releasePlanViews(n Node) {
+	if n == nil {
+		return
+	}
+	if s, ok := n.(*ScanNode); ok {
+		s.Heap = s.Heap.Owner()
+	}
+	for _, c := range n.Children() {
+		releasePlanViews(c)
+	}
 }
 
 // planNoFrom handles SELECT <exprs> with no FROM clause.
@@ -440,7 +473,7 @@ type valuesNode struct{ baseNode }
 func (v *valuesNode) Label() string     { return "Result" }
 func (v *valuesNode) Details() []string { return nil }
 func (v *valuesNode) Children() []Node  { return nil }
-func (v *valuesNode) Open() exec.Iterator {
+func (v *valuesNode) Open(*exec.ExecCtx) exec.Iterator {
 	return &exec.SliceIter{Rows: []storage.Row{{}}}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/sinewdata/sinew/internal/rdbms/exec"
 	"github.com/sinewdata/sinew/internal/rdbms/plan"
 	"github.com/sinewdata/sinew/internal/rdbms/sqlparse"
 )
@@ -147,7 +148,9 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 // max_parallel_workers / enable_page_skip / enable_striped force a re-plan
 // rather than replaying a plan built under different settings.
 func (db *DB) flagsKey() string {
-	cfg := db.cfg
+	db.cfgMu.Lock()
+	cfg := *db.cfg
+	db.cfgMu.Unlock()
 	// Hand-rolled to keep the hot path free of fmt.
 	b := make([]byte, 0, 40)
 	if cfg.EnableBatch {
@@ -195,21 +198,30 @@ func appendUint(b []byte, v uint64) []byte {
 func (db *DB) ExecSelectCached(sqlText string, build func() (*sqlparse.SelectStmt, error)) (*Result, error) {
 	key := planKey{sql: sqlText, flags: db.flagsKey(), epoch: db.epoch.Load()}
 	if ent, ok := db.plans.get(key); ok {
-		unlock, err := db.lockTables(ent.tables, false)
-		if err == nil {
-			// Re-check under the table locks: a DDL between the lookup and
-			// the lock acquisition would have bumped the epoch.
-			if db.epoch.Load() == key.epoch {
-				db.plans.hits.Add(1)
-				rows, cerr := ent.sp.Collect()
-				unlock()
-				if cerr != nil {
-					return nil, cerr
-				}
-				return &Result{Columns: ent.sp.ColumnNames, Types: ent.sp.ColumnTypes, Rows: rows}, nil
+		// Lock-free hit path: pin every referenced table's snapshot, then
+		// re-check the epoch. DDL bumps the epoch *before* publishing
+		// (storage invariant 4), so if the epoch still matches, none of the
+		// snapshots pinned above can postdate a conflicting DDL.
+		ec := exec.NewExecCtx()
+		pinned := true
+		for _, n := range ent.tables {
+			t, err := db.lookup(n)
+			if err != nil {
+				pinned = false
+				break
 			}
-			unlock()
+			ec.View(t.heap)
 		}
+		if pinned && db.epoch.Load() == key.epoch {
+			db.plans.hits.Add(1)
+			rows, cerr := ent.sp.CollectCtx(ec)
+			ec.Release()
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &Result{Columns: ent.sp.ColumnNames, Types: ent.sp.ColumnTypes, Rows: rows}, nil
+		}
+		ec.Release()
 		db.plans.remove(key)
 	}
 	db.plans.misses.Add(1)
@@ -218,23 +230,22 @@ func (db *DB) ExecSelectCached(sqlText string, build func() (*sqlparse.SelectStm
 	if err != nil {
 		return nil, err
 	}
-	names := fromTables(st)
-	unlock, err := db.lockTables(names, false)
-	if err != nil {
-		return nil, err
-	}
-	defer unlock()
+	ec := exec.NewExecCtx()
+	defer ec.Release()
+	// Sample the epoch before planning: if a DDL lands mid-plan it bumps
+	// the epoch, the entry below is cached under the stale key, and no
+	// future lookup ever replays it.
 	epoch := db.epoch.Load()
-	p := plan.NewPlanner(db, db.funcs, db.cfg)
+	p := plan.NewPlanner(snapshotCatalog{db: db, ec: ec}, db.funcs, db.planCfg())
 	sp, err := p.PlanSelect(st)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := sp.Collect()
+	rows, err := sp.CollectCtx(ec)
 	if err != nil {
 		return nil, err
 	}
 	db.plans.put(planKey{sql: sqlText, flags: key.flags, epoch: epoch},
-		&cachedPlan{sp: sp, tables: names})
+		&cachedPlan{sp: sp, tables: fromTables(st)})
 	return &Result{Columns: sp.ColumnNames, Types: sp.ColumnTypes, Rows: rows}, nil
 }

@@ -106,13 +106,22 @@ type page struct {
 	// frozen is the page's column-striped form (segment.go); while set,
 	// rows is nil and row-path readers materialize lazily from it.
 	frozen *FrozenPage
+	// shared marks the page as referenced by a published snapshot
+	// (snapshot.go). Once set, no other field may be written: mutators go
+	// through the writable*Page helpers, which install a fresh page struct
+	// in the live table instead. Only the publisher writes this flag (under
+	// the table write lock) and only mutators read it; snapshot readers
+	// never touch it.
+	shared bool
 }
 
 // Heap is a mutable row store for one table.
 //
-// Concurrency: Heap methods are not internally synchronized; the rdbms
-// layer serializes access with its table locks. The pager it reports to is
-// safe for concurrent use.
+// Concurrency: Heap mutators are not internally synchronized; the rdbms
+// layer serializes writers with its table locks. Readers do not need any
+// lock: they pin an immutable HeapSnapshot (snapshot.go) published by the
+// last committed statement. The pager it reports to is safe for
+// concurrent use.
 type Heap struct {
 	schema *Schema
 	pages  []*page
@@ -127,12 +136,19 @@ type Heap struct {
 	segmenter      ColumnSegmenter
 	freezeMinPages int
 	frozen         int
+	// epoch counts publishes; snap holds the latest published snapshot
+	// (snapshot.go).
+	epoch uint64
+	snap  snapPtr
 }
 
 // NewHeap creates an empty heap over schema, reporting I/O to pager
-// (which may be nil for untracked scratch tables).
+// (which may be nil for untracked scratch tables). The empty state is
+// published so CurrentSnapshot is never nil.
 func NewHeap(schema *Schema, pager *Pager) *Heap {
-	return &Heap{schema: schema, pager: pager}
+	h := &Heap{schema: schema, pager: pager}
+	h.Publish()
+	return h
 }
 
 // Schema returns the heap's schema (shared, not a copy).
@@ -147,7 +163,11 @@ func (h *Heap) SizeBytes() int64 { return h.bytes }
 // rowFootprint estimates the stored size of row under the current schema:
 // header + null bitmap + non-null datum payloads.
 func (h *Heap) rowFootprint(row Row) int64 {
-	n := int64(rowHeaderBytes) + int64((len(h.schema.Cols)+7)/8)
+	return rowFootprintIn(h.schema, row)
+}
+
+func rowFootprintIn(schema *Schema, row Row) int64 {
+	n := int64(rowHeaderBytes) + int64((len(schema.Cols)+7)/8)
 	for _, d := range row {
 		n += d.SizeBytes()
 	}
@@ -167,7 +187,7 @@ func (h *Heap) Insert(row Row) error {
 	}
 	var p *page
 	if n := len(h.pages); n > 0 && h.pages[n-1].frozen == nil && len(h.pages[n-1].rows) < rowsPerPage {
-		p = h.pages[n-1]
+		p = h.writableTailPage()
 	} else {
 		p = &page{rows: make([]Row, 0, rowsPerPage), sum: newPageSummary()}
 		h.pages = append(h.pages, p)
@@ -189,7 +209,7 @@ func (h *Heap) Insert(row Row) error {
 	// Load-time compaction: once the heap is past the size threshold,
 	// pages freeze as they fill (the write-hot tail stays row-form).
 	if len(p.rows) == rowsPerPage && h.segmenter != nil && len(h.pages) >= h.freezeMinPages {
-		h.freezePage(p)
+		h.freezePageAt(len(h.pages) - 1)
 	}
 	return nil
 }
@@ -214,11 +234,17 @@ type RowID struct {
 // pager. fn may not retain the row slice across calls unless it clones.
 // Returning false from fn stops the scan early (remaining pages unread).
 func (h *Heap) Scan(fn func(id RowID, row Row) bool) {
-	for pi, p := range h.pages {
-		if h.pager != nil {
-			h.pager.recordRead(p.bytes)
+	scanPages(h.pages, h.pager, fn)
+}
+
+// scanPages is Scan over an explicit page table (shared by the live heap
+// and snapshots).
+func scanPages(pages []*page, pager *Pager, fn func(id RowID, row Row) bool) {
+	for pi, p := range pages {
+		if pager != nil {
+			pager.recordRead(p.bytes)
 		}
-		for si, r := range h.pageRows(p) {
+		for si, r := range pageRows(p) {
 			if r == nil {
 				continue // deleted
 			}
@@ -235,24 +261,27 @@ func (h *Heap) Scan(fn func(id RowID, row Row) bool) {
 // early (LIMIT) must Close the iterator or the bytes it touched are never
 // recorded.
 type HeapIter struct {
-	h       *Heap
+	pages   []*page
+	pager   *Pager
 	page    int
 	slot    int
 	pending int64 // page bytes entered but not yet reported to the pager
 	read    int64 // total bytes this iterator has charged
 }
 
-// Iterate returns a cursor positioned before the first row.
-func (h *Heap) Iterate() *HeapIter { return &HeapIter{h: h} }
+// Iterate returns a cursor positioned before the first row. The cursor
+// captures the page table at creation, so a cursor made from a snapshot
+// never observes later writes.
+func (h *Heap) Iterate() *HeapIter { return &HeapIter{pages: h.pages, pager: h.pager} }
 
 // Next returns the next live row, or ok=false at the end.
 func (it *HeapIter) Next() (RowID, Row, bool) {
-	for it.page < len(it.h.pages) {
-		p := it.h.pages[it.page]
+	for it.page < len(it.pages) {
+		p := it.pages[it.page]
 		if it.slot == 0 {
 			it.pending += p.bytes
 		}
-		rows := it.h.pageRows(p)
+		rows := pageRows(p)
 		for it.slot < len(rows) {
 			s := it.slot
 			it.slot++
@@ -272,8 +301,8 @@ func (it *HeapIter) flush() {
 	if it.pending == 0 {
 		return
 	}
-	if it.h.pager != nil {
-		it.h.pager.recordRead(it.pending)
+	if it.pager != nil {
+		it.pager.recordRead(it.pending)
 	}
 	it.read += it.pending
 	it.pending = 0
@@ -300,7 +329,11 @@ type PageRange struct {
 // ranges (fewer when the heap has fewer pages than n). An empty heap
 // yields no partitions.
 func (h *Heap) Partitions(n int) []PageRange {
-	pages := len(h.pages)
+	return partitionRanges(len(h.pages), n)
+}
+
+// partitionRanges splits a page count into near-equal contiguous ranges.
+func partitionRanges(pages, n int) []PageRange {
 	if n < 1 {
 		n = 1
 	}
@@ -324,7 +357,8 @@ func (h *Heap) Partitions(n int) []PageRange {
 // on Close, and it tracks bytes per iterator so a partitioned scan can
 // report byte accounting per partition.
 type HeapChunkIter struct {
-	h       *Heap
+	pages   []*page
+	pager   *Pager
 	page    int
 	end     int
 	slot    int
@@ -349,15 +383,20 @@ func (it *HeapChunkIter) SetSkip(f func(*PageSummary) bool) { it.skip = f }
 func (it *HeapChunkIter) PagesSkipped() int64 { return it.skipped + it.pendingSkipped }
 
 // IterateRange returns a chunk cursor over pages [start, end); end is
-// clamped to the page count.
+// clamped to the page count. Like Iterate, the cursor captures the page
+// table at creation.
 func (h *Heap) IterateRange(start, end int) *HeapChunkIter {
+	return newChunkIter(h.pages, h.pager, start, end)
+}
+
+func newChunkIter(pages []*page, pager *Pager, start, end int) *HeapChunkIter {
 	if start < 0 {
 		start = 0
 	}
-	if end > len(h.pages) {
-		end = len(h.pages)
+	if end > len(pages) {
+		end = len(pages)
 	}
-	return &HeapChunkIter{h: h, page: start, end: end, slot: 0}
+	return &HeapChunkIter{pages: pages, pager: pager, page: start, end: end, slot: 0}
 }
 
 // ReadRows fills dst with the next live rows in heap order and returns the
@@ -366,7 +405,7 @@ func (h *Heap) IterateRange(start, end int) *HeapChunkIter {
 func (it *HeapChunkIter) ReadRows(dst []Row) int {
 	n := 0
 	for n < len(dst) && it.page < it.end {
-		p := it.h.pages[it.page]
+		p := it.pages[it.page]
 		if it.slot == 0 {
 			if it.skip != nil && p.sum.usable() && it.skip(p.sum) {
 				it.pendingSkipped++
@@ -375,7 +414,7 @@ func (it *HeapChunkIter) ReadRows(dst []Row) int {
 			}
 			it.pending += p.bytes
 		}
-		rows := it.h.pageRows(p)
+		rows := pageRows(p)
 		for it.slot < len(rows) && n < len(dst) {
 			if r := rows[it.slot]; r != nil {
 				dst[n] = r
@@ -396,23 +435,23 @@ func (it *HeapChunkIter) ReadRows(dst []Row) int {
 
 func (it *HeapChunkIter) flush() {
 	if it.pendingSkipped > 0 {
-		if it.h.pager != nil {
-			it.h.pager.recordPagesSkipped(it.pendingSkipped)
+		if it.pager != nil {
+			it.pager.recordPagesSkipped(it.pendingSkipped)
 		}
 		it.skipped += it.pendingSkipped
 		it.pendingSkipped = 0
 	}
 	if it.pendingSegScanned > 0 {
-		if it.h.pager != nil {
-			it.h.pager.recordSegScanned(it.pendingSegScanned)
+		if it.pager != nil {
+			it.pager.recordSegScanned(it.pendingSegScanned)
 		}
 		it.pendingSegScanned = 0
 	}
 	if it.pending == 0 {
 		return
 	}
-	if it.h.pager != nil {
-		it.h.pager.recordRead(it.pending)
+	if it.pager != nil {
+		it.pager.recordRead(it.pending)
 	}
 	it.read += it.pending
 	it.pending = 0
@@ -427,15 +466,19 @@ func (it *HeapChunkIter) BytesRead() int64 { return it.read }
 // Get fetches a single row by ID, charging only that row's bytes (a point
 // read, as through an index).
 func (h *Heap) Get(id RowID) (Row, bool) {
-	if id.Page < 0 || id.Page >= len(h.pages) {
+	return getPageRow(h.pages, h.schema, h.pager, id)
+}
+
+func getPageRow(pages []*page, schema *Schema, pager *Pager, id RowID) (Row, bool) {
+	if id.Page < 0 || id.Page >= len(pages) {
 		return nil, false
 	}
-	rows := h.pageRows(h.pages[id.Page])
+	rows := pageRows(pages[id.Page])
 	if id.Slot < 0 || id.Slot >= len(rows) || rows[id.Slot] == nil {
 		return nil, false
 	}
-	if h.pager != nil {
-		h.pager.recordRead(h.rowFootprint(rows[id.Slot]))
+	if pager != nil {
+		pager.recordRead(rowFootprintIn(schema, rows[id.Slot]))
 	}
 	return rows[id.Slot], true
 }
@@ -484,8 +527,8 @@ func (h *Heap) Restore(id RowID, row Row) error {
 	if id.Page < 0 || id.Page >= len(h.pages) {
 		return fmt.Errorf("storage: restore: bad page %d", id.Page)
 	}
-	p := h.pages[id.Page]
-	if err := h.unfreeze(p); err != nil {
+	p, err := h.writableRowPage(id.Page)
+	if err != nil {
 		return err
 	}
 	if id.Slot < 0 || id.Slot >= len(p.rows) {
@@ -503,14 +546,15 @@ func (h *Heap) Restore(id RowID, row Row) error {
 	return nil
 }
 
-// slot resolves a row for mutation, un-freezing the page first: writers
-// always see (and modify) row-form pages.
+// slot resolves a row for mutation. The page comes back in mutable row
+// form: frozen pages un-freeze and snapshot-shared pages are cloned
+// first, so writers never touch storage a concurrent reader sees.
 func (h *Heap) slot(id RowID) (*page, Row, error) {
 	if id.Page < 0 || id.Page >= len(h.pages) {
 		return nil, nil, fmt.Errorf("storage: bad page %d", id.Page)
 	}
-	p := h.pages[id.Page]
-	if err := h.unfreeze(p); err != nil {
+	p, err := h.writableRowPage(id.Page)
+	if err != nil {
 		return nil, nil, err
 	}
 	if id.Slot < 0 || id.Slot >= len(p.rows) || p.rows[id.Slot] == nil {
@@ -520,50 +564,91 @@ func (h *Heap) slot(id RowID) (*page, Row, error) {
 }
 
 // AddColumnData extends every row with a NULL for a newly added column and
-// adjusts footprints (the null bitmap may grow by a byte). Frozen pages
-// are un-frozen first: a schema change re-shapes every row, so segments
-// keyed to the old width cannot survive it.
+// adjusts footprints (the null bitmap may grow by a byte). The rewrite is
+// copy-on-write end to end: every page is rebuilt from fresh row slices
+// (frozen pages materialize through their shared cache, read-only), so
+// snapshot readers pinned to the pre-ALTER epoch keep seeing the old
+// shape. Column indices do not shift, so skip summaries carry over
+// (cloned — the tail page's summary is mutated by later inserts).
 func (h *Heap) AddColumnData() error {
-	if err := h.unfreezeAll(); err != nil {
+	rowsByPage, unfroze, err := h.materializeAllRows()
+	if err != nil {
 		return err
 	}
-	for _, p := range h.pages {
-		p.bytes = 0
-		for i, r := range p.rows {
+	for pi, rows := range rowsByPage {
+		old := h.pages[pi]
+		np := &page{rows: make([]Row, len(rows), max(rowsPerPage, len(rows))), sum: old.sum.clone()}
+		for i, r := range rows {
 			if r == nil {
 				continue
 			}
-			p.rows[i] = append(r, types.Datum{Null: true})
-			p.bytes += h.rowFootprint(p.rows[i])
+			nr := make(Row, len(r)+1)
+			copy(nr, r)
+			nr[len(r)] = types.Datum{Null: true}
+			np.rows[i] = nr
+			np.bytes += h.rowFootprint(nr)
 		}
+		h.pages[pi] = np
 	}
-	h.recomputeBytes()
+	h.finishRewrite(unfroze)
 	return nil
 }
 
-// DropColumnData removes column idx from every row, un-freezing first
-// (see AddColumnData).
+// DropColumnData removes column idx from every row, rebuilding every page
+// copy-on-write (see AddColumnData). Summaries are dropped: column
+// indices shift, so summaries keyed by index are stale.
 func (h *Heap) DropColumnData(idx int) error {
-	if err := h.unfreezeAll(); err != nil {
+	rowsByPage, unfroze, err := h.materializeAllRows()
+	if err != nil {
 		return err
 	}
-	for _, p := range h.pages {
-		p.bytes = 0
-		p.sum = nil // column indices shift; summaries keyed by index are stale
-		for i, r := range p.rows {
+	for pi, rows := range rowsByPage {
+		np := &page{rows: make([]Row, len(rows), max(rowsPerPage, len(rows)))}
+		for i, r := range rows {
 			if r == nil {
 				continue
 			}
 			nr := make(Row, 0, len(r)-1)
 			nr = append(nr, r[:idx]...)
 			nr = append(nr, r[idx+1:]...)
-			p.rows[i] = nr
-			p.bytes += h.rowFootprint(nr)
+			np.rows[i] = nr
+			np.bytes += h.rowFootprint(nr)
 		}
+		h.pages[pi] = np
 	}
 	h.remapSummarizersOnDrop(idx)
-	h.recomputeBytes()
+	h.finishRewrite(unfroze)
 	return nil
+}
+
+// materializeAllRows returns every page's row-form view without mutating
+// any page (phase 1 of a schema rewrite: errors surface before the heap
+// changes shape). unfroze counts the frozen pages the rewrite will retire.
+func (h *Heap) materializeAllRows() (rowsByPage [][]Row, unfroze int, err error) {
+	rowsByPage = make([][]Row, len(h.pages))
+	for i, p := range h.pages {
+		if p.frozen != nil {
+			rows, err := p.frozen.materializeRows()
+			if err != nil {
+				return nil, 0, err
+			}
+			rowsByPage[i] = rows
+			unfroze++
+			continue
+		}
+		rowsByPage[i] = p.rows
+	}
+	return rowsByPage, unfroze, nil
+}
+
+// finishRewrite settles counters after a whole-heap page rewrite: all
+// pages are row-form again and byte totals are recomputed.
+func (h *Heap) finishRewrite(unfroze int) {
+	h.frozen = 0
+	if unfroze > 0 && h.pager != nil {
+		h.pager.recordSegUnfrozen(int64(unfroze))
+	}
+	h.recomputeBytes()
 }
 
 func (h *Heap) recomputeBytes() {
@@ -610,6 +695,13 @@ type Pager struct {
 	sortBatches       int64
 	topnShortCircuits int64
 	sortedMergeParts  int64
+	// Snapshot counters (snapshot.go): snapshotsOpen is a gauge of reader
+	// pins currently held, snapshotPublishes counts published versions
+	// (the global snapshot_epoch), and pagesCoW counts page version splits
+	// caused by writes to snapshot-shared pages.
+	snapshotsOpen     int64
+	snapshotPublishes int64
+	pagesCoW          int64
 }
 
 // NewPager returns a zeroed pager.
@@ -685,6 +777,35 @@ func (p *Pager) recordSortedMergeParts(n int64) {
 	p.mu.Lock()
 	p.sortedMergeParts += n
 	p.mu.Unlock()
+}
+
+func (p *Pager) recordSnapshotPin(delta int64) {
+	p.mu.Lock()
+	p.snapshotsOpen += delta
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordSnapshotPublish() {
+	p.mu.Lock()
+	p.snapshotPublishes++
+	p.mu.Unlock()
+}
+
+func (p *Pager) recordPageCoW(n int64) {
+	p.mu.Lock()
+	p.pagesCoW += n
+	p.mu.Unlock()
+}
+
+// SnapshotStats returns the snapshot counters: reader pins currently open
+// (a gauge), snapshots published since the database opened (the global
+// snapshot epoch), and page version splits caused by copy-on-write.
+// Unlike the per-query counters these survive Reset: the gauge tracks
+// outstanding pins and the epoch is monotonic by design.
+func (p *Pager) SnapshotStats() (open, epoch, pagesCoW int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotsOpen, p.snapshotPublishes, p.pagesCoW
 }
 
 // SortStats returns the order-sensitive operator counters: batches

@@ -216,9 +216,13 @@ func (h *Heap) SetAttrSummarizer(col int, fn AttrSummarizer) {
 
 // InvalidateSummaries marks every page summary stale; subsequent scans read
 // all pages until RebuildSummaries or fresh inserts repopulate them.
+// Snapshot-shared pages are cloned first (summary swaps are writes too).
 func (h *Heap) InvalidateSummaries() {
-	for _, p := range h.pages {
-		p.sum = nil
+	for pi := range h.pages {
+		if h.pages[pi].sum == nil {
+			continue
+		}
+		h.writableMetaPage(pi).sum = nil
 	}
 }
 
@@ -227,12 +231,12 @@ func (h *Heap) InvalidateSummaries() {
 // freeze time is still exact and kept; a frozen page whose summary was
 // invalidated (e.g. a summarizer change) rebuilds from its row-form view.
 func (h *Heap) RebuildSummaries() {
-	for _, p := range h.pages {
+	for pi, p := range h.pages {
 		if p.frozen != nil && p.sum.usable() {
 			continue
 		}
 		s := newPageSummary()
-		for _, r := range h.pageRows(p) {
+		for _, r := range pageRows(p) {
 			if r == nil {
 				continue
 			}
@@ -241,11 +245,12 @@ func (h *Heap) RebuildSummaries() {
 				break
 			}
 		}
+		np := h.writableMetaPage(pi)
 		if s.valid {
-			s.attachZones(p.frozen)
-			p.sum = s
+			s.attachZones(np.frozen)
+			np.sum = s
 		} else {
-			p.sum = nil
+			np.sum = nil
 		}
 	}
 }

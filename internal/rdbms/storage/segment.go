@@ -192,17 +192,22 @@ func (h *Heap) FreezeColdPages() int {
 		return 0
 	}
 	n := 0
-	for _, p := range h.pages {
-		if h.freezePage(p) {
+	for pi := range h.pages {
+		if h.freezePageAt(pi) {
 			n++
 		}
 	}
 	return n
 }
 
-// freezePage stripes one page; returns false when the page is ineligible
-// or the segmenter vetoes it.
-func (h *Heap) freezePage(p *page) bool {
+// freezePageAt stripes the page at index pi; returns false when the page
+// is ineligible or the segmenter vetoes it. Freezing never mutates the
+// existing page struct — it installs a fresh frozen page in its slot, so
+// snapshot readers pinned to the row-form version are untouched. A
+// carried-over skip summary is cloned for the same reason (attachZones
+// writes into it).
+func (h *Heap) freezePageAt(pi int) bool {
+	p := h.pages[pi]
 	if h.segmenter == nil || p.frozen != nil || len(p.rows) != rowsPerPage {
 		return false
 	}
@@ -252,7 +257,8 @@ func (h *Heap) freezePage(p *page) bool {
 	// attribute-ID sets straight from the segment footer — no per-record
 	// summarizer parses — and become attribute-tracked even without a
 	// summarizer, so extractions over any striped column can skip pages.
-	if !p.sum.usable() {
+	sum := p.sum.clone()
+	if sum == nil {
 		segCols := make(map[int]bool, len(fp.cols))
 		for j := range fp.cols {
 			if fp.cols[j].Seg != nil {
@@ -274,55 +280,23 @@ func (h *Heap) freezePage(p *page) bool {
 					}
 				}
 			}
-			p.sum = s
-		} else {
-			p.sum = nil
+			sum = s
 		}
 	}
 	// Zone maps attach whether the summary was just built or carried over
 	// from incremental inserts: the page is immutable from here on, so the
 	// footer extrema stay exact until un-freeze invalidates the summary.
-	p.sum.attachZones(fp)
-	p.frozen = fp
-	p.rows = nil
+	sum.attachZones(fp)
+	h.pages[pi] = &page{frozen: fp, bytes: p.bytes, sum: sum}
 	h.frozen++
 	return true
-}
-
-// unfreeze restores a frozen page to row form (the UPDATE/DELETE path).
-func (h *Heap) unfreeze(p *page) error {
-	if p.frozen == nil {
-		return nil
-	}
-	rows, err := p.frozen.materializeRows()
-	if err != nil {
-		return err
-	}
-	p.rows = rows
-	p.frozen = nil
-	h.frozen--
-	if h.pager != nil {
-		h.pager.recordSegUnfrozen(1)
-	}
-	return nil
-}
-
-// unfreezeAll un-freezes every frozen page (schema changes re-shape rows,
-// invalidating every segment).
-func (h *Heap) unfreezeAll() error {
-	for _, p := range h.pages {
-		if err := h.unfreeze(p); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // pageRows returns the row-form view of p, materializing frozen pages
 // lazily (without un-freezing them). A frozen page that fails to
 // materialize returns nil — callers see an empty page rather than a
 // panic; un-freeze surfaces the error.
-func (h *Heap) pageRows(p *page) []Row {
+func pageRows(p *page) []Row {
 	if p.frozen == nil {
 		return p.rows
 	}
@@ -348,7 +322,7 @@ type PageView struct {
 // pager's segments-scanned counter.
 func (it *HeapChunkIter) ReadPage(rowBuf []Row) (PageView, bool) {
 	for it.page < it.end {
-		p := it.h.pages[it.page]
+		p := it.pages[it.page]
 		if it.slot == 0 && it.skip != nil && p.sum.usable() && it.skip(p.sum) {
 			it.pendingSkipped++
 			it.page++

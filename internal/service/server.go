@@ -1,0 +1,292 @@
+// Package service implements sinewd's HTTP line protocol: a thin,
+// session-pooled front end over a Sinew database (DESIGN.md §10).
+//
+// The protocol is deliberately minimal — one statement per request, JSON
+// results — because the interesting machinery lives below it: every
+// /query runs against an epoch-pinned heap snapshot, so readers on one
+// session never block behind loads, UPDATEs, or ANALYZE issued on
+// another.
+//
+//	POST   /session             open a session       -> {"session":"s1"}
+//	DELETE /session?id=s1       close it
+//	POST   /query?session=s1    body = one SQL stmt  -> {"columns":..,"rows":..}
+//	GET    /metrics             plaintext counters (global + per-session)
+//	GET    /healthz             liveness probe
+//
+// A /query without a session parameter runs on an ephemeral session that
+// exists only for the request; sessions_active still counts it, so the
+// gauge reflects true concurrency.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sinewdata/sinew/internal/core"
+	"github.com/sinewdata/sinew/internal/rdbms/types"
+)
+
+// maxStatementBytes bounds a /query request body; one statement should
+// never approach it (bulk loads go through LoadJSONLines, not SQL text).
+const maxStatementBytes = 4 << 20
+
+// session is one pooled client session and its counters.
+type session struct {
+	id      string
+	opened  time.Time
+	queries atomic.Int64
+	errors  atomic.Int64
+	rows    atomic.Int64
+}
+
+// Server is the sinewd HTTP front end. Create with New, start with
+// Serve (or ServeListener for a caller-owned listener), stop with
+// Shutdown.
+type Server struct {
+	db *core.DB
+	hs *http.Server
+
+	mu       sync.Mutex // guards sessions and nextID
+	sessions map[string]*session
+	nextID   uint64
+
+	queriesTotal atomic.Int64
+	errorsTotal  atomic.Int64
+}
+
+// New builds a server over an opened database. It does not listen yet.
+func New(db *core.DB) *Server {
+	s := &Server{db: db, sessions: make(map[string]*session)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/session", s.handleSession)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Serve listens on addr ("host:port"; port 0 picks a free one) and
+// serves until Shutdown. The listener is bound before Serve returns
+// control to the accept loop, so Addr is valid as soon as the listener
+// callback fires.
+func (s *Server) Serve(addr string, onListen func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	err = s.hs.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests (graceful), then closes every
+// pooled session so the sessions_active gauge returns to zero.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	s.mu.Lock()
+	for id := range s.sessions {
+		delete(s.sessions, id)
+		s.db.RDBMS().SessionExit()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// handleSession opens (POST) or closes (DELETE ?id=) a pooled session.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.mu.Lock()
+		s.nextID++
+		sess := &session{id: fmt.Sprintf("s%d", s.nextID), opened: time.Now()}
+		s.sessions[sess.id] = sess
+		s.mu.Unlock()
+		s.db.RDBMS().SessionEnter()
+		writeJSON(w, http.StatusOK, map[string]any{"session": sess.id})
+	case http.MethodDelete:
+		id := r.URL.Query().Get("id")
+		s.mu.Lock()
+		_, ok := s.sessions[id]
+		if ok {
+			delete(s.sessions, id)
+		}
+		s.mu.Unlock()
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown session %q", id)})
+			return
+		}
+		s.db.RDBMS().SessionExit()
+		writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+	default:
+		w.Header().Set("Allow", "POST, DELETE")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "use POST to open, DELETE ?id= to close"})
+	}
+}
+
+// handleQuery runs the request body as one SQL statement on the named
+// (or an ephemeral) session.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "POST one SQL statement as the request body"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxStatementBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if len(body) > maxStatementBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{"error": "statement exceeds 4 MiB"})
+		return
+	}
+	sql := strings.TrimSpace(string(body))
+	if sql == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "empty statement"})
+		return
+	}
+
+	var sess *session
+	if id := r.URL.Query().Get("session"); id != "" {
+		s.mu.Lock()
+		sess = s.sessions[id]
+		s.mu.Unlock()
+		if sess == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown session %q", id)})
+			return
+		}
+	} else {
+		// Ephemeral session for the duration of one statement.
+		s.db.RDBMS().SessionEnter()
+		defer s.db.RDBMS().SessionExit()
+	}
+
+	s.queriesTotal.Add(1)
+	if sess != nil {
+		sess.queries.Add(1)
+	}
+	res, err := s.db.Query(sql)
+	if err != nil {
+		s.errorsTotal.Add(1)
+		if sess != nil {
+			sess.errors.Add(1)
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if sess != nil {
+		sess.rows.Add(int64(len(res.Rows)))
+	}
+
+	out := map[string]any{"rows_affected": res.RowsAffected}
+	if res.ExplainText != "" {
+		out["explain"] = res.ExplainText
+	}
+	if res.Columns != nil {
+		typeNames := make([]string, len(res.Types))
+		for i, t := range res.Types {
+			typeNames[i] = t.String()
+		}
+		rows := make([][]any, len(res.Rows))
+		for i, r := range res.Rows {
+			jr := make([]any, len(r))
+			for j, d := range r {
+				jr[j] = datumJSON(d)
+			}
+			rows[i] = jr
+		}
+		out["columns"] = res.Columns
+		out["types"] = typeNames
+		out["rows"] = rows
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// datumJSON converts one SQL value to its natural JSON shape.
+func datumJSON(d types.Datum) any {
+	if d.IsNull() {
+		return nil
+	}
+	switch d.Typ {
+	case types.Bool:
+		return d.B
+	case types.Int:
+		return d.I
+	case types.Float:
+		return d.F
+	case types.Text:
+		return d.S
+	case types.Bytes:
+		return d.Bs
+	case types.Array:
+		out := make([]any, len(d.A))
+		for i, e := range d.A {
+			out[i] = datumJSON(e)
+		}
+		return out
+	default:
+		return d.String()
+	}
+}
+
+// handleMetrics renders the global and per-session counters as plain
+// text, one `name value` (or `name{session="sN"} value`) pair per line.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rdb := s.db.RDBMS()
+	open, epoch, cow := rdb.SnapshotStats()
+	pc := rdb.PlanCacheStats()
+
+	var b strings.Builder
+	global := func(name string, v int64) {
+		fmt.Fprintf(&b, "sinew_%s %d\n", name, v)
+	}
+	global("sessions_active", rdb.SessionsActive())
+	global("snapshots_open", open)
+	global("snapshot_epoch", epoch)
+	global("pages_cow", cow)
+	global("queries_total", s.queriesTotal.Load())
+	global("query_errors_total", s.errorsTotal.Load())
+	global("plan_cache_hits", int64(pc.Hits))
+	global("plan_cache_misses", int64(pc.Misses))
+	global("catalog_epoch", int64(pc.Epoch))
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sess := s.sessions[id]
+		fmt.Fprintf(&b, "sinew_session_queries{session=%q} %d\n", id, sess.queries.Load())
+		fmt.Fprintf(&b, "sinew_session_rows{session=%q} %d\n", id, sess.rows.Load())
+		fmt.Fprintf(&b, "sinew_session_errors{session=%q} %d\n", id, sess.errors.Load())
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
