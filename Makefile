@@ -68,19 +68,20 @@ check: vet lint race race-workers race-sessions
 fuzz:
 	$(GO) test -fuzz=FuzzRecordReaders -fuzztime=30s ./internal/serial/
 
-# bench runs the micro-benchmarks and regenerates BENCH_PR8.json, the
+# bench runs the micro-benchmarks and regenerates BENCH_PR10.json, the
 # machine-readable Figure 6 + Table 5 + plan-cache report (ns/op and
 # allocs/op per query) that tracks the perf trajectory across PRs.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/
-	$(GO) run ./cmd/sinewbench -json BENCH_PR8.json -small 4000
+	$(GO) run ./cmd/sinewbench -json BENCH_PR10.json -small 4000
 
 # bench-diff gates the perf trajectory: it fails when any Figure 6 query
-# or Table 5 row in BENCH_PR8.json regressed more than 10% against
-# BENCH_PR7.json in ns/op or allocs/op. (benchdiff defaults its baseline
-# to the newest BENCH_PR*.json; the pin keeps the gate explicit.)
+# or Table 5 row in BENCH_PR10.json regressed more than 10% against
+# BENCH_PR8.json, the freshest prior baseline, in ns/op or allocs/op.
+# (benchdiff defaults its baseline to the newest BENCH_PR*.json; the pin
+# keeps the gate explicit.)
 bench-diff:
-	$(GO) run ./cmd/benchdiff -baseline BENCH_PR7.json -new BENCH_PR8.json -tolerance 10
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR8.json -new BENCH_PR10.json -tolerance 10
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -20,6 +21,7 @@ func TestSeededViolationsExitNonzero(t *testing.T) {
 	for _, id := range []string{
 		"sinew/close-propagation", "sinew/mutex-guard", "sinew/datum-switch",
 		"sinew/plan-cache-key", "sinew/unchecked-error", "sinew/bad-ignore",
+		"sinew/atomic-consistency", "sinew/batch-escape", "sinew/epoch-order",
 	} {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("output missing %s findings:\n%s", id, out.String())
@@ -53,12 +55,50 @@ func TestListFlag(t *testing.T) {
 		t.Fatalf("run(-list) = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 7 {
-		t.Fatalf("want 7 registered checks, got %d:\n%s", len(lines), out.String())
+	if len(lines) != 10 {
+		t.Fatalf("want 10 registered checks, got %d:\n%s", len(lines), out.String())
 	}
 	for _, l := range lines {
 		if !strings.HasPrefix(l, "sinew/") {
 			t.Errorf("check line missing sinew/ prefix: %q", l)
+		}
+	}
+}
+
+// -json emits machine-readable diagnostics with module-relative paths.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", corpus, "-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run(-json) = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output carries no diagnostics")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+		if filepath.IsAbs(d.File) || strings.Contains(d.File, `\`) {
+			t.Errorf("file should be module-relative slash-separated, got %q", d.File)
+		}
+		if !strings.HasPrefix(d.Check, "sinew/") {
+			t.Errorf("check missing sinew/ prefix: %q", d.Check)
+		}
+	}
+}
+
+// -v reports one wall-time line per check on stderr.
+func TestVerboseTimings(t *testing.T) {
+	var out, errb bytes.Buffer
+	run([]string{"-C", corpus, "-v", "./..."}, &out, &errb)
+	for _, id := range []string{"sinew/atomic-consistency", "sinew/batch-escape", "sinew/epoch-order", "sinew/mutex-guard"} {
+		if !strings.Contains(errb.String(), id) {
+			t.Errorf("verbose stderr missing a timing line for %s:\n%s", id, errb.String())
 		}
 	}
 }

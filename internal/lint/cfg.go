@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs over go/ast — the
+// substrate that turns sinewlint's newer checks from positional pattern
+// matches into path-aware analyses (the same jump go vet's lostcancel and
+// copylocks made via x/tools' ctrlflow; rebuilt here because the module is
+// stdlib-only by policy). The graph is statement-granular: each Block holds
+// a straight-line run of statement (and branch-condition) nodes, and edges
+// follow if/else, for/range loops, switch/type-switch (including
+// fallthrough), select, goto/labeled statements, break/continue (labeled
+// and bare), and return. Function literals are opaque: their bodies do not
+// execute inline, so the builder never descends into them — checks that
+// care about closures analyze them as separate functions.
+//
+// Defer is modeled two ways: the DeferStmt node sits in the block where it
+// executes (registration is a flow event — a path that returns before
+// reaching the defer never runs it), and the statement is also listed in
+// FuncCFG.Defers so checks can apply end-of-function effects.
+
+// Block is one straight-line run of nodes with no internal control flow.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// FuncCFG is the control-flow graph of one function body. Entry is the
+// first executed block; Exit is a synthetic block every return (and the
+// body's fall-off-the-end) feeds into. Blocks that lost all predecessors
+// (code after return/goto) stay in Blocks but are unreachable from Entry.
+type FuncCFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *FuncCFG {
+	b := &cfgBuilder{
+		cfg:    &FuncCFG{},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *FuncCFG
+	cur *Block
+	// scopes is the stack of enclosing breakable/continuable constructs,
+	// innermost last.
+	scopes []branchScope
+	// labels maps label names to their target blocks (created eagerly on
+	// the first goto or definition, whichever comes first).
+	labels map[string]*Block
+	// pendingLabel is the label of the statement about to be built, so
+	// labeled loops and switches resolve `break L` / `continue L`.
+	pendingLabel string
+}
+
+// branchScope is one enclosing for/range/switch/select construct.
+type branchScope struct {
+	label string
+	brk   *Block // break target (nil only for impossible cases)
+	cont  *Block // continue target; nil for switch/select
+	next  *Block // fallthrough target (next case clause body)
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		b.stmtList(x.List)
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		b.buildIf(x)
+	case *ast.ForStmt:
+		b.buildFor(x)
+	case *ast.RangeStmt:
+		b.buildRange(x)
+	case *ast.SwitchStmt:
+		b.buildSwitch(x.Init, x.Tag, x.Body, s)
+	case *ast.TypeSwitchStmt:
+		b.buildSwitch(x.Init, nil, x.Body, s)
+	case *ast.SelectStmt:
+		b.buildSelect(x)
+	case *ast.LabeledStmt:
+		lbl := b.labelBlock(x.Label.Name)
+		b.edge(b.cur, lbl)
+		b.cur = lbl
+		b.pendingLabel = x.Label.Name
+		b.stmt(x.Stmt)
+	case *ast.BranchStmt:
+		b.pendingLabel = ""
+		b.buildBranch(x)
+	case *ast.ReturnStmt:
+		b.pendingLabel = ""
+		b.add(x)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.DeferStmt:
+		b.pendingLabel = ""
+		b.add(x)
+		b.cfg.Defers = append(b.cfg.Defers, x)
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assign, Decl, Expr, Go, IncDec, Send: straight-line.
+		b.pendingLabel = ""
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) buildIf(x *ast.IfStmt) {
+	if x.Init != nil {
+		b.add(x.Init)
+	}
+	b.add(x.Cond)
+	head := b.cur
+	join := b.newBlock()
+	then := b.newBlock()
+	b.edge(head, then)
+	b.cur = then
+	b.stmtList(x.Body.List)
+	b.edge(b.cur, join)
+	if x.Else != nil {
+		els := b.newBlock()
+		b.edge(head, els)
+		b.cur = els
+		b.stmt(x.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) buildFor(x *ast.ForStmt) {
+	label := b.takeLabel()
+	if x.Init != nil {
+		b.add(x.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	if x.Cond != nil {
+		head.Nodes = append(head.Nodes, x.Cond)
+	}
+	exit := b.newBlock()
+	if x.Cond != nil {
+		b.edge(head, exit) // `for {}` only leaves via break
+	}
+	cont := head
+	var post *Block
+	if x.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, x.Post)
+		b.edge(post, head)
+		cont = post
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	b.scopes = append(b.scopes, branchScope{label: label, brk: exit, cont: cont})
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.edge(b.cur, cont)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) buildRange(x *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	// The RangeStmt node itself carries the iteration: the range
+	// expression read plus the per-iteration key/value assignment.
+	head.Nodes = append(head.Nodes, x)
+	exit := b.newBlock()
+	b.edge(head, exit)
+	body := b.newBlock()
+	b.edge(head, body)
+	b.scopes = append(b.scopes, branchScope{label: label, brk: exit, cont: head})
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.edge(b.cur, head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = exit
+}
+
+// buildSwitch covers both value and type switches; tag is nil for the
+// latter (the TypeSwitchStmt's Assign rides in the head node).
+func (b *cfgBuilder) buildSwitch(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, whole ast.Stmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	} else if ts, ok := whole.(*ast.TypeSwitchStmt); ok {
+		b.add(ts.Assign)
+	}
+	head := b.cur
+	exit := b.newBlock()
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, exit)
+	}
+	for i, cc := range clauses {
+		var next *Block
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.scopes = append(b.scopes, branchScope{label: label, brk: exit, next: next})
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, exit)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+	}
+	b.cur = exit
+}
+
+func (b *cfgBuilder) buildSelect(x *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	exit := b.newBlock()
+	for _, cs := range x.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.scopes = append(b.scopes, branchScope{label: label, brk: exit})
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, exit)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+	}
+	// A select with no cases blocks forever; every other select joins.
+	if len(x.Body.List) == 0 {
+		b.edge(head, exit)
+	}
+	b.cur = exit
+}
+
+func (b *cfgBuilder) buildBranch(x *ast.BranchStmt) {
+	label := ""
+	if x.Label != nil {
+		label = x.Label.Name
+	}
+	switch x.Tok {
+	case token.BREAK:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if label == "" || sc.label == label {
+				b.edge(b.cur, sc.brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if sc.cont != nil && (label == "" || sc.label == label) {
+				b.edge(b.cur, sc.cont)
+				break
+			}
+		}
+	case token.GOTO:
+		b.edge(b.cur, b.labelBlock(label))
+	case token.FALLTHROUGH:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			if b.scopes[i].next != nil {
+				b.edge(b.cur, b.scopes[i].next)
+				break
+			}
+		}
+	}
+	b.cur = b.newBlock() // whatever follows the jump is unreachable
+}
+
+// inspectNode is ast.Inspect scoped to what executes WITH the node in its
+// block: a RangeStmt head node carries the per-iteration key/value targets
+// and the range expression, but its Body runs in separate blocks and must
+// not be walked here (it would be analyzed twice, once with head facts).
+func inspectNode(n ast.Node, fn func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if rs.Key != nil {
+			ast.Inspect(rs.Key, fn)
+		}
+		if rs.Value != nil {
+			ast.Inspect(rs.Value, fn)
+		}
+		ast.Inspect(rs.X, fn)
+		return
+	}
+	ast.Inspect(n, fn)
+}
+
+// callsIn finds every call expression inside n whose callee's terminal
+// name is name, without descending into function literals (their bodies do
+// not execute with the statement). It is the shallow matcher the CFG
+// checks use to test one node for a flow event.
+func callsIn(n ast.Node, name string, fn func(*ast.CallExpr)) {
+	if n == nil {
+		return
+	}
+	inspectNode(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == name {
+				fn(call)
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == name {
+				fn(call)
+			}
+		}
+		return true
+	})
+}

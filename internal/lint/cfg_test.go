@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its CFG.
+func parseBody(t *testing.T, src string) *FuncCFG {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// callBlocks returns, per called function name, the distinct blocks whose
+// node lists contain a call to it.
+func callBlocks(g *FuncCFG) map[string][]*Block {
+	out := map[string][]*Block{}
+	for _, b := range g.Blocks {
+		seen := map[string]bool{}
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && !seen[id.Name] {
+					seen[id.Name] = true
+					out[id.Name] = append(out[id.Name], b)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// reachable returns the blocks reachable from the entry.
+func reachable(g *FuncCFG) map[*Block]bool { return reachableFrom(g.Entry) }
+
+func TestCFGLinear(t *testing.T) {
+	g := parseBody(t, "a(); b(); c()")
+	cb := callBlocks(g)
+	if len(cb["a"]) != 1 || cb["a"][0] != g.Entry {
+		t.Fatalf("a() not in the entry block")
+	}
+	if cb["a"][0] != cb["c"][0] {
+		t.Errorf("straight-line calls split across blocks")
+	}
+	if !reachable(g)[g.Exit] {
+		t.Errorf("exit unreachable from entry")
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	g := parseBody(t, "if p() { a() } else { b() }; c()")
+	cb := callBlocks(g)
+	join := cb["c"][0]
+	if len(join.Preds) != 2 {
+		t.Fatalf("join block has %d preds, want 2 (then and else)", len(join.Preds))
+	}
+	if cb["a"][0] == cb["b"][0] {
+		t.Errorf("then and else share a block")
+	}
+}
+
+func TestCFGIfNoElse(t *testing.T) {
+	g := parseBody(t, "if p() { a() }; c()")
+	cb := callBlocks(g)
+	join := cb["c"][0]
+	// Join is fed by the then-branch and by the head's false edge.
+	if len(join.Preds) != 2 {
+		t.Fatalf("join block has %d preds, want 2", len(join.Preds))
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := parseBody(t, "for i := 0; p(); i++ { a() }; c()")
+	cb := callBlocks(g)
+	body := cb["a"][0]
+	// The body flows to the post block, which flows back to the head.
+	if len(body.Succs) != 1 {
+		t.Fatalf("loop body has %d succs, want 1 (post)", len(body.Succs))
+	}
+	post := body.Succs[0]
+	back := false
+	for _, s := range post.Succs {
+		for _, hs := range s.Succs {
+			if hs == body {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Errorf("no back edge from post through head to body")
+	}
+	if !reachable(g)[cb["c"][0]] {
+		t.Errorf("loop exit unreachable")
+	}
+}
+
+func TestCFGInfiniteLoopOnlyBreaks(t *testing.T) {
+	g := parseBody(t, "for { if p() { break }; a() }; c()")
+	cb := callBlocks(g)
+	if !reachable(g)[cb["c"][0]] {
+		t.Fatalf("break does not reach the loop exit")
+	}
+	// Without the break, c() must NOT be reachable: `for {}` has no
+	// fall-through edge.
+	g2 := parseBody(t, "for { a() }; c()")
+	cb2 := callBlocks(g2)
+	if reachable(g2)[cb2["c"][0]] {
+		t.Errorf("for{} acquired a phantom exit edge")
+	}
+}
+
+func TestCFGRangeBodyOnceOnly(t *testing.T) {
+	// Regression: buildRange stores the whole RangeStmt in the head block;
+	// inspectNode must not descend into the body there, or every analysis
+	// sees loop-body statements twice (once with pre-loop facts).
+	g := parseBody(t, "for _, v := range xs { a(v) }; c()")
+	count := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			inspectNode(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "a" {
+						count++
+					}
+				}
+				return true
+			})
+		}
+	}
+	if count != 1 {
+		t.Fatalf("a() observed %d times across block nodes, want exactly 1", count)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := parseBody(t, "switch p() {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\td()\n}\nc()")
+	cb := callBlocks(g)
+	aBlk, bBlk := cb["a"][0], cb["b"][0]
+	// The fallthrough jump block hangs off a's clause and lands on b's.
+	found := false
+	var scan func(b *Block, depth int)
+	seen := map[*Block]bool{}
+	scan = func(b *Block, depth int) {
+		if seen[b] || depth > 3 {
+			return
+		}
+		seen[b] = true
+		if b == bBlk {
+			found = true
+			return
+		}
+		for _, s := range b.Succs {
+			scan(s, depth+1)
+		}
+	}
+	scan(aBlk, 0)
+	if !found {
+		t.Errorf("fallthrough edge from case 1 to case 2 missing")
+	}
+	// With a default clause, the head must not edge straight to the exit.
+	join := cb["c"][0]
+	for _, p := range join.Preds {
+		for _, n := range p.Nodes {
+			if _, ok := n.(ast.Expr); ok && p == cb["p"][0] {
+				t.Errorf("switch head bypasses a default clause")
+			}
+		}
+	}
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	g := parseBody(t, "retry:\n\ta()\n\tif p() {\n\t\tgoto retry\n\t}\n\tc()")
+	cb := callBlocks(g)
+	label := cb["a"][0]
+	if len(label.Preds) < 2 {
+		t.Fatalf("label block has %d preds, want >=2 (entry + goto)", len(label.Preds))
+	}
+	if !reachable(g)[cb["c"][0]] {
+		t.Errorf("fallthrough past the goto unreachable")
+	}
+}
+
+func TestCFGReturnCutsFlow(t *testing.T) {
+	g := parseBody(t, "if p() { return }; a()")
+	cb := callBlocks(g)
+	// a() runs only on the false path: exactly one REACHABLE pred (the
+	// head's false edge). The unreachable post-return continuation also
+	// wires into the join, but it carries the meet identity, so only the
+	// reachable pred matters.
+	live := reachable(g)
+	got := 0
+	for _, p := range cb["a"][0].Preds {
+		if live[p] {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Errorf("post-return continuation has %d reachable preds, want 1", got)
+	}
+	g2 := parseBody(t, "return\na()")
+	cb2 := callBlocks(g2)
+	if reachable(g2)[cb2["a"][0]] {
+		t.Errorf("code after an unconditional return is reachable")
+	}
+}
+
+func TestCFGDefers(t *testing.T) {
+	g := parseBody(t, "defer a()\nif p() {\n\tdefer b()\n}\nc()")
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	// The DeferStmt is also a flow node in its registering block.
+	cb := callBlocks(g)
+	if cb["a"][0] != g.Entry {
+		t.Errorf("defer a() not registered in the entry block")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := parseBody(t, "select {\ncase <-ch:\n\ta()\ncase ch2 <- v:\n\tb()\n}\nc()")
+	cb := callBlocks(g)
+	if cb["a"][0] == cb["b"][0] {
+		t.Fatalf("select clauses share a block")
+	}
+	join := cb["c"][0]
+	if len(join.Preds) != 2 {
+		t.Errorf("select join has %d preds, want 2", len(join.Preds))
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := parseBody(t, "outer:\nfor p() {\n\tfor q() {\n\t\tif r() {\n\t\t\tbreak outer\n\t\t}\n\t\tcontinue outer\n\t}\n}\nc()")
+	cb := callBlocks(g)
+	if !reachable(g)[cb["c"][0]] {
+		t.Fatalf("labeled break does not reach the outer exit")
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// AtomicConsistency enforces the all-or-nothing rule of sync/atomic: once
+// any access to a field goes through the atomic package, every access
+// must, module-wide. The engine's lock-free read paths lean on exactly
+// this — table.stats swings through an atomic.Pointer so planners load it
+// without the table lock, serial.Dictionary republishes its attribute
+// snapshot for lock-free Lookup, and storage.Heap publishes its
+// page-pointer table once per statement — and one plain load or store of
+// such a field is an undiagnosed data race (the race detector only sees it
+// on an interleaving that actually collides).
+//
+// Two field populations are policed:
+//
+//   - Fields of a sync/atomic type (atomic.Uint64, atomic.Pointer[T], …):
+//     the only legal touch is calling a method on the field. Copying the
+//     value, reassigning the whole field, or taking its address and
+//     letting it escape defeats the type's guarantee.
+//   - Plain-typed fields operated on via atomic.LoadX/StoreX/AddX/SwapX/
+//     CompareAndSwapX(&f, …) anywhere in the module: every other read or
+//     write of the same (type, field) must also be atomic. This is the
+//     mixed-access bug go vet cannot see, because the plain access and the
+//     atomic one usually live in different files.
+type AtomicConsistency struct {
+	// atomicVia maps fields touched through atomic.* functions to one
+	// example position (for the diagnostic).
+	atomicVia map[FieldRef]token.Position
+	// plain accumulates every plain read/write/address-taking of
+	// candidate plain-typed fields across the module.
+	plain map[FieldRef][]FieldAccess
+}
+
+// ID implements Check.
+func (*AtomicConsistency) ID() string { return "atomic-consistency" }
+
+// Doc implements Check.
+func (*AtomicConsistency) Doc() string {
+	return "a field accessed through sync/atomic anywhere must never be read or written plainly"
+}
+
+// Run implements Check: it reports atomic-typed misuse immediately and
+// gathers the module-wide access sets for Finish.
+func (c *AtomicConsistency) Run(pass *Pass) {
+	if c.atomicVia == nil {
+		c.atomicVia = make(map[FieldRef]token.Position)
+		c.plain = make(map[FieldRef][]FieldAccess)
+	}
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			classifyAccesses(pkg, fd.Name.Name, fd.Body, func(a FieldAccess) {
+				if a.AtomicType {
+					if a.Mode != AccessAtomic {
+						pass.Reportf(a.Pos,
+							"%s %s atomic-typed field %s directly: the only sound access is a method call on the field (Load/Store/Add/Swap/CompareAndSwap)",
+							a.Fn, accessVerb(a.Mode), a.Ref)
+					}
+					return
+				}
+				if a.Mode == AccessAtomic {
+					if _, seen := c.atomicVia[a.Ref]; !seen {
+						c.atomicVia[a.Ref] = pass.Prog.Fset.Position(a.Pos)
+					}
+					return
+				}
+				c.plain[a.Ref] = append(c.plain[a.Ref], a)
+			})
+		}
+	}
+}
+
+// Finish implements ModuleCheck: with the whole module visited, any field
+// in both populations is reported at each of its plain accesses.
+func (c *AtomicConsistency) Finish(pass *Pass) {
+	refs := make([]FieldRef, 0, len(c.atomicVia))
+	for ref := range c.atomicVia {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Field < b.Field
+	})
+	for _, ref := range refs {
+		where := c.atomicVia[ref]
+		for _, a := range c.plain[ref] {
+			pass.Reportf(a.Pos,
+				"%s %s %s plainly, but the field is accessed via sync/atomic (e.g. %s:%d): mixed atomic/plain access is a data race",
+				a.Fn, accessVerb(a.Mode), ref, shortPath(where.Filename), where.Line)
+		}
+	}
+}
+
+// accessVerb renders a mode as a present-tense verb phrase.
+func accessVerb(m AccessMode) string {
+	switch m {
+	case AccessWrite:
+		return "writes"
+	case AccessAddr:
+		return "takes the address of"
+	case AccessAtomic:
+		return "atomically accesses"
+	}
+	return "reads"
+}
+
+// shortPath trims a position's filename to its last two path elements for
+// readable cross-file diagnostics.
+func shortPath(p string) string {
+	slash := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,153 @@
+package lint
+
+import "go/ast"
+
+// A generic iterative forward dataflow solver over FuncCFG. Facts are
+// bitsets over a check-defined universe (lock names, tracked variables,
+// "epoch bumped" — whatever the client indexes); the meet is either
+// intersection (must: the fact holds on EVERY path reaching a point) or
+// union (may: the fact holds on SOME path). Transfers are arbitrary
+// gen/kill functions applied block-at-a-time, so the framework handles any
+// monotone bit-vector problem; all current clients are distributive, which
+// keeps the fixpoint exact rather than merely sound.
+
+// Facts is a bitset of dataflow facts.
+type Facts []uint64
+
+// NewFacts returns an n-bit fact set, entirely set when all is true (the
+// "top" element of a must lattice) and empty otherwise.
+func NewFacts(n int, all bool) Facts {
+	f := make(Facts, (n+63)/64)
+	if all {
+		for i := range f {
+			f[i] = ^uint64(0)
+		}
+		// Mask the tail so Equal works on identical universes.
+		if r := n % 64; r != 0 && len(f) > 0 {
+			f[len(f)-1] = (uint64(1) << r) - 1
+		}
+	}
+	return f
+}
+
+// Has reports whether bit i is set.
+func (f Facts) Has(i int) bool { return f[i/64]&(uint64(1)<<(i%64)) != 0 }
+
+// Set sets bit i.
+func (f Facts) Set(i int) { f[i/64] |= uint64(1) << (i % 64) }
+
+// Clear clears bit i.
+func (f Facts) Clear(i int) { f[i/64] &^= uint64(1) << (i % 64) }
+
+// Clone returns an independent copy.
+func (f Facts) Clone() Facts { return append(Facts(nil), f...) }
+
+// IntersectWith ands g into f (the must meet).
+func (f Facts) IntersectWith(g Facts) {
+	for i := range f {
+		f[i] &= g[i]
+	}
+}
+
+// UnionWith ors g into f (the may meet).
+func (f Facts) UnionWith(g Facts) {
+	for i := range f {
+		f[i] |= g[i]
+	}
+}
+
+// Equal reports bitwise equality.
+func (f Facts) Equal(g Facts) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i := range f {
+		if f[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FlowMode selects the meet operator.
+type FlowMode int
+
+const (
+	// MeetMust intersects predecessor facts: a fact survives a join only
+	// if it holds on every incoming path (lock held, epoch bumped).
+	MeetMust FlowMode = iota
+	// MeetMay unions predecessor facts: a fact survives if it holds on
+	// any incoming path (value may alias pooled memory).
+	MeetMay
+)
+
+// SolveForward computes the fact set holding at the entry of every block.
+// entry seeds the function's Entry block; transfer receives a private copy
+// of the block's in-facts and returns the out-facts (mutating in place and
+// returning the argument is fine). Unreachable blocks converge to the
+// lattice top — every fact for must, none for may — so downstream
+// reporting passes naturally stay silent on dead code.
+func SolveForward(g *FuncCFG, mode FlowMode, nbits int, entry Facts, transfer func(*Block, Facts) Facts) map[*Block]Facts {
+	top := NewFacts(nbits, mode == MeetMust)
+	in := make(map[*Block]Facts, len(g.Blocks))
+	out := make(map[*Block]Facts, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = top.Clone()
+		out[b] = top.Clone()
+	}
+	in[g.Entry] = entry.Clone()
+
+	// Worklist over block order; Entry first. A monotone transfer over a
+	// finite lattice terminates; the explicit list keeps revisits cheap.
+	work := make([]*Block, 0, len(g.Blocks))
+	queued := make(map[*Block]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !queued[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		if b != g.Entry && len(b.Preds) > 0 {
+			agg := out[b.Preds[0]].Clone()
+			for _, p := range b.Preds[1:] {
+				if mode == MeetMust {
+					agg.IntersectWith(out[p])
+				} else {
+					agg.UnionWith(out[p])
+				}
+			}
+			in[b] = agg
+		}
+		o := transfer(b, in[b].Clone())
+		if !o.Equal(out[b]) {
+			out[b] = o
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// ReplayBlocks walks every block of a solved graph, handing visit each
+// node along with the facts in force immediately before it (step is the
+// same per-node transfer the solver ran, re-applied to advance the facts).
+// This is the reporting pass: checks look for a sink pattern in the node
+// while the facts still describe the paths reaching it.
+func ReplayBlocks(g *FuncCFG, sol map[*Block]Facts, step func(n ast.Node, facts Facts), visit func(n ast.Node, facts Facts)) {
+	for _, b := range g.Blocks {
+		facts := sol[b].Clone()
+		for _, n := range b.Nodes {
+			visit(n, facts)
+			step(n, facts)
+		}
+	}
+}

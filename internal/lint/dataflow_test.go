@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestFactsBitset(t *testing.T) {
+	f := NewFacts(130, false)
+	for _, i := range []int{0, 63, 64, 129} {
+		if f.Has(i) {
+			t.Errorf("fresh facts have bit %d", i)
+		}
+		f.Set(i)
+		if !f.Has(i) {
+			t.Errorf("Set(%d) did not stick", i)
+		}
+	}
+	g := f.Clone()
+	f.Clear(64)
+	if g.Has(64) == f.Has(64) {
+		t.Errorf("Clone aliases the underlying words")
+	}
+	top := NewFacts(130, true)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !top.Has(i) {
+			t.Errorf("top lattice missing bit %d", i)
+		}
+	}
+	u := NewFacts(130, false)
+	u.Set(5)
+	v := NewFacts(130, false)
+	v.Set(70)
+	w := u.Clone()
+	w.UnionWith(v)
+	if !w.Has(5) || !w.Has(70) {
+		t.Errorf("union lost a bit")
+	}
+	w.IntersectWith(u)
+	if !w.Has(5) || w.Has(70) {
+		t.Errorf("intersection wrong: has5=%v has70=%v", w.Has(5), w.Has(70))
+	}
+	if !u.Equal(u.Clone()) || u.Equal(v) {
+		t.Errorf("Equal misbehaves")
+	}
+}
+
+// genKillStep sets bit 0 at every gen() call and clears it at every
+// kill() call — the canonical one-fact transfer the solver tests use.
+func genKillStep(n ast.Node, facts Facts) {
+	callsIn(n, "gen", func(*ast.CallExpr) { facts.Set(0) })
+	callsIn(n, "kill", func(*ast.CallExpr) { facts.Clear(0) })
+}
+
+func solve1(g *FuncCFG, mode FlowMode) map[*Block]Facts {
+	return SolveForward(g, mode, 1, NewFacts(1, false), func(b *Block, in Facts) Facts {
+		for _, n := range b.Nodes {
+			genKillStep(n, in)
+		}
+		return in
+	})
+}
+
+// factAt replays the solved facts up to the first sink() call and returns
+// whether bit 0 holds immediately before it.
+func factAt(g *FuncCFG, sol map[*Block]Facts) (bool, bool) {
+	var at, found bool
+	ReplayBlocks(g, sol, genKillStep, func(n ast.Node, facts Facts) {
+		callsIn(n, "sink", func(*ast.CallExpr) {
+			if !found {
+				found = true
+				at = facts.Has(0)
+			}
+		})
+	})
+	return at, found
+}
+
+func TestSolveMustVsMayAtBranchJoin(t *testing.T) {
+	g := parseBody(t, "if p() { gen() }; sink()")
+	if got, ok := factAt(g, solve1(g, MeetMust)); !ok || got {
+		t.Errorf("must: fact generated on one branch survives the join (ok=%v)", ok)
+	}
+	if got, ok := factAt(g, solve1(g, MeetMay)); !ok || !got {
+		t.Errorf("may: fact generated on one branch lost at the join (ok=%v)", ok)
+	}
+}
+
+func TestSolveMustBothBranches(t *testing.T) {
+	g := parseBody(t, "if p() { gen() } else { gen() }; sink()")
+	if got, ok := factAt(g, solve1(g, MeetMust)); !ok || !got {
+		t.Errorf("must: fact generated on every branch dropped at the join (ok=%v)", ok)
+	}
+}
+
+func TestSolveStraightLineKill(t *testing.T) {
+	g := parseBody(t, "gen(); kill(); sink()")
+	if got, _ := factAt(g, solve1(g, MeetMay)); got {
+		t.Errorf("kill did not clear the fact even in may mode")
+	}
+}
+
+func TestSolveLoopBackEdge(t *testing.T) {
+	// The kill at the end of the body flows around the back edge: on the
+	// second iteration the fact is gone, so must-mode cannot keep it at
+	// the sink even though gen() appears above it in source order.
+	g := parseBody(t, "gen()\nfor p() {\n\tsink()\n\tkill()\n}")
+	if got, ok := factAt(g, solve1(g, MeetMust)); !ok || got {
+		t.Errorf("must: mid-loop kill ignored across the back edge (ok=%v)", ok)
+	}
+	if got, ok := factAt(g, solve1(g, MeetMay)); !ok || !got {
+		t.Errorf("may: first-iteration fact lost (ok=%v)", ok)
+	}
+}
+
+func TestSolveLoopInvariantHold(t *testing.T) {
+	g := parseBody(t, "gen()\nfor p() {\n\tsink()\n}")
+	if got, ok := factAt(g, solve1(g, MeetMust)); !ok || !got {
+		t.Errorf("must: loop-invariant fact dropped inside the loop (ok=%v)", ok)
+	}
+}
+
+func TestSolveUnreachableConvergesToTop(t *testing.T) {
+	g := parseBody(t, "return\nsink()")
+	sol := solve1(g, MeetMust)
+	for _, b := range g.Blocks {
+		if b == g.Entry || len(b.Preds) > 0 {
+			continue
+		}
+		if !sol[b].Has(0) {
+			t.Errorf("unreachable block %d not at must-top: a reporting pass would flag dead code", b.Index)
+		}
+	}
+}
+
+func TestSolveCallerHeldEntrySeed(t *testing.T) {
+	// Seeding the entry facts models conventions like "the caller passed
+	// the lock in": the fact holds everywhere until killed.
+	g := parseBody(t, "sink(); kill()")
+	entry := NewFacts(1, false)
+	entry.Set(0)
+	sol := SolveForward(g, MeetMust, 1, entry, func(b *Block, in Facts) Facts {
+		for _, n := range b.Nodes {
+			genKillStep(n, in)
+		}
+		return in
+	})
+	if got, ok := factAt(g, sol); !ok || !got {
+		t.Errorf("entry-seeded fact missing at the first use (ok=%v)", ok)
+	}
+}
+
+func TestReplaySeesPreStateOfEachNode(t *testing.T) {
+	// At the gen() node itself the fact is not yet set (visit runs before
+	// step); one statement later it is.
+	g := parseBody(t, "gen(); sink()")
+	var atGen, atSink bool
+	sol := solve1(g, MeetMay)
+	ReplayBlocks(g, sol, genKillStep, func(n ast.Node, facts Facts) {
+		callsIn(n, "gen", func(*ast.CallExpr) { atGen = facts.Has(0) })
+		callsIn(n, "sink", func(*ast.CallExpr) { atSink = facts.Has(0) })
+	})
+	if atGen {
+		t.Errorf("visit observed the gen node's own effect")
+	}
+	if !atSink {
+		t.Errorf("visit did not observe the preceding node's effect")
+	}
+}

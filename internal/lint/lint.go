@@ -21,6 +21,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one analyzer finding.
@@ -51,6 +53,16 @@ type ModuleCheck interface {
 	Finish(pass *Pass)
 }
 
+// PkgParallel marks a check whose Run calls are independent across
+// packages — no state accumulates between them — so the driver may fan
+// its packages out across goroutines. Checks that build module-wide maps
+// (PlanCacheKey, AtomicConsistency) must NOT carry the marker: their
+// packages run in import-path order on one goroutine.
+type PkgParallel interface {
+	Check
+	PackageParallel()
+}
+
 // Pass hands one package (or, for Finish, the whole program) to a check.
 type Pass struct {
 	Prog *Program
@@ -78,6 +90,9 @@ func Registry() []Check {
 		&UncheckedError{},
 		&SelInvariant{},
 		&SnapshotPin{},
+		&AtomicConsistency{},
+		&BatchEscape{},
+		&EpochOrder{},
 	}
 }
 
@@ -85,14 +100,61 @@ func Registry() []Check {
 // diagnostics sorted by position. Suppressed findings are dropped;
 // malformed //lint:ignore directives are reported as sinew/bad-ignore.
 func Run(prog *Program, checks []Check) []Diagnostic {
+	diags, _ := RunTimed(prog, checks)
+	return diags
+}
+
+// CheckTiming is one check's wall time and surviving-finding-independent
+// raw diagnostic count, for `sinewlint -v`.
+type CheckTiming struct {
+	ID       string
+	Elapsed  time.Duration
+	Findings int
+}
+
+// RunTimed is Run with per-check wall times. Checks execute concurrently,
+// each on its own goroutine with a private diagnostic slice; a check
+// carrying the PkgParallel marker additionally fans its packages out.
+// Merging happens in registry then package order, so output is identical
+// to the old sequential driver.
+func RunTimed(prog *Program, checks []Check) ([]Diagnostic, []CheckTiming) {
+	perCheck := make([][]Diagnostic, len(checks))
+	timings := make([]CheckTiming, len(checks))
+	var wg sync.WaitGroup
+	for ci, c := range checks {
+		wg.Add(1)
+		go func(ci int, c Check) {
+			defer wg.Done()
+			start := time.Now()
+			if _, fan := c.(PkgParallel); fan && len(prog.Packages) > 1 {
+				perPkg := make([][]Diagnostic, len(prog.Packages))
+				var pwg sync.WaitGroup
+				for pi, pkg := range prog.Packages {
+					pwg.Add(1)
+					go func(pi int, pkg *Package) {
+						defer pwg.Done()
+						c.Run(&Pass{Prog: prog, Pkg: pkg, id: c.ID(), out: &perPkg[pi]})
+					}(pi, pkg)
+				}
+				pwg.Wait()
+				for _, d := range perPkg {
+					perCheck[ci] = append(perCheck[ci], d...)
+				}
+			} else {
+				for _, pkg := range prog.Packages {
+					c.Run(&Pass{Prog: prog, Pkg: pkg, id: c.ID(), out: &perCheck[ci]})
+				}
+			}
+			if mc, ok := c.(ModuleCheck); ok {
+				mc.Finish(&Pass{Prog: prog, id: c.ID(), out: &perCheck[ci]})
+			}
+			timings[ci] = CheckTiming{ID: "sinew/" + c.ID(), Elapsed: time.Since(start), Findings: len(perCheck[ci])}
+		}(ci, c)
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, c := range checks {
-		for _, pkg := range prog.Packages {
-			c.Run(&Pass{Prog: prog, Pkg: pkg, id: c.ID(), out: &diags})
-		}
-		if mc, ok := c.(ModuleCheck); ok {
-			mc.Finish(&Pass{Prog: prog, id: c.ID(), out: &diags})
-		}
+	for _, d := range perCheck {
+		diags = append(diags, d...)
 	}
 	sup := collectSuppressions(prog)
 	diags = append(diags, sup.malformed...)
@@ -115,7 +177,7 @@ func Run(prog *Program, checks []Check) []Diagnostic {
 		}
 		return kept[i].Check < kept[j].Check
 	})
-	return kept
+	return kept, timings
 }
 
 // ---------- //lint:ignore suppression ----------

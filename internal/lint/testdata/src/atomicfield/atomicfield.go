@@ -1,0 +1,48 @@
+// Package atomicfield seeds positive and negative cases for the
+// sinew/atomic-consistency check: atomic-typed fields touched outside a
+// method call, and plain-typed fields that mix atomic.* operations with
+// ordinary reads.
+package atomicfield
+
+import "sync/atomic"
+
+// Stats is a published statistics snapshot.
+type Stats struct{ Rows int64 }
+
+// Table mirrors the engine's lock-free stats publication: stats swings
+// through an atomic.Pointer, hits is a plain int64 driven by atomic.Add.
+type Table struct {
+	stats  atomic.Pointer[Stats]
+	hits   int64
+	misses int64
+	plain  int64
+}
+
+// LoadStats is the sanctioned access: a method call on the atomic field.
+func (t *Table) LoadStats() *Stats { return t.stats.Load() }
+
+// SetStats is likewise sound.
+func (t *Table) SetStats(s *Stats) { t.stats.Store(s) }
+
+// StealStats copies the atomic value wholesale, defeating its guarantee.
+func (t *Table) StealStats() *atomic.Pointer[Stats] {
+	return &t.stats // want `atomic-typed field Table\.stats directly`
+}
+
+// Hit drives the counter through sync/atomic.
+func (t *Table) Hit() { atomic.AddInt64(&t.hits, 1) }
+
+// Hits reads the same counter plainly: a data race with Hit.
+func (t *Table) Hits() int64 {
+	return t.hits // want `mixed atomic/plain access is a data race`
+}
+
+// Miss and Misses stay atomic end to end.
+func (t *Table) Miss() int64   { return atomic.AddInt64(&t.misses, 1) }
+func (t *Table) Misses() int64 { return atomic.LoadInt64(&t.misses) }
+
+// Plain never goes near sync/atomic, so plain access is fine.
+func (t *Table) Plain() int64 { return t.plain }
+
+// Bump writes it plainly too: still fine, the field is never atomic.
+func (t *Table) Bump() { t.plain++ }

@@ -1,0 +1,102 @@
+// Package batchescape seeds positive and negative cases for the
+// sinew/batch-escape check: pool-backed batches crossing channels or
+// goroutines without a clone, and uses after release.
+package batchescape
+
+// RowBatch mirrors the executor's column-major batch.
+type RowBatch struct {
+	Cols [][]int64
+	Sel  []int32
+	n    int
+}
+
+// Width is the column count.
+func (b *RowBatch) Width() int { return len(b.Cols) }
+
+// batchPool recycles batches between operator cycles.
+type batchPool struct{ free chan *RowBatch }
+
+func (p *batchPool) get() *RowBatch {
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		return &RowBatch{}
+	}
+}
+
+func (p *batchPool) put(b *RowBatch) {
+	select {
+	case p.free <- b:
+	default:
+	}
+}
+
+// cloneBatch deep-copies a batch so it can outlive the producer's cycle.
+func cloneBatch(b *RowBatch) *RowBatch {
+	nb := &RowBatch{Cols: make([][]int64, len(b.Cols)), n: b.n}
+	for i, c := range b.Cols {
+		nb.Cols[i] = append([]int64(nil), c...)
+	}
+	return nb
+}
+
+// leakPooled sends a pooled batch raw: the pool recycles it while the
+// receiver still reads it.
+func leakPooled(p *batchPool, out chan *RowBatch) {
+	b := p.get()
+	out <- b // want `without cloning`
+}
+
+// sendCloned is the sanctioned hand-off.
+func sendCloned(p *batchPool, out chan *RowBatch) {
+	b := p.get()
+	nb := cloneBatch(b)
+	out <- nb
+	p.put(b)
+}
+
+// leakGoroutine captures a pooled batch in a goroutine that outlives the
+// operator cycle.
+func leakGoroutine(p *batchPool, sink func(int)) {
+	b := p.get()
+	go func() {
+		sink(b.Width()) // want `captures pool-backed batch`
+	}()
+}
+
+// useAfterPut touches a batch it already handed back.
+func useAfterPut(p *batchPool) int {
+	b := p.get()
+	p.put(b)
+	return b.Width() // want `after releasing`
+}
+
+// recycleLoop is the sound lifecycle: get, use, put, and the next
+// iteration's get redefines the variable before any further use.
+func recycleLoop(p *batchPool) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		b := p.get()
+		total += b.Width()
+		p.put(b)
+	}
+	return total
+}
+
+// scanOp reuses an output scratch batch across cycles.
+type scanOp struct {
+	out *RowBatch
+}
+
+// leakScratch aliases the scratch buffer straight into a channel.
+func (s *scanOp) leakScratch(out chan *RowBatch) {
+	b := s.out
+	out <- b // want `without cloning`
+}
+
+// shipScratch densifies the scratch buffer first.
+func (s *scanOp) shipScratch(out chan *RowBatch) {
+	b := cloneBatch(s.out)
+	out <- b
+}

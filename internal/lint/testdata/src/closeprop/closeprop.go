@@ -2,6 +2,8 @@
 // sinew/close-propagation check.
 package closeprop
 
+import "sync"
+
 type child struct{ open bool }
 
 func (c *child) Close() { c.open = false }
@@ -53,3 +55,72 @@ func reap(c *child) { c.Close() }
 
 func (h *HandOffIter) Next() bool { return false }
 func (h *HandOffIter) Close()     { reap(h.src) }
+
+// WorkerIter is the ParallelScanIter pattern: the constructor stores each
+// scan into the field AND hands it to a spawned worker whose `defer
+// s.Close()` closes it on every path, and Close waits on the WaitGroup —
+// so the workers provably release the field. No finding.
+type WorkerIter struct {
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	scans []*child
+}
+
+func NewWorkerIter(n int) *WorkerIter {
+	w := &WorkerIter{stop: make(chan struct{}), scans: make([]*child, n)}
+	for i := 0; i < n; i++ {
+		s := &child{open: true}
+		w.scans[i] = s
+		w.wg.Add(1)
+		go w.worker(i, s)
+	}
+	return w
+}
+
+func (w *WorkerIter) worker(i int, s *child) {
+	defer w.wg.Done()
+	defer s.Close()
+	<-w.stop
+}
+
+func (w *WorkerIter) Next() bool { return false }
+
+func (w *WorkerIter) Close() {
+	close(w.stop)
+	w.wg.Wait()
+}
+
+// LeakyWorkerIter spawns workers too, but the worker only closes its scan
+// on one path — the hand-off proof must NOT accept it, so Close is
+// flagged for the unreleased field.
+type LeakyWorkerIter struct {
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	scans []*child
+}
+
+func NewLeakyWorkerIter(n int) *LeakyWorkerIter {
+	w := &LeakyWorkerIter{stop: make(chan struct{}), scans: make([]*child, n)}
+	for i := 0; i < n; i++ {
+		s := &child{open: true}
+		w.scans[i] = s
+		w.wg.Add(1)
+		go w.worker(i, s)
+	}
+	return w
+}
+
+func (w *LeakyWorkerIter) worker(i int, s *child) {
+	defer w.wg.Done()
+	if i%2 == 0 {
+		s.Close() // the odd-index path leaks the scan
+	}
+	<-w.stop
+}
+
+func (w *LeakyWorkerIter) Next() bool { return false }
+
+func (w *LeakyWorkerIter) Close() { // want `LeakyWorkerIter\.Close does not release field "scans"`
+	close(w.stop)
+	w.wg.Wait()
+}

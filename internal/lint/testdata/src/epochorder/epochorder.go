@@ -1,0 +1,67 @@
+// Package epochorder seeds positive and negative cases for the
+// sinew/epoch-order check: in a function that both bumps the catalog
+// epoch and publishes a snapshot, the bump must dominate the publish.
+package epochorder
+
+import "errors"
+
+var errEmpty = errors.New("empty")
+
+// DB mirrors the engine's catalog-epoch owner.
+type DB struct{ epoch uint64 }
+
+// BumpCatalogEpoch invalidates cached plans.
+func (d *DB) BumpCatalogEpoch() { d.epoch++ }
+
+// Heap mirrors the storage snapshot publisher.
+type Heap struct{ v int }
+
+// Publish installs the new snapshot for lock-free readers.
+func (h *Heap) Publish() { h.v++ }
+
+// alterOK bumps first on every path.
+func alterOK(d *DB, h *Heap, wide bool) {
+	d.BumpCatalogEpoch()
+	if wide {
+		h.Publish()
+		return
+	}
+	h.Publish()
+}
+
+// alterBad only bumps on one branch, so the join publishes unbumped on
+// the other.
+func alterBad(d *DB, h *Heap, ok bool) {
+	if ok {
+		d.BumpCatalogEpoch()
+	}
+	h.Publish() // want `before bumping the catalog epoch`
+}
+
+// truncateDeferBad registers the publish, then an early return skips the
+// bump: the deferred publish lands against the stale epoch.
+func truncateDeferBad(d *DB, h *Heap, rows int) error {
+	defer h.Publish() // want `deferred publish would land before the bump`
+	if rows == 0 {
+		return errEmpty
+	}
+	d.BumpCatalogEpoch()
+	return nil
+}
+
+// truncateDeferOK bumps before any return the defer can land on.
+func truncateDeferOK(d *DB, h *Heap) {
+	d.BumpCatalogEpoch()
+	defer h.Publish()
+}
+
+// analyzeOK returns early BEFORE the defer is registered: that path never
+// publishes, so it carries no ordering obligation.
+func analyzeOK(d *DB, h *Heap, rows int) error {
+	if rows == 0 {
+		return errEmpty
+	}
+	defer h.Publish()
+	d.BumpCatalogEpoch()
+	return nil
+}

@@ -72,3 +72,38 @@ func (t *Table) lockedInsert(k string) {
 	t.rows[k] = len(t.rows)
 	t.mu.Unlock()
 }
+
+// Meter exercises the path-sensitivity the CFG solver adds over the old
+// positional intervals: a lock taken in only one branch does not bless
+// the access after the join, and an access after a mid-loop unlock is
+// outside the region even though an earlier Lock sits above it in source.
+type Meter struct {
+	mu    sync.Mutex
+	total int
+}
+
+func (m *Meter) BranchyAdd(fast bool) {
+	if !fast {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.total++ // want `Meter\.BranchyAdd accesses "total" without holding mu`
+}
+
+func (m *Meter) LoopAdd(xs []int) {
+	for _, x := range xs {
+		m.mu.Lock()
+		m.total += x
+		m.mu.Unlock()
+		_ = m.total // want `Meter\.LoopAdd accesses "total" without holding mu`
+	}
+}
+
+// SpanAdd holds the lock across the whole loop body: no finding.
+func (m *Meter) SpanAdd(xs []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, x := range xs {
+		m.total += x
+	}
+}
